@@ -1,0 +1,122 @@
+// Command fadewich-trace exports a simulated day as CSV for external
+// analysis or plotting: either the raw RSSI streams (one column per
+// stream, one row per tick) or the ground-truth event log.
+//
+// Usage:
+//
+//	fadewich-trace -what streams -day 0 -seed 42 > day0.csv
+//	fadewich-trace -what events  -day 0 -seed 42 > events0.csv
+//	fadewich-trace -what sumstd  -day 0 -seed 42 > sumstd0.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"fadewich/internal/agent"
+	"fadewich/internal/md"
+	"fadewich/internal/sim"
+)
+
+func main() {
+	what := flag.String("what", "streams", "streams | events | sumstd")
+	day := flag.Int("day", 0, "day index to export")
+	days := flag.Int("days", 1, "days to simulate")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	hours := flag.Float64("hours", 8, "day length in hours")
+	every := flag.Int("every", 1, "export every n-th tick (streams/sumstd)")
+	flag.Parse()
+
+	if err := run(*what, *day, *days, *seed, *hours, *every); err != nil {
+		fmt.Fprintf(os.Stderr, "fadewich-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(what string, day, days int, seed uint64, hours float64, every int) error {
+	if day < 0 || day >= days {
+		return fmt.Errorf("day %d outside [0,%d)", day, days)
+	}
+	if every < 1 {
+		every = 1
+	}
+	cfg := sim.Config{Days: days, Seed: seed}
+	cfg.Agent.DaySeconds = hours * 3600
+	ds, err := sim.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	trace := ds.Days[day]
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch what {
+	case "streams":
+		return exportStreams(w, ds, trace, every)
+	case "events":
+		return exportEvents(w, trace)
+	case "sumstd":
+		return exportSumStd(w, ds, trace, every)
+	default:
+		return fmt.Errorf("unknown export %q (want streams, events or sumstd)", what)
+	}
+}
+
+func exportStreams(w *bufio.Writer, ds *sim.Dataset, trace *sim.Trace, every int) error {
+	fmt.Fprint(w, "t")
+	for _, l := range ds.Links {
+		fmt.Fprintf(w, ",%s", l)
+	}
+	fmt.Fprintln(w)
+	for i := 0; i < trace.Ticks; i += every {
+		w.WriteString(strconv.FormatFloat(trace.Time(i), 'f', 1, 64))
+		for k := range trace.Streams {
+			w.WriteByte(',')
+			w.WriteString(strconv.Itoa(int(trace.Streams[k][i])))
+		}
+		w.WriteByte('\n')
+	}
+	return nil
+}
+
+func exportEvents(w *bufio.Writer, trace *sim.Trace) error {
+	fmt.Fprintln(w, "t,type,user,workstation")
+	for _, e := range trace.Events {
+		fmt.Fprintf(w, "%.1f,%s,%d,%d\n", e.Time, e.Type, e.User, e.Workstation)
+	}
+	return nil
+}
+
+func exportSumStd(w *bufio.Writer, ds *sim.Dataset, trace *sim.Trace, every int) error {
+	subset := make([]int, len(ds.Links))
+	for i := range subset {
+		subset[i] = i
+	}
+	res, err := md.Run(trace.Streams, subset, trace.DT, md.Config{})
+	if err != nil {
+		return err
+	}
+	// Events inline for easy plotting alignment.
+	next := 0
+	fmt.Fprintln(w, "t,sumstd,anomalous,event")
+	for i := 0; i < trace.Ticks; i += every {
+		t := trace.Time(i)
+		ev := ""
+		for next < len(trace.Events) && trace.Events[next].Time <= t {
+			e := trace.Events[next]
+			if e.Type == agent.EventDeparture || e.Type == agent.EventEntry {
+				ev = fmt.Sprintf("%s-w%d", e.Type, e.Workstation+1)
+			}
+			next++
+		}
+		anom := 0
+		if res.Anomalous[i] {
+			anom = 1
+		}
+		fmt.Fprintf(w, "%.1f,%.2f,%d,%s\n", t, res.SumStd[i], anom, ev)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Quickstart: the smallest end-to-end FADEWICH run.
+//
+// It simulates one short office day, trains the streaming System on the
+// first hours, then watches it deauthenticate a departing user in the
+// final hour.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fadewich"
+)
+
+func main() {
+	// 1. Simulate a 2-day office: three users, nine wall sensors, one
+	//    door (the paper's Fig 6 layout is the default).
+	ds, err := fadewich.GenerateDataset(fadewich.SimConfig{Days: 2, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout := ds.Layout
+	fmt.Printf("office %q: %d workstations, %d sensors, %d RSSI streams\n",
+		layout.Name, layout.NumWorkstations(), layout.NumSensors(), ds.NumStreams())
+
+	// 2. Build the streaming System over all sensors.
+	sys, err := fadewich.NewSystem(fadewich.SystemConfig{
+		DT:           ds.Days[0].DT,
+		Streams:      ds.NumStreams(),
+		Workstations: layout.NumWorkstations(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Training day: replay day 0, letting the System auto-label
+	//    variation windows from keyboard idle times.
+	h, err := fadewich.NewHarness(ds, fadewich.EvalOptions{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inputs := h.Inputs()
+	replayDay(sys, ds.Days[0], inputs[0], nil)
+	if err := sys.FinishTraining(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d auto-labelled samples\n\n", sys.TrainingSamples())
+
+	// 4. Online day: print deauthentications as they happen.
+	base := sys.Now()
+	replayDay(sys, ds.Days[1], inputs[1], func(a fadewich.Action) {
+		if a.Type == fadewich.ActionDeauthenticate {
+			fmt.Printf("%8.1fs  deauthenticate w%d (%s)\n", a.Time-base, a.Workstation+1, a.Cause)
+		}
+	})
+}
+
+// replayDay feeds one simulated day into the System.
+func replayDay(sys *fadewich.System, trace *fadewich.Trace, inputs [][]float64, onAction func(fadewich.Action)) {
+	cursor := make([]int, len(inputs))
+	rssi := make([]float64, len(trace.Streams))
+	base := sys.Now()
+	for i := 0; i < trace.Ticks; i++ {
+		t := base + float64(i+1)*trace.DT
+		for ws := range inputs {
+			for cursor[ws] < len(inputs[ws]) && base+inputs[ws][cursor[ws]] <= t {
+				sys.NotifyInput(ws)
+				cursor[ws]++
+			}
+		}
+		for k := range trace.Streams {
+			rssi[k] = float64(trace.Streams[k][i])
+		}
+		for _, a := range sys.Tick(rssi) {
+			if onAction != nil {
+				onAction(a)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Sensor placement: how movement-detection quality scales with the number
+// of deployed sensors, and how FADEWICH behaves in offices other than the
+// paper's (its stated future-work question).
+//
+//	go run ./examples/sensor-placement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fadewich"
+)
+
+func main() {
+	// Part 1: the paper office — F-measure versus sensor count at the
+	// operating point t∆ = 4.5 s.
+	fmt.Println("paper office (6m x 3m, 3 workstations):")
+	sweep(fadewich.PaperOffice(), 5, 42)
+
+	// Part 2: a different room each way — smaller and larger offices,
+	// exercising the generic greedy sensor-ordering instead of the
+	// hand-tuned paper order.
+	fmt.Println("\nsmall office (4m x 3m, 2 workstations):")
+	sweep(fadewich.SmallOffice(), 3, 43)
+
+	fmt.Println("\nwide office (8m x 4m, 4 workstations):")
+	sweep(fadewich.WideOffice(), 3, 44)
+}
+
+func sweep(layout *fadewich.Layout, days int, seed uint64) {
+	ds, err := fadewich.GenerateDataset(fadewich.SimConfig{
+		Days:   days,
+		Seed:   seed,
+		Layout: layout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := make([]int, 0, layout.NumSensors()-2)
+	for n := 3; n <= layout.NumSensors(); n++ {
+		counts = append(counts, n)
+	}
+	h, err := fadewich.NewHarness(ds, fadewich.EvalOptions{Seed: seed, SensorCounts: counts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := h.Table3(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-8s %-10s %-6s %-6s %-6s\n", "sensors", "F-measure", "TP", "FP", "FN")
+	for _, r := range rows {
+		fmt.Printf("  %-8d %-10.3f %-6d %-6d %-6d\n",
+			r.Sensors, r.Detection.FMeasure(), r.Detection.TP, r.Detection.FP, r.Detection.FN)
+	}
+}

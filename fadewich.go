@@ -1,0 +1,136 @@
+// Package fadewich is a complete reproduction of "FADEWICH: Fast
+// Deauthentication over the Wireless Channel" (Conti, Lovisotto,
+// Martinovic, Tsudik — ICDCS 2017): an automatic deauthentication system
+// that locks a workstation within seconds of its user walking away, using
+// only the effect of the human body on the received signal strength of
+// links between cheap wireless sensors.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - System (internal/core) — the streaming FADEWICH instance: feed it
+//     RSSI ticks and input notifications, get alert/screensaver/
+//     deauthentication actions. This is what a deployment runs.
+//   - Simulator (internal/sim, internal/rf, internal/agent,
+//     internal/office) — the office/radio testbed substitute: generates
+//     multi-day RSSI datasets with exact ground truth.
+//   - Harness (internal/eval) — regenerates every table and figure of the
+//     paper's evaluation from a dataset.
+//
+// Quick start:
+//
+//	ds, _ := fadewich.GenerateDataset(fadewich.SimConfig{Days: 1, Seed: 7})
+//	h, _ := fadewich.NewHarness(ds, fadewich.EvalOptions{})
+//	rows, _ := h.Table3(0) // MD performance per sensor count
+//
+// See the examples/ directory for runnable end-to-end programs.
+package fadewich
+
+import (
+	"fadewich/internal/agent"
+	"fadewich/internal/control"
+	"fadewich/internal/core"
+	"fadewich/internal/eval"
+	"fadewich/internal/kma"
+	"fadewich/internal/md"
+	"fadewich/internal/office"
+	"fadewich/internal/re"
+	"fadewich/internal/rf"
+	"fadewich/internal/sim"
+	"fadewich/internal/svm"
+)
+
+// System is the streaming FADEWICH instance (training phase →
+// FinishTraining → online phase).
+type System = core.System
+
+// SystemConfig parameterises a System.
+type SystemConfig = core.Config
+
+// Action is a System output (alert transitions, screensaver activations,
+// deauthentications).
+type Action = core.Action
+
+// Action types emitted by the System.
+const (
+	ActionAlertEnter     = core.ActionAlertEnter
+	ActionAlertExit      = core.ActionAlertExit
+	ActionScreensaverOn  = core.ActionScreensaverOn
+	ActionDeauthenticate = core.ActionDeauthenticate
+)
+
+// Lifecycle phases of a System.
+const (
+	PhaseTraining = core.PhaseTraining
+	PhaseOnline   = core.PhaseOnline
+)
+
+// NewSystem builds a streaming System in the training phase.
+func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
+
+// Layout is an office floor plan: workstations, wall sensors, the door.
+type Layout = office.Layout
+
+// PaperOffice returns the 6 m × 3 m three-workstation office of the
+// paper's Fig 6 with its nine wall sensors.
+func PaperOffice() *Layout { return office.Paper() }
+
+// SmallOffice returns a compact two-workstation office for generalisation
+// experiments.
+func SmallOffice() *Layout { return office.Small() }
+
+// WideOffice returns a larger four-workstation office for generalisation
+// experiments.
+func WideOffice() *Layout { return office.Wide() }
+
+// SimConfig parameterises dataset generation.
+type SimConfig = sim.Config
+
+// Dataset is a generated multi-day RSSI dataset with ground truth.
+type Dataset = sim.Dataset
+
+// Trace is one simulated day.
+type Trace = sim.Trace
+
+// GenerateDataset runs the office/radio simulation. Deterministic in
+// cfg.Seed.
+func GenerateDataset(cfg SimConfig) (*Dataset, error) { return sim.Generate(cfg) }
+
+// RFConfig parameterises the radio propagation model.
+type RFConfig = rf.Config
+
+// AgentConfig parameterises simulated user behaviour.
+type AgentConfig = agent.Config
+
+// AgentEvent is one ground-truth event recorded by the simulator.
+type AgentEvent = agent.Event
+
+// EvalOptions configures the experiment harness.
+type EvalOptions = eval.Options
+
+// Harness regenerates the paper's tables and figures from a dataset.
+type Harness = eval.Harness
+
+// NewHarness wraps a dataset for evaluation.
+func NewHarness(ds *Dataset, opt EvalOptions) (*Harness, error) { return eval.NewHarness(ds, opt) }
+
+// DefaultEvalOptions returns the paper's evaluation configuration.
+func DefaultEvalOptions() EvalOptions { return eval.DefaultOptions() }
+
+// MDConfig parameterises the movement detector.
+type MDConfig = md.Config
+
+// FeatureConfig parameterises RE signature extraction.
+type FeatureConfig = re.FeatureConfig
+
+// SVMConfig parameterises the classifier.
+type SVMConfig = svm.Config
+
+// ControlParams are the controller timing constants (t∆, t_ID, t_ss, T).
+type ControlParams = control.Params
+
+// InputModel is the Mikkelsen et al. keyboard/mouse simulation.
+type InputModel = kma.InputModel
+
+// DefaultControlParams returns the paper's constants: t∆ = 4.5 s,
+// t_ID = 5 s, t_ss = 3 s, T = 300 s.
+func DefaultControlParams() ControlParams { return control.DefaultParams() }

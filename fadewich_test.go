@@ -1,0 +1,83 @@
+package fadewich_test
+
+import (
+	"testing"
+
+	"fadewich"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart does: simulate, evaluate, and run the streaming system.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := fadewich.SimConfig{Days: 1, Seed: 123}
+	cfg.Agent.DaySeconds = 3600
+	cfg.Agent.MorningJitterSec = 120
+	cfg.Agent.DeparturesPerDay = 3
+	cfg.Agent.OutsideMeanSec = 120
+	ds, err := fadewich.GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumStreams() != 72 {
+		t.Fatalf("streams %d", ds.NumStreams())
+	}
+
+	h, err := fadewich.NewHarness(ds, fadewich.EvalOptions{Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := h.Table3(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no Table III rows")
+	}
+
+	sys, err := fadewich.NewSystem(fadewich.SystemConfig{
+		DT:           ds.Days[0].DT,
+		Streams:      ds.NumStreams(),
+		Workstations: ds.Layout.NumWorkstations(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Phase() != fadewich.PhaseTraining {
+		t.Fatal("new system not in training phase")
+	}
+	// Push a handful of quiet ticks through the public surface.
+	rssi := make([]float64, ds.NumStreams())
+	for i := 0; i < 10; i++ {
+		for k := range ds.Days[0].Streams {
+			rssi[k] = float64(ds.Days[0].Streams[k][i])
+		}
+		sys.Tick(rssi)
+	}
+	sys.NotifyInput(0)
+	if !sys.Authenticated(0) {
+		t.Fatal("NotifyInput did not authenticate through the facade")
+	}
+}
+
+func TestOfficePresets(t *testing.T) {
+	if fadewich.PaperOffice().NumSensors() != 9 {
+		t.Fatal("paper office sensors")
+	}
+	if fadewich.SmallOffice().NumWorkstations() != 2 {
+		t.Fatal("small office workstations")
+	}
+	if fadewich.WideOffice().NumWorkstations() != 4 {
+		t.Fatal("wide office workstations")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := fadewich.DefaultControlParams()
+	if p.TDeltaSec != 4.5 || p.TIDSec != 5 || p.TSSSec != 3 || p.TimeoutSec != 300 {
+		t.Fatalf("paper constants wrong: %+v", p)
+	}
+	opt := fadewich.DefaultEvalOptions()
+	if len(opt.SensorCounts) != 7 {
+		t.Fatalf("sensor counts %v", opt.SensorCounts)
+	}
+}

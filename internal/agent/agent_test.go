@@ -1,0 +1,279 @@
+package agent
+
+import (
+	"sort"
+	"testing"
+
+	"fadewich/internal/office"
+	"fadewich/internal/rng"
+)
+
+// shortConfig keeps test schedules cheap: a 40-minute day.
+func shortConfig() Config {
+	cfg := DefaultConfig()
+	cfg.DaySeconds = 2400
+	cfg.MorningJitterSec = 120
+	cfg.DeparturesPerDay = 2
+	cfg.OutsideMeanSec = 120
+	return cfg
+}
+
+func newTestSchedule(t *testing.T, cfg Config, seed uint64) *Schedule {
+	t.Helper()
+	s, err := NewSchedule(office.Paper(), cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScheduleEventsSorted(t *testing.T) {
+	s := newTestSchedule(t, shortConfig(), 1)
+	evs := s.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events generated")
+	}
+	if !sort.SliceIsSorted(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time }) {
+		t.Fatal("events not time-sorted")
+	}
+}
+
+func TestEveryUserArrives(t *testing.T) {
+	s := newTestSchedule(t, shortConfig(), 2)
+	arrived := map[int]bool{}
+	for _, e := range s.Events() {
+		if e.Type == EventEntry {
+			arrived[e.User] = true
+		}
+	}
+	for u := 0; u < s.NumUsers(); u++ {
+		if !arrived[u] {
+			t.Fatalf("user %d never arrived", u)
+		}
+	}
+}
+
+func TestDeparturesPairWithExits(t *testing.T) {
+	s := newTestSchedule(t, shortConfig(), 3)
+	var deps, exits []float64
+	for _, e := range s.Events() {
+		switch e.Type {
+		case EventDeparture:
+			deps = append(deps, e.Time)
+		case EventExitRoom:
+			exits = append(exits, e.Time)
+		}
+	}
+	if len(deps) != len(exits) {
+		t.Fatalf("%d departures but %d exits", len(deps), len(exits))
+	}
+	for i := range deps {
+		gap := exits[i] - deps[i]
+		if gap < 1 || gap > 15 {
+			t.Fatalf("departure→exit gap %vs out of realistic range", gap)
+		}
+	}
+}
+
+func TestNoOverlappingMovements(t *testing.T) {
+	// The paper's dataset contained no overlaps; the generator must
+	// enforce that for walks (stretches are sub-threshold and exempt).
+	for seed := uint64(0); seed < 5; seed++ {
+		s := newTestSchedule(t, DefaultConfig(), seed)
+		var walks []Interval
+		for _, m := range s.movements {
+			if m.kind == moveDeparture || m.kind == moveEntry {
+				walks = append(walks, m.walk)
+			}
+		}
+		sort.Slice(walks, func(i, j int) bool { return walks[i].Start < walks[j].Start })
+		for i := 1; i < len(walks); i++ {
+			if walks[i].Start < walks[i-1].End {
+				t.Fatalf("seed %d: movements overlap: %+v and %+v", seed, walks[i-1], walks[i])
+			}
+		}
+	}
+}
+
+func TestSeatedIntervalsDisjointAndOrdered(t *testing.T) {
+	s := newTestSchedule(t, shortConfig(), 4)
+	for u, ivs := range s.SeatedIntervals() {
+		for i, iv := range ivs {
+			if iv.End < iv.Start {
+				t.Fatalf("user %d interval %d inverted", u, i)
+			}
+			if i > 0 && iv.Start < ivs[i-1].End {
+				t.Fatalf("user %d seated intervals overlap", u)
+			}
+		}
+	}
+}
+
+func TestInputSpansEndAtDepartures(t *testing.T) {
+	s := newTestSchedule(t, shortConfig(), 5)
+	deps := map[int][]float64{}
+	for _, e := range s.Events() {
+		if e.Type == EventDeparture {
+			deps[e.User] = append(deps[e.User], e.Time)
+		}
+	}
+	for u, spans := range s.InputSpans() {
+		for _, span := range spans {
+			// Every span end either matches a departure time or the day
+			// end (user stayed).
+			matched := span.End == s.DaySeconds()
+			for _, d := range deps[u] {
+				if span.End == d {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Fatalf("user %d input span ends at %v, matching no departure", u, span.End)
+			}
+		}
+	}
+}
+
+func TestSamplerBodiesStayInRoom(t *testing.T) {
+	lay := office.Paper()
+	s := newTestSchedule(t, shortConfig(), 6)
+	sp := NewSampler(s, rng.New(99))
+	states := make([]BodyState, s.NumUsers())
+	for tick := 0; tick < int(s.DaySeconds()/0.2); tick++ {
+		sp.At(float64(tick)*0.2, states)
+		for u, st := range states {
+			if st.Present && !lay.Bounds.Contains(lay.Bounds.Clamp(st.Pos)) {
+				t.Fatalf("user %d outside room at tick %d: %v", u, tick, st.Pos)
+			}
+		}
+	}
+}
+
+func TestSamplerPresenceMatchesSchedule(t *testing.T) {
+	s := newTestSchedule(t, shortConfig(), 7)
+	sp := NewSampler(s, rng.New(98))
+	states := make([]BodyState, s.NumUsers())
+	// Before the first arrival nobody is present.
+	sp.At(1, states)
+	for u, st := range states {
+		if st.Present {
+			t.Fatalf("user %d present at t=1s before arriving", u)
+		}
+	}
+	// While seated the user is present at roughly the seat position.
+	seated := s.SeatedIntervals()
+	for u, ivs := range seated {
+		if len(ivs) == 0 {
+			continue
+		}
+		mid := (ivs[0].Start + ivs[0].End) / 2
+		// Sampler time must be non-decreasing; create a fresh sampler.
+		sp2 := NewSampler(s, rng.New(97))
+		sp2.At(mid, states)
+		if !states[u].Present {
+			t.Fatalf("user %d absent mid-seated-interval", u)
+		}
+		seat := office.Paper().Workstations[u]
+		if states[u].Pos.Dist(seat) > 0.5 {
+			t.Fatalf("user %d seated %v, far from seat %v", u, states[u].Pos, seat)
+		}
+	}
+}
+
+func TestSamplerWalkReachesDoor(t *testing.T) {
+	s := newTestSchedule(t, shortConfig(), 8)
+	lay := office.Paper()
+	// Find a departure movement and sample through it.
+	var dep *movement
+	for i := range s.movements {
+		if s.movements[i].kind == moveDeparture {
+			dep = &s.movements[i]
+			break
+		}
+	}
+	if dep == nil {
+		t.Skip("no departure scheduled with this seed")
+	}
+	sp := NewSampler(s, rng.New(96))
+	states := make([]BodyState, s.NumUsers())
+	// Just before the walk ends the user should be near the door.
+	sp.At(dep.walk.End-0.1, states)
+	if !states[dep.user].Present {
+		t.Fatal("departing user absent during the walk")
+	}
+	if states[dep.user].Pos.Dist(lay.Door) > 1.0 {
+		t.Fatalf("departing user at %v, not near door %v", states[dep.user].Pos, lay.Door)
+	}
+	// After the door pause the user is gone.
+	sp2 := NewSampler(s, rng.New(95))
+	sp2.At(dep.pauseEnd+1, states)
+	if states[dep.user].Present && !s.SeatedAt(dep.user, dep.pauseEnd+1) {
+		t.Fatal("departed user still present after the door closed")
+	}
+}
+
+func TestWandersGeneratedWhenEnabled(t *testing.T) {
+	cfg := shortConfig()
+	cfg.WanderPerHour = 20
+	s := newTestSchedule(t, cfg, 9)
+	wanders := 0
+	for _, m := range s.movements {
+		if m.kind == moveWander {
+			wanders++
+		}
+	}
+	if wanders == 0 {
+		t.Fatal("no wanders despite a high configured rate")
+	}
+}
+
+func TestOverlapInjection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AllowOverlaps = true
+	cfg.MinMovementGapSec = 1
+	// With overlaps allowed over many seeds, at least one pair of walks
+	// should intersect.
+	found := false
+	for seed := uint64(0); seed < 10 && !found; seed++ {
+		s := newTestSchedule(t, cfg, seed)
+		var walks []Interval
+		for _, m := range s.movements {
+			if m.kind == moveDeparture || m.kind == moveEntry {
+				walks = append(walks, m.walk)
+			}
+		}
+		sort.Slice(walks, func(i, j int) bool { return walks[i].Start < walks[j].Start })
+		for i := 1; i < len(walks); i++ {
+			if walks[i].Start < walks[i-1].End {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("AllowOverlaps never produced an overlap across 10 seeds")
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EventDeparture.String() != "departure" || EventEntry.String() != "entry" {
+		t.Fatal("EventType.String mismatch")
+	}
+	if EventType(99).String() == "" {
+		t.Fatal("unknown event type should still render")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Start: 2, End: 5}
+	if !iv.Contains(2) || !iv.Contains(5) || iv.Contains(5.01) {
+		t.Fatal("Contains boundary behaviour wrong")
+	}
+	if iv.Duration() != 3 {
+		t.Fatalf("duration %v", iv.Duration())
+	}
+	if !iv.Overlaps(Interval{Start: 4, End: 9}) || iv.Overlaps(Interval{Start: 6, End: 7}) {
+		t.Fatal("Overlaps wrong")
+	}
+}

@@ -1,0 +1,528 @@
+// Package core assembles the paper's modules (KMA, MD, RE and the control
+// rules) into a single streaming System — the artefact a deployment would
+// actually run. The System consumes one tick of RSSI samples at a time
+// plus asynchronous keyboard/mouse notifications, passes through the
+// paper's two phases (a training phase that auto-labels variation windows
+// from workstation idle times, then an online phase driven by the trained
+// classifier), and emits actions: alert-state transitions, screensaver
+// activations and deauthentications.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fadewich/internal/control"
+	"fadewich/internal/kma"
+	"fadewich/internal/md"
+	"fadewich/internal/re"
+	"fadewich/internal/svm"
+)
+
+// Config parameterises a System.
+type Config struct {
+	// DT is the RSSI sampling period in seconds.
+	DT float64
+	// Streams is the number of RSSI streams (m·(m−1) for m sensors).
+	Streams int
+	// Workstations is k, the number of monitored workstations.
+	Workstations int
+	// MD configures movement detection.
+	MD md.Config
+	// Feat configures signature extraction; Feat.TDeltaSec is t∆.
+	Feat re.FeatureConfig
+	// SVM configures the classifier trained at the end of the training
+	// phase.
+	SVM svm.Config
+	// Params are the control-rule timing constants.
+	Params control.Params
+	// Label configures training-phase auto-labelling.
+	Label re.LabelConfig
+	// MinTrainingSamples is the smallest labelled sample count Train will
+	// accept (default 10).
+	MinTrainingSamples int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.DT == 0 {
+		c.DT = 0.2
+	}
+	c.Params = c.Params.WithDefaults()
+	if c.Feat.TDeltaSec == 0 {
+		c.Feat = re.DefaultFeatureConfig()
+	}
+	if c.MinTrainingSamples == 0 {
+		c.MinTrainingSamples = 10
+	}
+	return c
+}
+
+// Phase is the system's lifecycle stage.
+type Phase int
+
+// The two lifecycle phases of Section IV-D: during Training the system
+// collects auto-labelled samples; during Online it applies the rules.
+const (
+	PhaseTraining Phase = iota + 1
+	PhaseOnline
+)
+
+// ActionType enumerates the System's outputs.
+type ActionType int
+
+// Emitted actions. AlertEnter/AlertExit bracket the alert state of Rule 2;
+// ScreensaverOn is the t_ID expiry inside an alert; Deauthenticate ends a
+// session (the Cause field tells why).
+const (
+	ActionAlertEnter ActionType = iota + 1
+	ActionAlertExit
+	ActionScreensaverOn
+	ActionDeauthenticate
+)
+
+// String implements fmt.Stringer.
+func (a ActionType) String() string {
+	switch a {
+	case ActionAlertEnter:
+		return "alert-enter"
+	case ActionAlertExit:
+		return "alert-exit"
+	case ActionScreensaverOn:
+		return "screensaver-on"
+	case ActionDeauthenticate:
+		return "deauthenticate"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Action is one System output.
+type Action struct {
+	Time        float64
+	Type        ActionType
+	Workstation int
+	// Cause is set for deauthentications.
+	Cause control.Cause
+	// Label is the RE classification that triggered a Rule-1 action
+	// (0 = w0).
+	Label int
+}
+
+// ErrNotTraining is returned by FinishTraining outside the training phase.
+var ErrNotTraining = errors.New("core: system is not in the training phase")
+
+// ErrTooFewSamples is returned when training ends with too few labelled
+// samples.
+var ErrTooFewSamples = errors.New("core: too few labelled training samples")
+
+// System is the streaming FADEWICH instance. Not safe for concurrent use;
+// drive it from one goroutine and deliver input notifications between
+// Tick calls.
+type System struct {
+	cfg   Config
+	det   *md.Detector
+	clf   *re.Classifier
+	phase Phase
+
+	now  float64
+	tick int
+
+	// Ring buffer of recent samples per stream for signature extraction.
+	ring     [][]float64
+	ringCap  int
+	ringHead int
+	ringLen  int
+
+	// Variation-window tracking. A window closes only after gapTicks of
+	// continuous normal readings, mirroring md.Run's gap merging so the
+	// online system sees the same windows as the offline analysis.
+	inWindow    bool
+	winStart    int
+	lastAnom    int
+	rule1Fired  bool
+	tDeltaTicks int
+	gapTicks    int
+
+	// Per-workstation session and input state.
+	ws []wsState
+
+	// Training-phase sample store. pending holds windows whose features
+	// are extracted but whose label cannot be resolved yet: the
+	// auto-labeller needs to observe QuietAfterSec/ReturnSlackSec of
+	// input behaviour beyond the window end.
+	samples []re.Sample
+	pending []pendingSample
+
+	actions []Action // reused buffer returned by Tick
+	// interTick collects actions emitted between ticks (input
+	// notifications cancelling alerts); they are delivered with the next
+	// Tick's result instead of being lost when the buffer resets.
+	interTick []Action
+}
+
+// pendingSample is a training window awaiting label resolution.
+type pendingSample struct {
+	window    md.Window
+	features  []float64
+	resolveAt float64
+}
+
+// wsState mirrors the controller's per-workstation state for the online
+// system.
+type wsState struct {
+	authenticated bool
+	lastInput     float64
+	hasInput      bool
+	alert         bool
+	ssOn          bool
+	// inputLog keeps this workstation's input times for training-phase
+	// auto-labelling.
+	inputLog []float64
+}
+
+// NewSystem builds a System in the training phase.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Streams < 1 {
+		return nil, fmt.Errorf("core: need at least one stream, got %d", cfg.Streams)
+	}
+	if cfg.Workstations < 1 {
+		return nil, fmt.Errorf("core: need at least one workstation, got %d", cfg.Workstations)
+	}
+	det, err := md.NewDetector(cfg.MD, cfg.Streams, cfg.DT)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	tDeltaTicks := int(cfg.Params.TDeltaSec / cfg.DT)
+	// The ring must still hold a window's first t∆ seconds when the
+	// window closes, and windows can run tens of seconds (overlapping
+	// movements, long walks); 30 s of slack costs only tens of kilobytes.
+	ringCap := tDeltaTicks + int(30/cfg.DT) + 4
+	ring := make([][]float64, cfg.Streams)
+	for i := range ring {
+		ring[i] = make([]float64, ringCap)
+	}
+	gapSec := cfg.MD.MergeGapSec
+	if gapSec == 0 {
+		gapSec = md.DefaultConfig().MergeGapSec
+	}
+	gapTicks := int(gapSec / cfg.DT)
+	return &System{
+		cfg:         cfg,
+		det:         det,
+		phase:       PhaseTraining,
+		ring:        ring,
+		ringCap:     ringCap,
+		tDeltaTicks: tDeltaTicks,
+		gapTicks:    gapTicks,
+		ws:          make([]wsState, cfg.Workstations),
+	}, nil
+}
+
+// Phase returns the current lifecycle phase.
+func (s *System) Phase() Phase { return s.phase }
+
+// Now returns the system clock (seconds since start).
+func (s *System) Now() float64 { return s.now }
+
+// TrainingSamples returns how many labelled samples have been collected.
+func (s *System) TrainingSamples() int { return len(s.samples) }
+
+// NotifyInput records a keyboard/mouse event at workstation ws at the
+// current system time. It also (re-)authenticates the session, since a
+// user typing at a locked workstation is logging in.
+func (s *System) NotifyInput(ws int) {
+	if ws < 0 || ws >= len(s.ws) {
+		return
+	}
+	st := &s.ws[ws]
+	st.hasInput = true
+	st.lastInput = s.now
+	st.inputLog = append(st.inputLog, s.now)
+	if !st.authenticated {
+		st.authenticated = true
+	}
+	if st.alert || st.ssOn {
+		st.alert = false
+		st.ssOn = false
+		s.interTick = append(s.interTick, Action{Time: s.now, Type: ActionAlertExit, Workstation: ws})
+	}
+}
+
+// Authenticated reports whether workstation ws currently has an active
+// session.
+func (s *System) Authenticated(ws int) bool {
+	if ws < 0 || ws >= len(s.ws) {
+		return false
+	}
+	return s.ws[ws].authenticated
+}
+
+// idle returns the idle time of workstation ws at the current clock.
+func (s *System) idle(ws int) float64 {
+	st := &s.ws[ws]
+	if !st.hasInput {
+		return s.now
+	}
+	return s.now - st.lastInput
+}
+
+// Tick consumes one tick of RSSI samples (one per stream) and returns the
+// actions emitted during this tick. The returned slice is reused by the
+// next call — copy it to retain.
+func (s *System) Tick(rssi []float64) []Action {
+	s.actions = append(s.actions[:0], s.interTick...)
+	s.interTick = s.interTick[:0]
+	s.tick++
+	s.now = float64(s.tick) * s.cfg.DT
+
+	// Record into the ring buffer.
+	for k, v := range rssi {
+		s.ring[k][s.ringHead] = v
+	}
+	s.ringHead = (s.ringHead + 1) % s.ringCap
+	if s.ringLen < s.ringCap {
+		s.ringLen++
+	}
+
+	state, _ := s.det.Push(rssi)
+	anomalous := state == md.StateAnomalous
+
+	switch {
+	case anomalous:
+		if !s.inWindow {
+			s.inWindow = true
+			s.winStart = s.tick
+			s.rule1Fired = false
+		}
+		s.lastAnom = s.tick
+	case s.inWindow && s.tick-s.lastAnom > s.gapTicks:
+		s.endWindow()
+	}
+
+	if s.inWindow {
+		dW := s.tick - s.winStart
+		if dW >= s.tDeltaTicks {
+			if !s.rule1Fired {
+				s.rule1Fired = true
+				s.onWindowReachedTDelta()
+			}
+			// Rule 2: alert every idle workstation while the window
+			// persists.
+			for ws := range s.ws {
+				st := &s.ws[ws]
+				if st.authenticated && !st.alert && s.idle(ws) >= s.cfg.Params.Rule2IdleSec {
+					st.alert = true
+					s.actions = append(s.actions, Action{Time: s.now, Type: ActionAlertEnter, Workstation: ws})
+				}
+			}
+		}
+	}
+
+	if s.phase == PhaseTraining {
+		s.resolvePending()
+	}
+
+	// Alert lifecycle + time-out backstop.
+	p := s.cfg.Params
+	for ws := range s.ws {
+		st := &s.ws[ws]
+		if !st.authenticated {
+			continue
+		}
+		idle := s.idle(ws)
+		if st.alert {
+			if !st.ssOn && idle >= p.TIDSec {
+				st.ssOn = true
+				s.actions = append(s.actions, Action{Time: s.now, Type: ActionScreensaverOn, Workstation: ws})
+			}
+			if st.ssOn && idle >= p.TIDSec+p.TSSSec {
+				s.deauth(ws, control.CauseAlert, -1)
+				continue
+			}
+		}
+		if idle >= p.TimeoutSec {
+			s.deauth(ws, control.CauseTimeout, -1)
+		}
+	}
+	return s.actions
+}
+
+// endWindow closes the current variation window: dismiss alerts that never
+// reached the screensaver, and in the training phase try to label the
+// window. The window's effective end is the last anomalous tick, not the
+// closing tick (which trails by the merge gap).
+func (s *System) endWindow() {
+	s.inWindow = false
+	for ws := range s.ws {
+		st := &s.ws[ws]
+		if st.alert && !st.ssOn {
+			st.alert = false
+			s.actions = append(s.actions, Action{Time: s.now, Type: ActionAlertExit, Workstation: ws})
+		}
+	}
+	if s.phase == PhaseTraining && s.lastAnom+1-s.winStart >= s.tDeltaTicks {
+		s.collectTrainingSample()
+	}
+}
+
+// deauth locks a session and records the action.
+func (s *System) deauth(ws int, cause control.Cause, label int) {
+	st := &s.ws[ws]
+	st.authenticated = false
+	st.alert = false
+	s.actions = append(s.actions, Action{
+		Time: s.now, Type: ActionDeauthenticate, Workstation: ws,
+		Cause: cause, Label: label,
+	})
+}
+
+// onWindowReachedTDelta fires when the current window's duration hits t∆:
+// Rule 1 in the online phase (classification + conditional deauth);
+// nothing yet in training (labelling happens at window end, when idle
+// evidence is complete).
+func (s *System) onWindowReachedTDelta() {
+	if s.phase != PhaseOnline || s.clf == nil {
+		return
+	}
+	features := s.extractSignature()
+	label := s.clf.Predict(features)
+	if label < 1 || label > len(s.ws) {
+		return // w0: someone entered; no deauthentication
+	}
+	ci := label - 1
+	if s.ws[ci].authenticated && s.idle(ci) >= s.cfg.Params.TDeltaSec {
+		s.deauth(ci, control.CauseRule1, label)
+	}
+}
+
+// extractSignature pulls the [t1, t1+t∆] window from the ring buffer and
+// computes the feature vector.
+func (s *System) extractSignature() []float64 {
+	n := s.tDeltaTicks
+	window := make([][]float64, len(s.ring))
+	// The window starts at winStart; the ring's most recent sample is at
+	// tick s.tick. Offset of winStart from now, in ticks:
+	back := s.tick - s.winStart
+	if back >= s.ringLen {
+		back = s.ringLen - 1
+	}
+	for k := range s.ring {
+		w := make([]float64, 0, n)
+		for i := 0; i < n && i <= back; i++ {
+			idx := (s.ringHead - 1 - back + i + 2*s.ringCap) % s.ringCap
+			w = append(w, s.ring[k][idx])
+		}
+		window[k] = w
+	}
+	return re.ExtractWindow(window, s.cfg.DT, s.cfg.Feat)
+}
+
+// collectTrainingSample extracts the signature of the window that just
+// ended and queues it for label resolution once enough post-window input
+// behaviour has been observed (see re.LabelConfig.QuietAfterSec).
+func (s *System) collectTrainingSample() {
+	// The signature must be captured now, while [t1, t1+t∆] is still in
+	// the ring buffer.
+	if s.tick-s.winStart >= s.ringLen {
+		return
+	}
+	label := s.cfg.Label
+	wait := label.QuietAfterSec
+	if label.ReturnSlackSec > wait {
+		wait = label.ReturnSlackSec
+	}
+	if wait == 0 {
+		wait = 30
+	}
+	s.pending = append(s.pending, pendingSample{
+		window:    md.Window{StartTick: s.winStart, EndTick: s.lastAnom + 1},
+		features:  s.extractSignatureFrom(s.winStart),
+		resolveAt: s.now + wait,
+	})
+}
+
+// resolvePending labels any queued training windows whose observation
+// horizon has elapsed, discarding ambiguous ones.
+func (s *System) resolvePending() {
+	if len(s.pending) == 0 || s.pending[0].resolveAt > s.now {
+		return
+	}
+	tracker := s.trackerView()
+	kept := s.pending[:0]
+	for _, p := range s.pending {
+		if p.resolveAt > s.now {
+			kept = append(kept, p)
+			continue
+		}
+		if label, ok := re.AutoLabel(p.window, s.cfg.DT, tracker, s.cfg.Label); ok {
+			s.samples = append(s.samples, re.Sample{
+				Features:  p.features,
+				Label:     label,
+				StartTick: p.window.StartTick,
+			})
+		}
+	}
+	s.pending = kept
+}
+
+// extractSignatureFrom extracts the t∆ signature starting at the given
+// absolute tick (which must be within the ring).
+func (s *System) extractSignatureFrom(startTick int) []float64 {
+	saveStart := s.winStart
+	s.winStart = startTick
+	f := s.extractSignature()
+	s.winStart = saveStart
+	return f
+}
+
+// trackerView snapshots the per-workstation input logs into a fresh
+// kma.Tracker for the auto-labeller.
+func (s *System) trackerView() *kma.Tracker {
+	logs := make([][]float64, len(s.ws))
+	for i := range s.ws {
+		logs[i] = s.ws[i].inputLog
+	}
+	return kma.NewTracker(logs)
+}
+
+// FinishTraining trains the classifier on the collected samples and
+// switches to the online phase. It returns ErrTooFewSamples when fewer
+// than MinTrainingSamples were collected, leaving the system in training.
+func (s *System) FinishTraining() error {
+	if s.phase != PhaseTraining {
+		return ErrNotTraining
+	}
+	// Resolve any matured windows still queued; immature ones (too close
+	// to the end of the training data) are dropped rather than risk a
+	// wrong label.
+	s.resolvePending()
+	s.pending = nil
+	if len(s.samples) < s.cfg.MinTrainingSamples {
+		return fmt.Errorf("%w: have %d, want at least %d",
+			ErrTooFewSamples, len(s.samples), s.cfg.MinTrainingSamples)
+	}
+	clf, err := re.Train(s.samples, s.cfg.SVM)
+	if err != nil {
+		return fmt.Errorf("core: training classifier: %w", err)
+	}
+	s.clf = clf
+	s.phase = PhaseOnline
+	return nil
+}
+
+// AdoptClassifier installs an externally trained classifier (e.g. from
+// supervisor-labelled data) and switches to the online phase.
+func (s *System) AdoptClassifier(clf *re.Classifier) {
+	s.clf = clf
+	s.phase = PhaseOnline
+}
+
+// Samples returns the collected training samples (for inspection or
+// external training).
+func (s *System) Samples() []re.Sample {
+	out := make([]re.Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}

@@ -1,0 +1,245 @@
+package eval
+
+// This file regenerates the paper's Appendix A feature analysis: Fig 11
+// (the correlation matrix between per-stream variances over the labelled
+// samples), Fig 12 (the per-stream relative-mutual-information importance
+// drawn over the office floor plan) and Table V (the top features by RMI).
+
+import (
+	"fmt"
+	"sort"
+
+	"fadewich/internal/geom"
+	"fadewich/internal/re"
+	"fadewich/internal/rf"
+	"fadewich/internal/stats"
+)
+
+// segment returns the floor-plan segment of a link.
+func segment(sensors []geom.Point, l rf.Link) geom.Segment {
+	return geom.Segment{A: sensors[l.TX], B: sensors[l.RX]}
+}
+
+// point is shorthand for a geom.Point literal.
+func point(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
+
+// Fig11Data is the variance-correlation analysis.
+type Fig11Data struct {
+	// StreamNames labels rows/columns in the paper's "di-dj" notation.
+	StreamNames []string
+	// Corr is the Pearson correlation matrix between stream variances.
+	Corr [][]float64
+	// SharedEndpointMean and DisjointMean summarise the paper's visual
+	// observation that streams between nearby devices react similarly:
+	// mean |correlation| for stream pairs sharing a sensor vs none.
+	SharedEndpointMean, DisjointMean float64
+}
+
+// featureMatrix computes the labelled sample set at the full deployment
+// and returns the per-sample feature matrix plus labels.
+func (h *Harness) featureMatrix() ([]re.Sample, []rf.Link, error) {
+	n := h.maxSensors()
+	results, err := h.RunMD(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	matches, _ := h.Match(results, h.opt.Feat.TDeltaSec)
+	samples := h.Samples(n, matches, h.opt.Feat.TDeltaSec)
+	if len(samples) == 0 {
+		return nil, nil, fmt.Errorf("eval: no labelled samples for feature analysis")
+	}
+	links := make([]rf.Link, 0, len(h.streamSubsets[n]))
+	for _, k := range h.streamSubsets[n] {
+		links = append(links, h.ds.Links[k])
+	}
+	return samples, links, nil
+}
+
+// Fig11 computes the correlation matrix between the variance features of
+// all streams across the labelled samples.
+func (h *Harness) Fig11() (*Fig11Data, error) {
+	samples, links, err := h.featureMatrix()
+	if err != nil {
+		return nil, err
+	}
+	numStreams := len(links)
+	cols := make([][]float64, numStreams)
+	for k := 0; k < numStreams; k++ {
+		col := make([]float64, len(samples))
+		for i, s := range samples {
+			col[i] = s.Features[k*re.FeaturesPerStream] // variance feature
+		}
+		cols[k] = col
+	}
+	data := &Fig11Data{Corr: stats.CorrelationMatrix(cols)}
+	for _, l := range links {
+		data.StreamNames = append(data.StreamNames, l.String())
+	}
+	var sharedSum, disjointSum float64
+	var sharedN, disjointN int
+	for i := 0; i < numStreams; i++ {
+		for j := i + 1; j < numStreams; j++ {
+			c := data.Corr[i][j]
+			if c < 0 {
+				c = -c
+			}
+			if sharesEndpoint(links[i], links[j]) {
+				sharedSum += c
+				sharedN++
+			} else {
+				disjointSum += c
+				disjointN++
+			}
+		}
+	}
+	if sharedN > 0 {
+		data.SharedEndpointMean = sharedSum / float64(sharedN)
+	}
+	if disjointN > 0 {
+		data.DisjointMean = disjointSum / float64(disjointN)
+	}
+	return data, nil
+}
+
+func sharesEndpoint(a, b rf.Link) bool {
+	return a.TX == b.TX || a.TX == b.RX || a.RX == b.TX || a.RX == b.RX
+}
+
+// FeatureRMI is one feature's relative mutual information with the class.
+type FeatureRMI struct {
+	// Name is in the paper's "di-dj-kind" format, e.g. "d9-d2-ent".
+	Name string
+	// Stream indexes the stream within the full deployment subset.
+	Stream int
+	// Kind is var/ent/ac.
+	Kind string
+	RMI  float64
+}
+
+// RMIBins is the quantisation used by the paper ("256 linearly distributed
+// bins").
+const RMIBins = 256
+
+// FeatureRMIs computes the RMI of every feature with the class label over
+// the labelled samples (Table V's source).
+func (h *Harness) FeatureRMIs() ([]FeatureRMI, error) {
+	samples, links, err := h.featureMatrix()
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		labels[i] = s.Label
+	}
+	dims := len(samples[0].Features)
+	out := make([]FeatureRMI, 0, dims)
+	col := make([]float64, len(samples))
+	for f := 0; f < dims; f++ {
+		for i, s := range samples {
+			col[i] = s.Features[f]
+		}
+		bins := stats.Quantize(col, RMIBins)
+		rmi := stats.RelativeMutualInformation(bins, labels)
+		stream := f / re.FeaturesPerStream
+		kind := re.FeatureName(f % re.FeaturesPerStream)
+		out = append(out, FeatureRMI{
+			Name:   fmt.Sprintf("%s-%s", links[stream], kind),
+			Stream: stream,
+			Kind:   kind,
+			RMI:    rmi,
+		})
+	}
+	return out, nil
+}
+
+// Table5 returns the top-k features by RMI (the paper lists 15).
+func (h *Harness) Table5(k int) ([]FeatureRMI, error) {
+	if k == 0 {
+		k = 15
+	}
+	rmis, err := h.FeatureRMIs()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(rmis, func(i, j int) bool { return rmis[i].RMI > rmis[j].RMI })
+	if k > len(rmis) {
+		k = len(rmis)
+	}
+	return rmis[:k], nil
+}
+
+// Fig12Data is the stream-importance heat-map over the floor plan.
+type Fig12Data struct {
+	// StreamRMI is each stream's importance: the maximum RMI among its
+	// features.
+	StreamRMI []float64
+	// Links mirrors StreamRMI's indexing.
+	Links []rf.Link
+	// Grid rasterises the office: Grid[row][col] accumulates the RMI of
+	// every stream whose segment passes near the cell, normalised to
+	// [0, 1]. Row 0 is the top wall (max Y).
+	Grid [][]float64
+	// CellM is the cell size in metres.
+	CellM float64
+}
+
+// Fig12 computes the RMI heat-map with the given raster cell size (0
+// selects 0.25 m).
+func (h *Harness) Fig12(cellM float64) (*Fig12Data, error) {
+	if cellM == 0 {
+		cellM = 0.25
+	}
+	rmis, err := h.FeatureRMIs()
+	if err != nil {
+		return nil, err
+	}
+	samples, links, err := h.featureMatrix()
+	if err != nil {
+		return nil, err
+	}
+	_ = samples
+	numStreams := len(links)
+	streamRMI := make([]float64, numStreams)
+	for _, f := range rmis {
+		if f.RMI > streamRMI[f.Stream] {
+			streamRMI[f.Stream] = f.RMI
+		}
+	}
+
+	bounds := h.ds.Layout.Bounds
+	cols := int(bounds.Width()/cellM) + 1
+	rows := int(bounds.Height()/cellM) + 1
+	grid := make([][]float64, rows)
+	for r := range grid {
+		grid[r] = make([]float64, cols)
+	}
+	sensors := h.ds.Layout.Sensors
+	maxVal := 0.0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Cell centre in floor coordinates; row 0 at the top wall.
+			x := bounds.Min.X + (float64(c)+0.5)*cellM
+			y := bounds.Max.Y - (float64(r)+0.5)*cellM
+			var acc float64
+			for k, l := range links {
+				seg := segment(sensors, l)
+				d, _ := seg.DistToPoint(point(x, y))
+				if d < 0.5 {
+					acc += streamRMI[k] * (1 - d/0.5)
+				}
+			}
+			grid[r][c] = acc
+			if acc > maxVal {
+				maxVal = acc
+			}
+		}
+	}
+	if maxVal > 0 {
+		for r := range grid {
+			for c := range grid[r] {
+				grid[r][c] /= maxVal
+			}
+		}
+	}
+	return &Fig12Data{StreamRMI: streamRMI, Links: links, Grid: grid, CellM: cellM}, nil
+}

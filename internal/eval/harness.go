@@ -1,0 +1,350 @@
+// Package eval is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section VII and Appendix) from a
+// simulated dataset. One Harness wraps a dataset plus the canonical input
+// draw, caches the expensive per-sensor-count MD runs, and exposes one
+// method per experiment. All methods are deterministic in the harness
+// seed.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"fadewich/internal/agent"
+	"fadewich/internal/control"
+	"fadewich/internal/kma"
+	"fadewich/internal/md"
+	"fadewich/internal/re"
+	"fadewich/internal/rng"
+	"fadewich/internal/sim"
+	"fadewich/internal/stats"
+	"fadewich/internal/svm"
+)
+
+// Options configures the harness. Zero fields take defaults.
+type Options struct {
+	// Seed drives input draws, cross-validation splits and SVM training.
+	Seed uint64
+	// DeltaSec is δ, the half-width of a ground-truth event's true window
+	// U = [t−δ, t+δ] for MD matching (Section V-A).
+	DeltaSec float64
+	// MD configures the movement detector.
+	MD md.Config
+	// Feat configures RE feature extraction. Feat.TDeltaSec is the
+	// default t∆ for experiments that fix it.
+	Feat re.FeatureConfig
+	// SVM configures the classifier.
+	SVM svm.Config
+	// Params are the controller timing constants.
+	Params control.Params
+	// Input is the keyboard/mouse simulation model.
+	Input kma.InputModel
+	// SensorCounts lists the deployment sizes swept by the experiments.
+	SensorCounts []int
+}
+
+// DefaultOptions returns the paper's evaluation configuration.
+func DefaultOptions() Options {
+	return Options{
+		Seed:         1,
+		DeltaSec:     3.0,
+		MD:           md.DefaultConfig(),
+		Feat:         re.DefaultFeatureConfig(),
+		SVM:          svm.Config{C: 2, Kernel: svm.RBF{}, MaxPasses: 3, MaxIter: 120},
+		Params:       control.DefaultParams(),
+		Input:        kma.DefaultInputModel(),
+		SensorCounts: []int{3, 4, 5, 6, 7, 8, 9},
+	}
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.DeltaSec == 0 {
+		o.DeltaSec = d.DeltaSec
+	}
+	if o.SVM.Kernel == nil {
+		o.SVM = d.SVM
+	}
+	o.Params = o.Params.WithDefaults()
+	if o.Feat.TDeltaSec == 0 {
+		o.Feat = d.Feat
+	}
+	if len(o.SensorCounts) == 0 {
+		o.SensorCounts = d.SensorCounts
+	}
+	return o
+}
+
+// TrueEvent is a ground-truth labelled event in harness form.
+type TrueEvent struct {
+	Day   int
+	Time  float64 // departure decision / door-crossing time
+	Label int     // 0 = entry (w0), i ≥ 1 = departure from workstation i−1
+	// ExitTime is when the user crossed the door outward (departures
+	// only); the adversary's clock starts here.
+	ExitTime float64
+}
+
+// Harness wraps a dataset and caches derived artefacts.
+type Harness struct {
+	ds   *sim.Dataset
+	opt  Options
+	root *rng.Source
+
+	// events[day] lists the labelled events of that day, time-sorted.
+	events [][]TrueEvent
+	// inputs is the canonical input draw: [day][workstation][times].
+	inputs [][][]float64
+	// subsets[n] is the deterministic sensor subset of size n.
+	subsets map[int][]int
+	// streamSubsets[n] lists stream indices for subset n.
+	streamSubsets map[int][]int
+	// mdRuns[n][day] caches detector output.
+	mdRuns map[int][]*md.Result
+}
+
+// NewHarness builds a harness over the dataset. It returns an error when
+// a requested sensor subset cannot be formed.
+func NewHarness(ds *sim.Dataset, opt Options) (*Harness, error) {
+	opt = opt.withDefaults()
+	h := &Harness{
+		ds:            ds,
+		opt:           opt,
+		root:          rng.New(opt.Seed),
+		subsets:       make(map[int][]int),
+		streamSubsets: make(map[int][]int),
+		mdRuns:        make(map[int][]*md.Result),
+	}
+	for _, n := range opt.SensorCounts {
+		sub, err := ds.Layout.SensorSubset(n)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		h.subsets[n] = sub
+		h.streamSubsets[n] = ds.StreamSubset(sub)
+	}
+	h.extractEvents()
+	h.drawInputs(h.root.Split())
+	return h, nil
+}
+
+// Options returns the effective options.
+func (h *Harness) Options() Options { return h.opt }
+
+// Dataset returns the wrapped dataset.
+func (h *Harness) Dataset() *sim.Dataset { return h.ds }
+
+// extractEvents converts the simulator event log into labelled true
+// events, pairing each departure with its office-exit time.
+func (h *Harness) extractEvents() {
+	h.events = make([][]TrueEvent, len(h.ds.Days))
+	for day, trace := range h.ds.Days {
+		var evs []TrueEvent
+		// Pending departure per user awaiting its exit-room timestamp.
+		pending := make(map[int]int) // user -> index into evs
+		for _, e := range trace.Events {
+			switch e.Type {
+			case agent.EventDeparture:
+				evs = append(evs, TrueEvent{
+					Day: day, Time: e.Time, Label: e.Workstation + 1,
+					ExitTime: e.Time + 6, // provisional; fixed below
+				})
+				pending[e.User] = len(evs) - 1
+			case agent.EventExitRoom:
+				if idx, ok := pending[e.User]; ok {
+					evs[idx].ExitTime = e.Time
+					delete(pending, e.User)
+				}
+			case agent.EventEntry:
+				evs = append(evs, TrueEvent{Day: day, Time: e.Time, Label: re.LabelEntry})
+			}
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+		h.events[day] = evs
+	}
+}
+
+// drawInputs generates the canonical input draw used by every experiment
+// except the usability redraws.
+func (h *Harness) drawInputs(src *rng.Source) {
+	h.inputs = make([][][]float64, len(h.ds.Days))
+	for day, trace := range h.ds.Days {
+		h.inputs[day] = kma.GenerateInputs(trace.InputSpans, trace.Events, h.opt.Input, src.Split())
+	}
+}
+
+// RedrawInputs returns an independent input draw (for the usability
+// simulation's 100 repetitions), deterministic in the extra seed.
+func (h *Harness) RedrawInputs(seed uint64) [][][]float64 {
+	src := rng.New(h.opt.Seed ^ seed*0x9e3779b97f4a7c15)
+	out := make([][][]float64, len(h.ds.Days))
+	for day, trace := range h.ds.Days {
+		out[day] = kma.GenerateInputs(trace.InputSpans, trace.Events, h.opt.Input, src.Split())
+	}
+	return out
+}
+
+// Events returns the labelled events of a day.
+func (h *Harness) Events(day int) []TrueEvent { return h.events[day] }
+
+// AllEvents returns every labelled event across days.
+func (h *Harness) AllEvents() []TrueEvent {
+	var out []TrueEvent
+	for _, evs := range h.events {
+		out = append(out, evs...)
+	}
+	return out
+}
+
+// Inputs returns the canonical input draw.
+func (h *Harness) Inputs() [][][]float64 { return h.inputs }
+
+// SensorSubset returns the cached subset for n sensors.
+func (h *Harness) SensorSubset(n int) []int { return h.subsets[n] }
+
+// RunMD returns the (cached) detector output for each day under the
+// n-sensor deployment.
+func (h *Harness) RunMD(n int) ([]*md.Result, error) {
+	if rs, ok := h.mdRuns[n]; ok {
+		return rs, nil
+	}
+	subset, ok := h.streamSubsets[n]
+	if !ok {
+		sub, err := h.ds.Layout.SensorSubset(n)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		h.subsets[n] = sub
+		subset = h.ds.StreamSubset(sub)
+		h.streamSubsets[n] = subset
+	}
+	rs := make([]*md.Result, len(h.ds.Days))
+	for day, trace := range h.ds.Days {
+		r, err := md.Run(trace.Streams, subset, trace.DT, h.opt.MD)
+		if err != nil {
+			return nil, fmt.Errorf("eval: MD day %d: %w", day, err)
+		}
+		rs[day] = r
+	}
+	h.mdRuns[n] = rs
+	return rs, nil
+}
+
+// DayMatch is the MD-vs-ground-truth matching for one day at a given t∆.
+type DayMatch struct {
+	Day int
+	// Windows are the variation windows of duration ≥ t∆.
+	Windows []md.Window
+	// EventIdx[i] is the index (into the harness events of this day) of
+	// the event matched to window i, or −1 for a false positive.
+	EventIdx []int
+	// WindowOf[e] is the window index matched to event e, or −1 for a
+	// false negative.
+	WindowOf []int
+}
+
+// Match filters each day's windows at minimum duration tDelta and matches
+// them against the true windows U = [t−δ, t+δ]. The returned Detection
+// counts events matched (TP), windows unmatched by any true window (FP)
+// and events missed (FN), following Section V-A. Extra windows overlapping
+// an already-matched event are benign duplicates and count as neither.
+func (h *Harness) Match(results []*md.Result, tDelta float64) ([]*DayMatch, stats.Detection) {
+	var det stats.Detection
+	matches := make([]*DayMatch, len(results))
+	for day, r := range results {
+		evs := h.events[day]
+		wins := md.FilterWindows(r.Windows, r.DT, tDelta)
+		m := &DayMatch{
+			Day:      day,
+			Windows:  wins,
+			EventIdx: make([]int, len(wins)),
+			WindowOf: make([]int, len(evs)),
+		}
+		for i := range m.WindowOf {
+			m.WindowOf[i] = -1
+		}
+		for wi, w := range wins {
+			m.EventIdx[wi] = -1
+			t1 := float64(w.StartTick) * r.DT
+			t2 := float64(w.EndTick) * r.DT
+			bestEvent, bestDist := -1, 0.0
+			overlapsAny := false
+			for ei, ev := range evs {
+				lo, hi := ev.Time-h.opt.DeltaSec, ev.Time+h.opt.DeltaSec
+				if t1 <= hi && lo <= t2 {
+					overlapsAny = true
+					if m.WindowOf[ei] != -1 {
+						continue // event already matched: duplicate window
+					}
+					d := abs(ev.Time - t1)
+					if bestEvent == -1 || d < bestDist {
+						bestEvent, bestDist = ei, d
+					}
+				}
+			}
+			switch {
+			case bestEvent >= 0:
+				m.EventIdx[wi] = bestEvent
+				m.WindowOf[bestEvent] = wi
+				det.TP++
+			case !overlapsAny:
+				det.FP++
+			}
+		}
+		for _, wi := range m.WindowOf {
+			if wi == -1 {
+				det.FN++
+			}
+		}
+		matches[day] = m
+	}
+	return matches, det
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Samples extracts ground-truth-labelled RE samples from the TP windows of
+// the given matching under the n-sensor deployment, using feature window
+// t∆ = tDelta.
+func (h *Harness) Samples(n int, matches []*DayMatch, tDelta float64) []re.Sample {
+	samples, _ := h.SamplesWithEvents(n, matches, tDelta)
+	return samples
+}
+
+// SamplesWithEvents is Samples plus a parallel slice giving, for each
+// sample, the ground-truth event its window matched — needed by the
+// security analysis to anchor deauthentication timings.
+func (h *Harness) SamplesWithEvents(n int, matches []*DayMatch, tDelta float64) ([]re.Sample, []TrueEvent) {
+	subset := h.streamSubsets[n]
+	feat := h.opt.Feat
+	feat.TDeltaSec = tDelta
+	var out []re.Sample
+	var evsOut []TrueEvent
+	for _, m := range matches {
+		trace := h.ds.Days[m.Day]
+		evs := h.events[m.Day]
+		for wi, w := range m.Windows {
+			ei := m.EventIdx[wi]
+			if ei < 0 {
+				continue
+			}
+			out = append(out, re.Sample{
+				Features:  re.Extract(trace.Streams, subset, w.StartTick, trace.DT, feat),
+				Label:     evs[ei].Label,
+				Day:       m.Day,
+				StartTick: w.StartTick,
+			})
+			evsOut = append(evsOut, evs[ei])
+		}
+	}
+	return out, evsOut
+}

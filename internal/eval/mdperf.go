@@ -1,0 +1,201 @@
+package eval
+
+// This file regenerates the movement-detection experiments: Fig 2 (the
+// distribution of the std-dev sum with the 99th-percentile threshold),
+// Table II (collected events), Fig 7 (F-measure vs t∆ per sensor count)
+// and Table III (TP/FP/FN at t∆ = 4.5 s).
+
+import (
+	"fmt"
+
+	"fadewich/internal/agent"
+	"fadewich/internal/stats"
+)
+
+// Fig2Data is the material of the paper's Fig 2: the observed s_t values
+// split into quiet and movement periods, a Gaussian-KDE density curve for
+// the quiet ("normal") distribution, and its 99th percentile.
+type Fig2Data struct {
+	// Normal and Walking are the raw s_t observations in each condition.
+	Normal, Walking []float64
+	// CurveX and CurveY sample the KDE density of the normal profile.
+	CurveX, CurveY []float64
+	// Threshold is the 99th percentile of the normal KDE.
+	Threshold float64
+}
+
+// Fig2 computes the std-dev-sum distributions over the first day using the
+// full sensor deployment. Quiet ticks are those at least marginSec away
+// from any scheduled movement; walking ticks are those inside departure or
+// entry walks.
+func (h *Harness) Fig2() (*Fig2Data, error) {
+	results, err := h.RunMD(h.maxSensors())
+	if err != nil {
+		return nil, err
+	}
+	r := results[0]
+	trace := h.ds.Days[0]
+
+	const margin = 4.0
+	movement := make([]agent.Interval, 0, len(h.events[0]))
+	for _, ev := range h.events[0] {
+		movement = append(movement, agent.Interval{Start: ev.Time - 1, End: ev.Time + 10})
+	}
+
+	warm := int(h.opt.MD.ProfileInitSec/trace.DT) + 1
+	if warm < 1 {
+		warm = int(30/trace.DT) + 1
+	}
+	data := &Fig2Data{}
+	for i := warm; i < len(r.SumStd); i++ {
+		t := float64(i) * trace.DT
+		inMove, nearMove := false, false
+		for _, iv := range movement {
+			if iv.Contains(t) {
+				inMove = true
+				break
+			}
+			if t >= iv.Start-margin && t <= iv.End+margin {
+				nearMove = true
+			}
+		}
+		switch {
+		case inMove:
+			data.Walking = append(data.Walking, r.SumStd[i])
+		case !nearMove:
+			data.Normal = append(data.Normal, r.SumStd[i])
+		}
+	}
+
+	kde, err := stats.NewKDE(subsample(data.Normal, 2000), 0)
+	if err != nil {
+		return nil, fmt.Errorf("eval: fig2 KDE: %w", err)
+	}
+	data.Threshold = kde.Percentile(99)
+
+	lo := stats.Min(data.Normal)
+	hi := stats.Max(data.Walking)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	const points = 120
+	for i := 0; i <= points; i++ {
+		x := lo + (hi-lo)*float64(i)/points
+		data.CurveX = append(data.CurveX, x)
+		data.CurveY = append(data.CurveY, kde.Density(x))
+	}
+	return data, nil
+}
+
+// subsample returns at most n evenly spaced elements of xs, keeping KDE
+// construction over multi-hour traces cheap without biasing the
+// distribution.
+func subsample(xs []float64, n int) []float64 {
+	if len(xs) <= n {
+		return xs
+	}
+	out := make([]float64, 0, n)
+	step := float64(len(xs)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, xs[int(float64(i)*step)])
+	}
+	return out
+}
+
+// maxSensors returns the largest configured sensor count.
+func (h *Harness) maxSensors() int {
+	max := h.opt.SensorCounts[0]
+	for _, n := range h.opt.SensorCounts[1:] {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Table2Row is one label's event count.
+type Table2Row struct {
+	Label string
+	Count int
+}
+
+// Table2 returns the collected-event counts in the paper's Table II
+// format.
+func (h *Harness) Table2() []Table2Row {
+	counts := h.ds.EventCounts()
+	rows := make([]Table2Row, len(counts))
+	for i, c := range counts {
+		rows[i] = Table2Row{Label: fmt.Sprintf("w%d", i), Count: c}
+	}
+	return rows
+}
+
+// Fig7Point is one (t∆, sensor count) cell of Fig 7.
+type Fig7Point struct {
+	TDelta    float64
+	Sensors   int
+	FMeasure  float64
+	Detection stats.Detection
+}
+
+// Fig7 sweeps the minimum window duration t∆ for each sensor count and
+// returns the F-measure surface. Detector runs are cached per sensor
+// count; the sweep itself only refilters and rematches windows.
+func (h *Harness) Fig7(tDeltas []float64, sensorCounts []int) ([]Fig7Point, error) {
+	if len(tDeltas) == 0 {
+		tDeltas = []float64{2, 2.5, 3, 3.5, 4, 4.5, 5, 5.5, 6, 6.5, 7, 7.5, 8}
+	}
+	if len(sensorCounts) == 0 {
+		sensorCounts = []int{3, 5, 7, 9}
+	}
+	var out []Fig7Point
+	for _, n := range sensorCounts {
+		results, err := h.RunMD(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, td := range tDeltas {
+			_, det := h.Match(results, td)
+			out = append(out, Fig7Point{TDelta: td, Sensors: n, FMeasure: det.FMeasure(), Detection: det})
+		}
+	}
+	return out, nil
+}
+
+// Table3Row is one sensor count's MD performance at the operating t∆.
+type Table3Row struct {
+	Sensors   int
+	Detection stats.Detection
+}
+
+// Fractions returns TP, FP and FN as fractions of all outcomes, the
+// percentage format of the paper's Table III.
+func (r Table3Row) Fractions() (tp, fp, fn float64) {
+	total := r.Detection.TP + r.Detection.FP + r.Detection.FN
+	if total == 0 {
+		return 0, 0, 0
+	}
+	n := float64(total)
+	return float64(r.Detection.TP) / n, float64(r.Detection.FP) / n, float64(r.Detection.FN) / n
+}
+
+// Table3 computes MD performance for each sensor count at t∆ (0 selects
+// the configured default, 4.5 s).
+func (h *Harness) Table3(tDelta float64) ([]Table3Row, error) {
+	if tDelta == 0 {
+		tDelta = h.opt.Feat.TDeltaSec
+		if tDelta == 0 {
+			tDelta = 4.5
+		}
+	}
+	rows := make([]Table3Row, 0, len(h.opt.SensorCounts))
+	for _, n := range h.opt.SensorCounts {
+		results, err := h.RunMD(n)
+		if err != nil {
+			return nil, err
+		}
+		_, det := h.Match(results, tDelta)
+		rows = append(rows, Table3Row{Sensors: n, Detection: det})
+	}
+	return rows, nil
+}

@@ -1,0 +1,225 @@
+package eval
+
+// This file regenerates Fig 8: the RE classifier's learning curve —
+// classification accuracy versus the number of training samples, per
+// sensor count, averaged over a 5-fold cross-validation repeated 10 times
+// with different splits, with 95% confidence intervals.
+
+import (
+	"fmt"
+
+	"fadewich/internal/re"
+	"fadewich/internal/stats"
+	"fadewich/internal/svm"
+)
+
+// Fig8Point is one (sensor count, training size) cell.
+type Fig8Point struct {
+	Sensors   int
+	TrainSize int
+	Accuracy  float64 // mean over folds and repeats
+	CI95      float64 // half-width over the repeats
+}
+
+// Fig8Config tunes the learning-curve experiment.
+type Fig8Config struct {
+	// SensorCounts defaults to {3, 5, 7, 9}.
+	SensorCounts []int
+	// TrainSizes defaults to 10, 20, ..., capped by the fold size.
+	TrainSizes []int
+	// Folds is the cross-validation fold count (default 5).
+	Folds int
+	// Repeats is how many independent splits are averaged (default 10).
+	Repeats int
+	// TDelta is the feature window (default: harness option).
+	TDelta float64
+}
+
+func (c Fig8Config) withDefaults(h *Harness) Fig8Config {
+	if len(c.SensorCounts) == 0 {
+		c.SensorCounts = []int{3, 5, 7, 9}
+	}
+	if c.Folds == 0 {
+		c.Folds = 5
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 10
+	}
+	if c.TDelta == 0 {
+		c.TDelta = h.opt.Feat.TDeltaSec
+	}
+	return c
+}
+
+// Fig8 computes the learning curves. Sensor counts whose MD stage finds
+// fewer TP windows produce shorter curves, exactly as in the paper ("some
+// of the lines end early on the x-axis").
+func (h *Harness) Fig8(cfg Fig8Config) ([]Fig8Point, error) {
+	cfg = cfg.withDefaults(h)
+	var out []Fig8Point
+	for _, n := range cfg.SensorCounts {
+		results, err := h.RunMD(n)
+		if err != nil {
+			return nil, err
+		}
+		matches, _ := h.Match(results, cfg.TDelta)
+		samples := h.Samples(n, matches, cfg.TDelta)
+		if len(samples) < 2*cfg.Folds {
+			continue // not enough TP windows to cross-validate
+		}
+		sizes := cfg.TrainSizes
+		maxTrain := len(samples) - len(samples)/cfg.Folds
+		if len(sizes) == 0 {
+			for s := 10; s <= maxTrain; s += 10 {
+				sizes = append(sizes, s)
+			}
+			if len(sizes) == 0 || sizes[len(sizes)-1] < maxTrain {
+				sizes = append(sizes, maxTrain)
+			}
+		}
+
+		labels := make([]int, len(samples))
+		for i, s := range samples {
+			labels[i] = s.Label
+		}
+
+		// acc[size index] collects one mean accuracy per repeat.
+		acc := make([][]float64, len(sizes))
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			folds := svm.StratifiedKFold(labels, cfg.Folds, h.opt.Seed+uint64(rep)*7919+uint64(n))
+			for si, size := range sizes {
+				var foldAcc []float64
+				for f := range folds {
+					train, test := splitFold(samples, folds, f)
+					if size > len(train) {
+						continue
+					}
+					sub := train[:size]
+					if !hasTwoClasses(sub) {
+						continue
+					}
+					clf, err := re.Train(sub, h.svmConfig(uint64(rep*31+f)))
+					if err != nil {
+						continue
+					}
+					correct := 0
+					for _, s := range test {
+						if clf.Predict(s.Features) == s.Label {
+							correct++
+						}
+					}
+					if len(test) > 0 {
+						foldAcc = append(foldAcc, float64(correct)/float64(len(test)))
+					}
+				}
+				if len(foldAcc) > 0 {
+					acc[si] = append(acc[si], stats.Mean(foldAcc))
+				}
+			}
+		}
+		for si, size := range sizes {
+			if len(acc[si]) == 0 {
+				continue
+			}
+			mean, ci := stats.MeanAndCI95(acc[si])
+			out = append(out, Fig8Point{Sensors: n, TrainSize: size, Accuracy: mean, CI95: ci})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("eval: fig8 produced no points (too few TP samples)")
+	}
+	return out, nil
+}
+
+// svmConfig returns the harness SVM configuration with a derived seed.
+func (h *Harness) svmConfig(salt uint64) svm.Config {
+	cfg := h.opt.SVM
+	cfg.Seed = h.opt.Seed*0x9e3779b97f4a7c15 + salt + 1
+	return cfg
+}
+
+// splitFold partitions samples into train (all folds but f) and test
+// (fold f). The training order follows the shuffled fold layout, so
+// train[:size] is a random subsample.
+func splitFold(samples []re.Sample, folds [][]int, f int) (train, test []re.Sample) {
+	for fi, idxs := range folds {
+		for _, i := range idxs {
+			if fi == f {
+				test = append(test, samples[i])
+			} else {
+				train = append(train, samples[i])
+			}
+		}
+	}
+	return train, test
+}
+
+// hasTwoClasses reports whether the sample set contains at least two
+// distinct labels (an SVM cannot train otherwise).
+func hasTwoClasses(samples []re.Sample) bool {
+	if len(samples) == 0 {
+		return false
+	}
+	first := samples[0].Label
+	for _, s := range samples[1:] {
+		if s.Label != first {
+			return true
+		}
+	}
+	return false
+}
+
+// CrossValPredictions computes, for every TP sample at sensor count n, the
+// label predicted by a classifier trained on the other folds — the
+// prediction material for the security analysis (Section VII-C's
+// procedure). It returns the samples and the per-sample predictions.
+func (h *Harness) CrossValPredictions(n int, tDelta float64, seed uint64) ([]re.Sample, []int, error) {
+	results, err := h.RunMD(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	matches, _ := h.Match(results, tDelta)
+	samples := h.Samples(n, matches, tDelta)
+	return samples, h.cvPredict(samples, seed), nil
+}
+
+// cvPredict returns a 5-fold cross-validated prediction per sample. When a
+// fold cannot train (too few samples or a single class) its test samples
+// default to their ground-truth labels.
+func (h *Harness) cvPredict(samples []re.Sample, seed uint64) []int {
+	const folds = 5
+	preds := make([]int, len(samples))
+	for i := range preds {
+		preds[i] = samples[i].Label
+	}
+	if len(samples) < folds {
+		return preds
+	}
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		labels[i] = s.Label
+	}
+	foldSets := svm.StratifiedKFold(labels, folds, h.opt.Seed^seed)
+	for f, testIdx := range foldSets {
+		var train []re.Sample
+		for fi, idxs := range foldSets {
+			if fi == f {
+				continue
+			}
+			for _, i := range idxs {
+				train = append(train, samples[i])
+			}
+		}
+		if !hasTwoClasses(train) {
+			continue
+		}
+		clf, err := re.Train(train, h.svmConfig(seed+uint64(f)))
+		if err != nil {
+			continue
+		}
+		for _, i := range testIdx {
+			preds[i] = clf.Predict(samples[i].Features)
+		}
+	}
+	return preds
+}

@@ -1,0 +1,299 @@
+package eval
+
+// This file regenerates the security experiments: Fig 9 (the distribution
+// of deauthentication times after a departure, following the decision tree
+// of Fig 5), Fig 10 (attack opportunities for the Insider and Co-worker
+// adversaries versus the time-out baseline), and Fig 13 (the vulnerable
+// time / user cost trade-off).
+
+import (
+	"fadewich/internal/baseline"
+)
+
+// OutcomeCase identifies a leaf of the paper's decision tree (Fig 5).
+type OutcomeCase int
+
+// Decision-tree leaves: case A is a true positive correctly classified
+// (deauthentication at t1+t∆), case B a true positive misclassified
+// (deauthentication via the alert path at t+tID+tss), and case C a false
+// negative (deauthentication by the baseline time-out at t+T).
+const (
+	CaseA OutcomeCase = iota + 1
+	CaseB
+	CaseC
+)
+
+// String implements fmt.Stringer.
+func (c OutcomeCase) String() string {
+	switch c {
+	case CaseA:
+		return "A"
+	case CaseB:
+		return "B"
+	case CaseC:
+		return "C"
+	default:
+		return "?"
+	}
+}
+
+// DepartureOutcome is one departure's fate.
+type DepartureOutcome struct {
+	Event TrueEvent
+	Case  OutcomeCase
+	// Elapsed is the deauthentication delay measured from the departure
+	// (the paper's worst-case last-input moment).
+	Elapsed float64
+}
+
+// DepartureOutcomes classifies every departure event at sensor count n
+// using the paper's procedure (Section VII-C): run MD over the whole
+// period, 5-fold cross-validate RE over the TP samples, then read the
+// decision-tree timing per event.
+func (h *Harness) DepartureOutcomes(n int, tDelta float64, seed uint64) ([]DepartureOutcome, error) {
+	if tDelta == 0 {
+		tDelta = h.opt.Feat.TDeltaSec
+	}
+	p := h.opt.Params
+	results, err := h.RunMD(n)
+	if err != nil {
+		return nil, err
+	}
+	matches, _ := h.Match(results, tDelta)
+	samples := h.Samples(n, matches, tDelta)
+	preds := h.cvPredict(samples, seed)
+
+	// predByWindow maps (day, startTick) to the CV prediction.
+	type key struct{ day, tick int }
+	predByWindow := make(map[key]int, len(samples))
+	for i, s := range samples {
+		predByWindow[key{s.Day, s.StartTick}] = preds[i]
+	}
+
+	var out []DepartureOutcome
+	for day, m := range matches {
+		trace := h.ds.Days[day]
+		evs := h.events[day]
+		for ei, ev := range evs {
+			if ev.Label < 1 {
+				continue // entries are not deauthentication subjects
+			}
+			wi := m.WindowOf[ei]
+			if wi < 0 {
+				out = append(out, DepartureOutcome{Event: ev, Case: CaseC, Elapsed: p.TimeoutSec})
+				continue
+			}
+			w := m.Windows[wi]
+			pred, ok := predByWindow[key{day, w.StartTick}]
+			if !ok {
+				pred = ev.Label // sample set too small to CV; treat as correct
+			}
+			if pred == ev.Label {
+				t1 := float64(w.StartTick) * trace.DT
+				out = append(out, DepartureOutcome{
+					Event:   ev,
+					Case:    CaseA,
+					Elapsed: t1 + p.TDeltaSec - ev.Time,
+				})
+			} else {
+				out = append(out, DepartureOutcome{
+					Event:   ev,
+					Case:    CaseB,
+					Elapsed: p.TIDSec + p.TSSSec,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig9Curve is one sensor count's cumulative deauthentication curve.
+type Fig9Curve struct {
+	Sensors int
+	X       []float64 // elapsed seconds
+	Y       []float64 // % of departures deauthenticated within X
+	Cases   map[OutcomeCase]int
+}
+
+// Fig9 computes the proportion of deauthenticated workstations versus time
+// elapsed since the user left, for each sensor count.
+func (h *Harness) Fig9(sensorCounts []int, maxSec float64) ([]Fig9Curve, error) {
+	if len(sensorCounts) == 0 {
+		sensorCounts = []int{3, 5, 7, 9}
+	}
+	if maxSec == 0 {
+		maxSec = 10
+	}
+	var out []Fig9Curve
+	for _, n := range sensorCounts {
+		outcomes, err := h.DepartureOutcomes(n, 0, 12345)
+		if err != nil {
+			return nil, err
+		}
+		curve := Fig9Curve{Sensors: n, Cases: map[OutcomeCase]int{}}
+		for _, o := range outcomes {
+			curve.Cases[o.Case]++
+		}
+		total := float64(len(outcomes))
+		for x := 0.0; x <= maxSec+1e-9; x += 0.2 {
+			count := 0
+			for _, o := range outcomes {
+				if o.Elapsed <= x {
+					count++
+				}
+			}
+			curve.X = append(curve.X, x)
+			if total > 0 {
+				curve.Y = append(curve.Y, 100*float64(count)/total)
+			} else {
+				curve.Y = append(curve.Y, 0)
+			}
+		}
+		out = append(out, curve)
+	}
+	return out, nil
+}
+
+// Fig10Row is one policy's attack-opportunity percentages.
+type Fig10Row struct {
+	// Policy is "timeout" or the sensor count.
+	Policy      string
+	Sensors     int // 0 for the baseline
+	Departures  int
+	InsiderPct  float64
+	CoworkerPct float64
+}
+
+// AdversaryDelays configures the two adversaries of Section VII-C: the
+// Insider reaches the workstation InsiderSec after the victim exits the
+// office; the Co-worker immediately.
+type AdversaryDelays struct {
+	InsiderSec  float64
+	CoworkerSec float64
+}
+
+// DefaultAdversaryDelays returns the paper's values (4 s and 0 s).
+func DefaultAdversaryDelays() AdversaryDelays {
+	return AdversaryDelays{InsiderSec: 4, CoworkerSec: 0}
+}
+
+// Fig10 counts, per policy, the percentage of departures an adversary can
+// exploit: the workstation is still authenticated when the adversary
+// reaches it.
+func (h *Harness) Fig10(adv AdversaryDelays) ([]Fig10Row, error) {
+	if adv.InsiderSec == 0 && adv.CoworkerSec == 0 {
+		adv = DefaultAdversaryDelays()
+	}
+	pol := baseline.Policy{TimeoutSec: h.opt.Params.TimeoutSec}
+	departures := 0
+	for _, evs := range h.events {
+		for _, ev := range evs {
+			if ev.Label >= 1 {
+				departures++
+			}
+		}
+	}
+	rows := []Fig10Row{{
+		Policy:      "timeout",
+		Departures:  departures,
+		InsiderPct:  pct(pol.AttackOpportunities(departures, 0, adv.InsiderSec), departures),
+		CoworkerPct: pct(pol.AttackOpportunities(departures, 0, adv.CoworkerSec), departures),
+	}}
+	for _, n := range h.opt.SensorCounts {
+		outcomes, err := h.DepartureOutcomes(n, 0, 12345)
+		if err != nil {
+			return nil, err
+		}
+		insider, coworker := 0, 0
+		for _, o := range outcomes {
+			deauthAt := o.Event.Time + o.Elapsed
+			if deauthAt > o.Event.ExitTime+adv.InsiderSec {
+				insider++
+			}
+			if deauthAt > o.Event.ExitTime+adv.CoworkerSec {
+				coworker++
+			}
+		}
+		rows = append(rows, Fig10Row{
+			Policy:      fmt3(n),
+			Sensors:     n,
+			Departures:  len(outcomes),
+			InsiderPct:  pct(insider, len(outcomes)),
+			CoworkerPct: pct(coworker, len(outcomes)),
+		})
+	}
+	return rows, nil
+}
+
+func pct(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+func fmt3(n int) string {
+	const digits = "0123456789"
+	if n < 10 {
+		return digits[n : n+1]
+	}
+	return digits[n/10:n/10+1] + digits[n%10:n%10+1]
+}
+
+// Fig13Row is one policy's security/usability trade-off point.
+type Fig13Row struct {
+	Policy        string
+	Sensors       int
+	VulnerableMin float64 // total unattended-and-authenticated time
+	TotalCostMin  float64 // total user cost over the whole period
+}
+
+// Fig13 compares the vulnerable time against the total user cost for the
+// time-out baseline and every sensor count. draws is the number of input
+// redraws for the cost estimate (the paper uses 100; smaller values trade
+// precision for speed).
+func (h *Harness) Fig13(draws int) ([]Fig13Row, error) {
+	if draws == 0 {
+		draws = 20
+	}
+	days := float64(len(h.ds.Days))
+	departures := 0
+	for _, evs := range h.events {
+		for _, ev := range evs {
+			if ev.Label >= 1 {
+				departures++
+			}
+		}
+	}
+	pol := baseline.Policy{TimeoutSec: h.opt.Params.TimeoutSec}
+	rows := []Fig13Row{{
+		Policy:        "timeout",
+		VulnerableMin: pol.VulnerableTime(departures) / 60,
+		TotalCostMin:  0,
+	}}
+	usability, err := h.Table4(draws)
+	if err != nil {
+		return nil, err
+	}
+	costPerDay := make(map[int]float64, len(usability))
+	for _, u := range usability {
+		costPerDay[u.Sensors] = u.CostPerDay
+	}
+	for _, n := range h.opt.SensorCounts {
+		outcomes, err := h.DepartureOutcomes(n, 0, 12345)
+		if err != nil {
+			return nil, err
+		}
+		var vulnerable float64
+		for _, o := range outcomes {
+			vulnerable += o.Elapsed
+		}
+		rows = append(rows, Fig13Row{
+			Policy:        fmt3(n),
+			Sensors:       n,
+			VulnerableMin: vulnerable / 60,
+			TotalCostMin:  costPerDay[n] * days / 60,
+		})
+	}
+	return rows, nil
+}

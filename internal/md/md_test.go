@@ -1,0 +1,301 @@
+package md
+
+import (
+	"testing"
+
+	"fadewich/internal/rng"
+)
+
+// synthStreams builds numStreams quiet Gaussian streams of n ticks, then
+// lets mutate inject events.
+func synthStreams(numStreams, n int, seed uint64, mutate func(streams [][]int8)) [][]int8 {
+	src := rng.New(seed)
+	streams := make([][]int8, numStreams)
+	for k := range streams {
+		streams[k] = make([]int8, n)
+		for i := range streams[k] {
+			streams[k][i] = int8(-60 + src.Normal(0, 0.8))
+		}
+	}
+	if mutate != nil {
+		mutate(streams)
+	}
+	return streams
+}
+
+// addBurst raises the variance of all streams in [from, to).
+func addBurst(streams [][]int8, from, to int, sd float64, seed uint64) {
+	src := rng.New(seed)
+	for k := range streams {
+		for i := from; i < to && i < len(streams[k]); i++ {
+			streams[k][i] = int8(-60 + src.Normal(0, sd))
+		}
+	}
+}
+
+func TestDetectorErrors(t *testing.T) {
+	if _, err := NewDetector(Config{}, 0, 0.2); err == nil {
+		t.Fatal("zero streams accepted")
+	}
+	if _, err := NewDetector(Config{}, 4, 0); err == nil {
+		t.Fatal("zero dt accepted")
+	}
+}
+
+func TestQuietStreamsStayNormal(t *testing.T) {
+	streams := synthStreams(6, 3000, 1, nil)
+	res, err := Run(streams, []int{0, 1, 2, 3, 4, 5}, 0.2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := FilterWindows(res.Windows, 0.2, 4.5)
+	if len(wins) != 0 {
+		t.Fatalf("quiet trace produced %d long windows", len(wins))
+	}
+	// By construction ~1% of ticks may flicker anomalous; the fraction
+	// must stay small.
+	anom := 0
+	for _, a := range res.Anomalous {
+		if a {
+			anom++
+		}
+	}
+	if frac := float64(anom) / float64(len(res.Anomalous)); frac > 0.05 {
+		t.Fatalf("quiet anomalous fraction %v", frac)
+	}
+}
+
+func TestBurstCreatesWindow(t *testing.T) {
+	streams := synthStreams(6, 3000, 2, func(s [][]int8) {
+		addBurst(s, 1500, 1540, 5, 99) // 8-second burst at t=300s
+	})
+	res, err := Run(streams, []int{0, 1, 2, 3, 4, 5}, 0.2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := FilterWindows(res.Windows, 0.2, 4.5)
+	if len(wins) != 1 {
+		t.Fatalf("got %d windows, want 1", len(wins))
+	}
+	t1 := float64(wins[0].StartTick) * 0.2
+	if t1 < 298 || t1 > 304 {
+		t.Fatalf("window starts at %vs, want ≈300", t1)
+	}
+}
+
+func TestWindowEndsAfterBurst(t *testing.T) {
+	streams := synthStreams(6, 4000, 3, func(s [][]int8) {
+		addBurst(s, 2000, 2050, 5, 98)
+	})
+	res, _ := Run(streams, []int{0, 1, 2, 3, 4, 5}, 0.2, Config{})
+	wins := FilterWindows(res.Windows, 0.2, 4.5)
+	if len(wins) != 1 {
+		t.Fatalf("windows %d", len(wins))
+	}
+	// Window must end within a few seconds of the burst end (std window
+	// decay is 2.4 s by default).
+	endT := float64(wins[0].EndTick) * 0.2
+	if endT < 410 || endT > 418 {
+		t.Fatalf("window ends at %v, want ≈410-414", endT)
+	}
+}
+
+func TestTwoSeparatedBurstsTwoWindows(t *testing.T) {
+	streams := synthStreams(6, 6000, 4, func(s [][]int8) {
+		addBurst(s, 2000, 2035, 5, 97)
+		addBurst(s, 4000, 4035, 5, 96)
+	})
+	res, _ := Run(streams, []int{0, 1, 2, 3, 4, 5}, 0.2, Config{})
+	wins := FilterWindows(res.Windows, 0.2, 4.5)
+	if len(wins) != 2 {
+		t.Fatalf("windows %d, want 2", len(wins))
+	}
+}
+
+func TestMergeGapJoinsCloseRuns(t *testing.T) {
+	anom := make([]bool, 100)
+	for i := 10; i < 20; i++ {
+		anom[i] = true
+	}
+	for i := 22; i < 30; i++ { // 0.4s gap at dt=0.2
+		anom[i] = true
+	}
+	wins := extractWindows(anom, 0.2, 0.8)
+	if len(wins) != 1 {
+		t.Fatalf("gap not merged: %d windows", len(wins))
+	}
+	if wins[0].StartTick != 10 || wins[0].EndTick != 30 {
+		t.Fatalf("merged window %+v", wins[0])
+	}
+	// Without merging, two windows.
+	wins = extractWindows(anom, 0.2, 0)
+	if len(wins) != 2 {
+		t.Fatalf("unmerged windows %d, want 2", len(wins))
+	}
+}
+
+func TestExtractWindowsTrailingRun(t *testing.T) {
+	anom := make([]bool, 50)
+	for i := 40; i < 50; i++ {
+		anom[i] = true
+	}
+	wins := extractWindows(anom, 0.2, 0.8)
+	if len(wins) != 1 || wins[0].EndTick != 50 {
+		t.Fatalf("trailing run windows %+v", wins)
+	}
+}
+
+func TestFilterWindows(t *testing.T) {
+	wins := []Window{
+		{StartTick: 0, EndTick: 10},  // 2.0s
+		{StartTick: 20, EndTick: 43}, // 4.6s
+		{StartTick: 50, EndTick: 72}, // 4.4s
+	}
+	got := FilterWindows(wins, 0.2, 4.5)
+	if len(got) != 1 || got[0].StartTick != 20 {
+		t.Fatalf("filtered %+v", got)
+	}
+}
+
+func TestProfileAdaptsToShiftedBaseline(t *testing.T) {
+	// Algorithm 1's batched update: after the environment's quiet level
+	// rises slowly, the detector must stop flagging it.
+	src := rng.New(5)
+	det, err := NewDetector(Config{}, 4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(sd float64, n int) int {
+		anomalous := 0
+		buf := make([]float64, 4)
+		for i := 0; i < n; i++ {
+			for k := range buf {
+				buf[k] = -60 + src.Normal(0, sd)
+			}
+			if state, _ := det.Push(buf); state == StateAnomalous {
+				anomalous++
+			}
+		}
+		return anomalous
+	}
+	push(0.5, 300) // warm-up + quiet
+	// Drift the noise level up gradually (in small steps so each batch
+	// passes the τ guard).
+	for _, sd := range []float64{0.55, 0.6, 0.65, 0.7, 0.75, 0.8} {
+		push(sd, 400)
+	}
+	late := push(0.8, 1000)
+	if frac := float64(late) / 1000; frac > 0.1 {
+		t.Fatalf("detector did not adapt: %.1f%% anomalous at the drifted level", frac*100)
+	}
+}
+
+func TestSuddenJumpStaysAnomalous(t *testing.T) {
+	// In contrast to slow drift, a sudden large jump must keep the
+	// detector anomalous for a while (the batch τ guard rejects poisoned
+	// batches).
+	src := rng.New(6)
+	det, _ := NewDetector(Config{}, 4, 0.2)
+	buf := make([]float64, 4)
+	for i := 0; i < 400; i++ {
+		for k := range buf {
+			buf[k] = -60 + src.Normal(0, 0.5)
+		}
+		det.Push(buf)
+	}
+	anomalous := 0
+	for i := 0; i < 100; i++ {
+		for k := range buf {
+			buf[k] = -60 + src.Normal(0, 4)
+		}
+		if state, _ := det.Push(buf); state == StateAnomalous {
+			anomalous++
+		}
+	}
+	if anomalous < 80 {
+		t.Fatalf("only %d/100 ticks anomalous after a 8x noise jump", anomalous)
+	}
+}
+
+func TestDetectorWarmup(t *testing.T) {
+	det, _ := NewDetector(Config{ProfileInitSec: 10}, 2, 0.2)
+	buf := []float64{-60, -60}
+	warmTicks := int(10 / 0.2)
+	for i := 0; i < warmTicks-1; i++ {
+		if state, _ := det.Push(buf); state != StateWarmup {
+			t.Fatalf("tick %d: state %v during warm-up", i, state)
+		}
+	}
+	det.Push(buf)
+	if det.KDE() == nil {
+		t.Fatal("profile not initialised after warm-up")
+	}
+	if det.Threshold() == 0 {
+		t.Fatal("threshold not set after warm-up")
+	}
+}
+
+func TestPushPanicsOnWrongLength(t *testing.T) {
+	det, _ := NewDetector(Config{}, 3, 0.2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-length Push did not panic")
+		}
+	}()
+	det.Push([]float64{1})
+}
+
+func TestPushInt8MatchesPush(t *testing.T) {
+	mk := func() *Detector {
+		d, _ := NewDetector(Config{}, 2, 0.2)
+		return d
+	}
+	a, b := mk(), mk()
+	src := rng.New(7)
+	buf := make([]float64, 2)
+	for i := 0; i < 500; i++ {
+		v1 := int8(-60 + src.Normal(0, 1))
+		v2 := int8(-55 + src.Normal(0, 1))
+		sa, va := a.Push([]float64{float64(v1), float64(v2)})
+		sb, vb := b.PushInt8([]int8{v1, v2}, buf)
+		if sa != sb || va != vb {
+			t.Fatalf("PushInt8 diverges at tick %d", i)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, nil, 0.2, Config{}); err == nil {
+		t.Fatal("empty streams accepted")
+	}
+	streams := synthStreams(2, 100, 8, nil)
+	if _, err := Run(streams, nil, 0.2, Config{}); err == nil {
+		t.Fatal("empty subset accepted")
+	}
+}
+
+func TestWindowDuration(t *testing.T) {
+	w := Window{StartTick: 10, EndTick: 35}
+	if d := w.Duration(0.2); d != 5 {
+		t.Fatalf("duration %v", d)
+	}
+}
+
+func TestSubsetRestrictsAnalysis(t *testing.T) {
+	// A burst on stream 5 only must be invisible when analysing streams
+	// 0..2 but visible over the full set.
+	streams := synthStreams(6, 3000, 9, func(s [][]int8) {
+		src := rng.New(77)
+		for i := 1500; i < 1540; i++ {
+			s[5][i] = int8(-60 + src.Normal(0, 12))
+		}
+	})
+	resSub, _ := Run(streams, []int{0, 1, 2}, 0.2, Config{})
+	if n := len(FilterWindows(resSub.Windows, 0.2, 4.5)); n != 0 {
+		t.Fatalf("subset without the bursty stream saw %d windows", n)
+	}
+	resAll, _ := Run(streams, []int{0, 1, 2, 3, 4, 5}, 0.2, Config{})
+	if n := len(FilterWindows(resAll.Windows, 0.2, 4.0)); n == 0 {
+		t.Fatal("full set missed the burst")
+	}
+}

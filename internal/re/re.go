@@ -1,0 +1,291 @@
+// Package re implements the Radio Environment module of Section IV-D: for
+// each variation window it extracts a per-stream feature signature
+// (variance, histogram entropy, lag autocorrelation over the first t∆
+// seconds of the window — the most distinctive part of a departure, before
+// paths towards the door overlap), builds labelled training samples by
+// correlating windows with workstation idle times through KMA (discarding
+// ambiguous windows, exactly as the paper's training phase does), and
+// wraps the SVM multiclass classifier used in the online phase.
+//
+// Labels follow the paper: 0 is w0 ("user entered the office") and i ≥ 1
+// is w_i ("user left workstation i").
+package re
+
+import (
+	"fmt"
+
+	"fadewich/internal/kma"
+	"fadewich/internal/md"
+	"fadewich/internal/stats"
+	"fadewich/internal/svm"
+)
+
+// LabelEntry is the w0 class: someone entered the office.
+const LabelEntry = 0
+
+// FeatureConfig parameterises signature extraction.
+type FeatureConfig struct {
+	// TDeltaSec is t∆: the signature covers [t1, t1+t∆] of each window.
+	TDeltaSec float64
+	// EntropyBins is the histogram bin count for the entropy feature.
+	EntropyBins int
+	// AutocorrLagSec is the lag of the autocorrelation feature, in
+	// seconds (converted to ticks with the trace's dt).
+	AutocorrLagSec float64
+}
+
+// DefaultFeatureConfig returns the calibrated extraction parameters
+// (t∆ = 4.5 s as chosen in Section VII-A).
+func DefaultFeatureConfig() FeatureConfig {
+	return FeatureConfig{TDeltaSec: 4.5, EntropyBins: 8, AutocorrLagSec: 0.4}
+}
+
+// withDefaults fills zero fields.
+func (c FeatureConfig) withDefaults() FeatureConfig {
+	d := DefaultFeatureConfig()
+	if c.TDeltaSec == 0 {
+		c.TDeltaSec = d.TDeltaSec
+	}
+	if c.EntropyBins == 0 {
+		c.EntropyBins = d.EntropyBins
+	}
+	if c.AutocorrLagSec == 0 {
+		c.AutocorrLagSec = d.AutocorrLagSec
+	}
+	return c
+}
+
+// FeaturesPerStream is the number of features extracted per stream.
+const FeaturesPerStream = 3
+
+// FeatureName returns a human-readable name for feature index f within a
+// stream, matching the paper's var/ent/ac naming.
+func FeatureName(f int) string {
+	switch f {
+	case 0:
+		return "var"
+	case 1:
+		return "ent"
+	case 2:
+		return "ac"
+	default:
+		return fmt.Sprintf("f%d", f)
+	}
+}
+
+// Extract computes the signature of the window starting at startTick over
+// the given stream subset. streams is [stream][tick]; the window covers
+// TDeltaSec seconds. The returned vector has FeaturesPerStream values per
+// subset stream, ordered (var, ent, ac) per stream.
+func Extract(streams [][]int8, subset []int, startTick int, dt float64, cfg FeatureConfig) []float64 {
+	cfg = cfg.withDefaults()
+	n := windowTicks(cfg, dt)
+	lag := lagTicks(cfg, dt)
+	out := make([]float64, 0, len(subset)*FeaturesPerStream)
+	buf := make([]float64, n)
+	for _, k := range subset {
+		s := streams[k]
+		end := startTick + n
+		if end > len(s) {
+			end = len(s)
+		}
+		w := buf[:0]
+		for i := startTick; i < end; i++ {
+			w = append(w, float64(s[i]))
+		}
+		appendStreamFeatures(&out, w, lag, cfg.EntropyBins)
+	}
+	return out
+}
+
+// ExtractWindow computes the signature from already-sliced per-stream
+// sample windows (window[k] holds stream k's t∆-second series), the form
+// the online System uses with its ring buffers.
+func ExtractWindow(window [][]float64, dt float64, cfg FeatureConfig) []float64 {
+	cfg = cfg.withDefaults()
+	lag := lagTicks(cfg, dt)
+	out := make([]float64, 0, len(window)*FeaturesPerStream)
+	for _, w := range window {
+		appendStreamFeatures(&out, w, lag, cfg.EntropyBins)
+	}
+	return out
+}
+
+// WindowTicks returns the number of samples a t∆ feature window spans.
+func (c FeatureConfig) WindowTicks(dt float64) int {
+	return windowTicks(c.withDefaults(), dt)
+}
+
+func windowTicks(cfg FeatureConfig, dt float64) int {
+	n := int(cfg.TDeltaSec / dt)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+func lagTicks(cfg FeatureConfig, dt float64) int {
+	lag := int(cfg.AutocorrLagSec / dt)
+	if lag < 1 {
+		lag = 1
+	}
+	return lag
+}
+
+// appendStreamFeatures appends the (var, ent, ac) triple of one stream
+// window.
+func appendStreamFeatures(out *[]float64, w []float64, lag, entropyBins int) {
+	*out = append(*out,
+		stats.Variance(w),
+		stats.Entropy(w, entropyBins),
+		stats.Autocorrelation(w, lag),
+	)
+}
+
+// Sample is one labelled signature.
+type Sample struct {
+	Features []float64
+	// Label is 0 for w0 (entry) or workstation index + 1 for departures.
+	Label int
+	// Day and StartTick locate the originating window.
+	Day, StartTick int
+}
+
+// LabelConfig parameterises the automatic labelling of training samples
+// from KMA idle times (Section IV-D3).
+type LabelConfig struct {
+	// IdleSlackSec is how close a workstation's last input must be to the
+	// window start for the window to be attributed to that workstation's
+	// user departing.
+	IdleSlackSec float64
+	// QuietAfterSec is how long past the window end the attributed
+	// workstation must stay input-free: a user who really departed is
+	// gone, while a seated user who merely paused resumes typing within
+	// seconds. This is what disambiguates the departing user from idle
+	// bystanders. Labelling therefore resolves QuietAfterSec after the
+	// window ends.
+	QuietAfterSec float64
+	// LongIdleSec is the idle time beyond which a workstation's user is
+	// presumed out of the office (entry-label candidate).
+	LongIdleSec float64
+	// ReturnSlackSec is the horizon after the window within which input
+	// must resume at a long-idle workstation to label the window w0.
+	ReturnSlackSec float64
+}
+
+// DefaultLabelConfig returns calibrated labelling parameters.
+func DefaultLabelConfig() LabelConfig {
+	return LabelConfig{IdleSlackSec: 3, QuietAfterSec: 15, LongIdleSec: 60, ReturnSlackSec: 30}
+}
+
+// withDefaults fills zero fields.
+func (c LabelConfig) withDefaults() LabelConfig {
+	d := DefaultLabelConfig()
+	if c.IdleSlackSec == 0 {
+		c.IdleSlackSec = d.IdleSlackSec
+	}
+	if c.QuietAfterSec == 0 {
+		c.QuietAfterSec = d.QuietAfterSec
+	}
+	if c.LongIdleSec == 0 {
+		c.LongIdleSec = d.LongIdleSec
+	}
+	if c.ReturnSlackSec == 0 {
+		c.ReturnSlackSec = d.ReturnSlackSec
+	}
+	return c
+}
+
+// AutoLabel attributes a variation window to a label using only KMA
+// information, as the training phase must (no supervisor). It returns
+// (label, true) on an unambiguous attribution and (0, false) when the
+// window should be discarded:
+//
+//   - exactly one workstation went idle at the window start → that
+//     workstation's departure label;
+//   - no departure candidate, and exactly one long-idle workstation
+//     resumes input shortly after the window → w0 (its user walked in);
+//   - anything else is ambiguous.
+func AutoLabel(w md.Window, dt float64, tracker *kma.Tracker, cfg LabelConfig) (int, bool) {
+	cfg = cfg.withDefaults()
+	t1 := float64(w.StartTick) * dt
+	t2 := float64(w.EndTick) * dt
+
+	var departures []int
+	var longIdle []int
+	for ws := 0; ws < tracker.NumWorkstations(); ws++ {
+		last, ok := tracker.LastInput(ws, t1+cfg.IdleSlackSec)
+		switch {
+		case ok && last >= t1-cfg.IdleSlackSec:
+			// Went idle right at the window start and produced nothing
+			// during the window nor for QuietAfterSec beyond it: a
+			// departure candidate. A seated bystander who merely paused
+			// resumes typing quickly and is excluded here.
+			if !tracker.InputInRange(ws, t1+cfg.IdleSlackSec, t2+cfg.QuietAfterSec) {
+				departures = append(departures, ws)
+			}
+		case !ok || t1-last >= cfg.LongIdleSec:
+			longIdle = append(longIdle, ws)
+		}
+	}
+
+	if len(departures) == 1 {
+		return departures[0] + 1, true
+	}
+	if len(departures) > 1 {
+		return 0, false
+	}
+	// Entry candidate: a long-idle workstation whose input resumes within
+	// the return horizon.
+	var entries []int
+	for _, ws := range longIdle {
+		if next, ok := tracker.NextInputAfter(ws, t1); ok && next <= t2+cfg.ReturnSlackSec {
+			entries = append(entries, ws)
+		}
+	}
+	if len(entries) == 1 {
+		return LabelEntry, true
+	}
+	return 0, false
+}
+
+// Classifier wraps the trained multiclass SVM for the online phase.
+type Classifier struct {
+	model *svm.Multiclass
+	dims  int
+}
+
+// Train fits the classifier on labelled samples. It returns an error when
+// samples are empty, dimensions disagree, or fewer than two classes are
+// present.
+func Train(samples []Sample, cfg svm.Config) (*Classifier, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("re: no training samples")
+	}
+	dims := len(samples[0].Features)
+	x := make([][]float64, len(samples))
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		if len(s.Features) != dims {
+			return nil, fmt.Errorf("re: sample %d has %d features, want %d", i, len(s.Features), dims)
+		}
+		x[i] = s.Features
+		labels[i] = s.Label
+	}
+	model, err := svm.TrainMulticlass(x, labels, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("re: %w", err)
+	}
+	return &Classifier{model: model, dims: dims}, nil
+}
+
+// Predict returns the label for a signature.
+func (c *Classifier) Predict(features []float64) int {
+	return c.model.Predict(features)
+}
+
+// Dims returns the expected feature dimensionality.
+func (c *Classifier) Dims() int { return c.dims }
+
+// Classes returns the labels seen in training.
+func (c *Classifier) Classes() []int { return c.model.Classes() }

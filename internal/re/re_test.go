@@ -1,0 +1,237 @@
+package re
+
+import (
+	"math"
+	"testing"
+
+	"fadewich/internal/kma"
+	"fadewich/internal/md"
+	"fadewich/internal/rng"
+	"fadewich/internal/stats"
+	"fadewich/internal/svm"
+)
+
+func TestExtractDimensions(t *testing.T) {
+	streams := [][]int8{
+		make([]int8, 100), make([]int8, 100), make([]int8, 100),
+	}
+	f := Extract(streams, []int{0, 2}, 10, 0.2, FeatureConfig{})
+	if len(f) != 2*FeaturesPerStream {
+		t.Fatalf("features %d, want %d", len(f), 2*FeaturesPerStream)
+	}
+}
+
+func TestExtractValuesMatchStats(t *testing.T) {
+	// One stream with a known window; hand-check the (var, ent, ac)
+	// triple against the stats package.
+	src := rng.New(4)
+	stream := make([]int8, 200)
+	for i := range stream {
+		stream[i] = int8(-60 + src.Normal(0, 3))
+	}
+	cfg := FeatureConfig{TDeltaSec: 4, EntropyBins: 8, AutocorrLagSec: 0.4}
+	start := 50
+	f := Extract([][]int8{stream}, []int{0}, start, 0.2, cfg)
+
+	n := int(4 / 0.2)
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = float64(stream[start+i])
+	}
+	if math.Abs(f[0]-stats.Variance(w)) > 1e-12 {
+		t.Fatalf("variance %v, want %v", f[0], stats.Variance(w))
+	}
+	if math.Abs(f[1]-stats.Entropy(w, 8)) > 1e-12 {
+		t.Fatalf("entropy %v, want %v", f[1], stats.Entropy(w, 8))
+	}
+	if math.Abs(f[2]-stats.Autocorrelation(w, 2)) > 1e-12 {
+		t.Fatalf("autocorrelation %v, want %v", f[2], stats.Autocorrelation(w, 2))
+	}
+}
+
+func TestExtractClampsAtStreamEnd(t *testing.T) {
+	stream := make([]int8, 30)
+	f := Extract([][]int8{stream}, []int{0}, 25, 0.2, FeatureConfig{TDeltaSec: 4})
+	if len(f) != FeaturesPerStream {
+		t.Fatal("extraction at stream end must still produce features")
+	}
+}
+
+func TestExtractWindowMatchesExtract(t *testing.T) {
+	src := rng.New(5)
+	stream := make([]int8, 100)
+	for i := range stream {
+		stream[i] = int8(-55 + src.Normal(0, 2))
+	}
+	cfg := FeatureConfig{TDeltaSec: 3, EntropyBins: 8, AutocorrLagSec: 0.4}
+	a := Extract([][]int8{stream}, []int{0}, 20, 0.2, cfg)
+
+	n := cfg.WindowTicks(0.2)
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = float64(stream[20+i])
+	}
+	b := ExtractWindow([][]float64{w}, 0.2, cfg)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("feature %d: Extract %v vs ExtractWindow %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFeatureName(t *testing.T) {
+	if FeatureName(0) != "var" || FeatureName(1) != "ent" || FeatureName(2) != "ac" {
+		t.Fatal("feature names wrong")
+	}
+}
+
+// labelWindow is a helper running AutoLabel over a synthetic input set.
+func labelWindow(t *testing.T, inputs [][]float64, w md.Window) (int, bool) {
+	t.Helper()
+	tracker := kma.NewTracker(inputs)
+	return AutoLabel(w, 0.2, tracker, LabelConfig{})
+}
+
+func TestAutoLabelDeparture(t *testing.T) {
+	// Window [100s, 106s]. Workstation 0's user left: last input at 99.5,
+	// silent long after. Workstation 1's user keeps typing.
+	w := md.Window{StartTick: 500, EndTick: 530}
+	inputs := [][]float64{
+		{90, 95, 99.5},
+		typingUntil(300, 2.5),
+	}
+	label, ok := labelWindow(t, inputs, w)
+	if !ok || label != 1 {
+		t.Fatalf("label=%d ok=%v, want departure of ws0 (label 1)", label, ok)
+	}
+}
+
+// typingUntil generates inputs every stepSec until end.
+func typingUntil(end, stepSec float64) []float64 {
+	var out []float64
+	for t := 1.0; t < end; t += stepSec {
+		out = append(out, t)
+	}
+	return out
+}
+
+func TestAutoLabelEntry(t *testing.T) {
+	// Workstation 0 idle for a long time, input resumes shortly after the
+	// window (user walked in and sat down).
+	w := md.Window{StartTick: 500, EndTick: 525} // [100, 105]
+	inputs := [][]float64{
+		{10, 108}, // long idle, resumes at 108
+		typingUntil(300, 2.5),
+	}
+	label, ok := labelWindow(t, inputs, w)
+	if !ok || label != LabelEntry {
+		t.Fatalf("label=%d ok=%v, want w0", label, ok)
+	}
+}
+
+func TestAutoLabelDiscardsPausedBystander(t *testing.T) {
+	// Both ws0 (departing) and ws1 (merely paused) stop at the window
+	// start — but ws1 resumes within QuietAfterSec, so the attribution to
+	// ws0 must remain unambiguous.
+	w := md.Window{StartTick: 500, EndTick: 530} // [100, 106]
+	inputs := [][]float64{
+		{99.5},        // gone for good
+		{99.0, 112.0}, // paused, then resumed typing at 112 (< 106+15)
+	}
+	label, ok := labelWindow(t, inputs, w)
+	if !ok || label != 1 {
+		t.Fatalf("label=%d ok=%v, want 1", label, ok)
+	}
+}
+
+func TestAutoLabelAmbiguousTwoDepartures(t *testing.T) {
+	// Two workstations go idle at the window start and stay idle: cannot
+	// attribute; must discard.
+	w := md.Window{StartTick: 500, EndTick: 530}
+	inputs := [][]float64{
+		{99.5},
+		{100.2},
+	}
+	if _, ok := labelWindow(t, inputs, w); ok {
+		t.Fatal("ambiguous window was not discarded")
+	}
+}
+
+func TestAutoLabelDiscardsNoise(t *testing.T) {
+	// Nobody went idle, nobody returns: an interference window.
+	w := md.Window{StartTick: 500, EndTick: 530}
+	inputs := [][]float64{
+		typingUntil(300, 2.5),
+		typingUntil(300, 3.0),
+	}
+	if label, ok := labelWindow(t, inputs, w); ok {
+		t.Fatalf("noise window labelled %d", label)
+	}
+}
+
+func TestAutoLabelStillThereUserNotADeparture(t *testing.T) {
+	// ws0's user pauses at the window start but types again mid-window:
+	// not a departure; with nothing else, discard.
+	w := md.Window{StartTick: 500, EndTick: 550} // [100, 110]
+	inputs := [][]float64{
+		{99.5, 106},
+		typingUntil(300, 2.5),
+	}
+	if label, ok := labelWindow(t, inputs, w); ok {
+		t.Fatalf("mid-window typist labelled %d", label)
+	}
+}
+
+func TestTrainPredictRoundtrip(t *testing.T) {
+	// Synthetic, linearly separable feature clusters per label.
+	src := rng.New(6)
+	var samples []Sample
+	for label := 0; label < 3; label++ {
+		for i := 0; i < 15; i++ {
+			f := make([]float64, 6)
+			for j := range f {
+				f[j] = float64(label*5) + src.Normal(0, 0.4)
+			}
+			samples = append(samples, Sample{Features: f, Label: label})
+		}
+	}
+	clf, err := Train(samples, svm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, s := range samples {
+		if clf.Predict(s.Features) == s.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(samples)); acc < 0.95 {
+		t.Fatalf("roundtrip accuracy %v", acc)
+	}
+	if clf.Dims() != 6 {
+		t.Fatalf("dims %d", clf.Dims())
+	}
+	if len(clf.Classes()) != 3 {
+		t.Fatalf("classes %v", clf.Classes())
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, svm.Config{}); err == nil {
+		t.Fatal("empty training accepted")
+	}
+	bad := []Sample{
+		{Features: []float64{1, 2}, Label: 0},
+		{Features: []float64{1}, Label: 1},
+	}
+	if _, err := Train(bad, svm.Config{}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	oneClass := []Sample{
+		{Features: []float64{1, 2}, Label: 1},
+		{Features: []float64{2, 1}, Label: 1},
+	}
+	if _, err := Train(oneClass, svm.Config{}); err == nil {
+		t.Fatal("single-class training accepted")
+	}
+}

@@ -1,0 +1,244 @@
+// Package report renders the experiment results as aligned ASCII tables,
+// CSV series and floor-plan heat-maps, so every table and figure of the
+// paper can be regenerated as text from the command line and diffed across
+// runs.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are rendered with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = trimFloat(x)
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// trimFloat renders a float with up to 3 decimals, trimming zeros.
+func trimFloat(x float64) string {
+	s := strconv.FormatFloat(x, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	var b strings.Builder
+	for i, h := range t.Headers {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(pad(h, widths[i]))
+	}
+	fmt.Fprintln(w, b.String())
+	b.Reset()
+	for i := range t.Headers {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	fmt.Fprintln(w, b.String())
+	for _, row := range t.Rows {
+		b.Reset()
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				b.WriteString(pad(cell, widths[i]))
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a named sequence of (x, y) points, the unit of figure data.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// WriteCSV writes one or more series sharing an x-axis as CSV: the first
+// column is x (taken from the first series), then one column per series.
+// Series with differing x grids are written as separate blocks.
+func WriteCSV(w io.Writer, series ...Series) {
+	if len(series) == 0 {
+		return
+	}
+	groups := groupByX(series)
+	for gi, g := range groups {
+		if gi > 0 {
+			fmt.Fprintln(w)
+		}
+		header := []string{"x"}
+		for _, s := range g {
+			header = append(header, s.Name)
+		}
+		fmt.Fprintln(w, strings.Join(header, ","))
+		for i := range g[0].X {
+			row := []string{trimFloat(g[0].X[i])}
+			for _, s := range g {
+				if i < len(s.Y) {
+					row = append(row, trimFloat(s.Y[i]))
+				} else {
+					row = append(row, "")
+				}
+			}
+			fmt.Fprintln(w, strings.Join(row, ","))
+		}
+	}
+}
+
+// groupByX buckets series with identical x grids.
+func groupByX(series []Series) [][]Series {
+	var groups [][]Series
+	for _, s := range series {
+		placed := false
+		for gi, g := range groups {
+			if sameX(g[0].X, s.X) {
+				groups[gi] = append(groups[gi], s)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []Series{s})
+		}
+	}
+	return groups
+}
+
+func sameX(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// heatRamp maps intensity in [0,1] to a character.
+const heatRamp = " .:-=+*#%@"
+
+// Heatmap renders a [0,1]-normalised grid as ASCII art, one character per
+// cell, darkest for the highest values.
+func Heatmap(w io.Writer, title string, grid [][]float64) {
+	if title != "" {
+		fmt.Fprintf(w, "== %s ==\n", title)
+	}
+	for _, row := range grid {
+		var b strings.Builder
+		for _, v := range row {
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			idx := int(v * float64(len(heatRamp)-1))
+			b.WriteByte(heatRamp[idx])
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// CorrelationSummary renders the distribution of off-diagonal correlation
+// values of a matrix as a compact histogram line, used for Fig 11 where
+// printing a 72×72 matrix is unhelpful.
+func CorrelationSummary(w io.Writer, corr [][]float64) {
+	var buckets [10]int
+	total := 0
+	for i := range corr {
+		for j := range corr[i] {
+			if i == j {
+				continue
+			}
+			v := (corr[i][j] + 1) / 2 // map [-1,1] to [0,1]
+			idx := int(v * 10)
+			if idx > 9 {
+				idx = 9
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			buckets[idx]++
+			total++
+		}
+	}
+	fmt.Fprintln(w, "correlation histogram (-1 .. +1):")
+	for i, c := range buckets {
+		lo := -1 + 0.2*float64(i)
+		bar := strings.Repeat("#", scaleBar(c, total, 50))
+		fmt.Fprintf(w, "  [%+.1f,%+.1f) %6d %s\n", lo, lo+0.2, c, bar)
+	}
+}
+
+func scaleBar(count, total, width int) int {
+	if total == 0 {
+		return 0
+	}
+	return count * width / total
+}

@@ -1,0 +1,136 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta", 2.5)
+	tb.AddRow("gamma", "x")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	for _, want := range []string{"name", "value", "alpha", "beta", "2.5", "gamma"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title + header + separator + 3 rows
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("looooooong", 1)
+	tb.AddRow("x", 22)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Column b starts at the same offset in every row.
+	idx := strings.Index(lines[0], "b")
+	for _, line := range lines[2:] {
+		if len(line) <= idx {
+			t.Fatalf("row shorter than header: %q", line)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:    "1.5",
+		2:      "2",
+		0.125:  "0.125",
+		0.1001: "0.1",
+		0:      "0",
+		-3.25:  "-3.25",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteCSVSharedAxis(t *testing.T) {
+	var b strings.Builder
+	WriteCSV(&b,
+		Series{Name: "s1", X: []float64{1, 2}, Y: []float64{10, 20}},
+		Series{Name: "s2", X: []float64{1, 2}, Y: []float64{30, 40}},
+	)
+	got := b.String()
+	want := "x,s1,s2\n1,10,30\n2,20,40\n"
+	if got != want {
+		t.Fatalf("csv:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestWriteCSVDifferentAxesSplitBlocks(t *testing.T) {
+	var b strings.Builder
+	WriteCSV(&b,
+		Series{Name: "s1", X: []float64{1, 2}, Y: []float64{10, 20}},
+		Series{Name: "s2", X: []float64{5}, Y: []float64{30}},
+	)
+	out := b.String()
+	if strings.Count(out, "x,") != 2 {
+		t.Fatalf("expected two CSV blocks:\n%s", out)
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var b strings.Builder
+	WriteCSV(&b)
+	if b.Len() != 0 {
+		t.Fatal("empty series wrote output")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	var b strings.Builder
+	Heatmap(&b, "grid", [][]float64{
+		{0, 0.5, 1},
+		{1, 0, 0.25},
+	})
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // title + 2 rows
+		t.Fatalf("lines %d", len(lines))
+	}
+	if len(lines[1]) != 3 || len(lines[2]) != 3 {
+		t.Fatalf("row widths wrong: %q %q", lines[1], lines[2])
+	}
+	// Intensity 1 renders the densest character; 0 the lightest.
+	if lines[1][2] != '@' || lines[1][0] != ' ' {
+		t.Fatalf("intensity mapping wrong: %q", lines[1])
+	}
+}
+
+func TestHeatmapClampsOutOfRange(t *testing.T) {
+	var b strings.Builder
+	Heatmap(&b, "", [][]float64{{-1, 2}})
+	line := strings.TrimRight(b.String(), "\n")
+	if line[0] != ' ' || line[1] != '@' {
+		t.Fatalf("clamping wrong: %q", line)
+	}
+}
+
+func TestCorrelationSummary(t *testing.T) {
+	var b strings.Builder
+	corr := [][]float64{
+		{1, 0.9, -0.9},
+		{0.9, 1, 0},
+		{-0.9, 0, 1},
+	}
+	CorrelationSummary(&b, corr)
+	out := b.String()
+	if !strings.Contains(out, "correlation histogram") {
+		t.Fatal("missing header")
+	}
+	if strings.Count(out, "\n") != 11 { // header + 10 buckets
+		t.Fatalf("bucket lines wrong:\n%s", out)
+	}
+}

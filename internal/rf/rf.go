@@ -1,0 +1,393 @@
+// Package rf simulates the physical radio layer that FADEWICH's testbed
+// provided with nine real WiFi sensors: for every ordered pair of sensors
+// (a directed link, the paper's "stream") it produces a per-tick RSSI
+// reading in dBm.
+//
+// The model composes four effects, each grounded in the device-free
+// localisation literature the paper builds on (RADAR [2], RTI [32, 33],
+// fade-level modelling [19]):
+//
+//  1. Large-scale path loss — the log-distance model
+//     RSSI(d) = P_tx − PL(d₀) − 10·n·log₁₀(d/d₀) plus a static per-link
+//     shadowing offset capturing walls/furniture, fixed for a run.
+//  2. Human-body shadowing — a body near the link's line of sight
+//     attenuates it. We use the elliptical (excess-path-length) model from
+//     the RTI literature: attenuation decays exponentially with the extra
+//     distance the path A→body→B adds over A→B. This is deterministic in
+//     the body position, which is what makes departures from different
+//     workstations distinguishable signatures for the RE classifier.
+//  3. Motion-induced multipath perturbation — a *moving* body anywhere in
+//     the room stirs the multipath field and raises the noise floor of
+//     nearby links; we add zero-mean Gaussian noise whose standard
+//     deviation decays with the body's distance to the link and grows with
+//     its speed. This is the effect the MD module detects.
+//  4. Receiver imperfections — temporally correlated (AR(1)) measurement
+//     noise, occasional interference bursts, and 1 dB quantisation, so
+//     quiet streams look like real radios (integer dBm wiggling by a
+//     couple of dB) rather than like clean floats.
+//
+// The simulator is deliberately a *statistical* reproduction, not an EM
+// field solver: FADEWICH's two modules consume only windowed second-order
+// statistics (standard deviations, variances, entropies, autocorrelations)
+// of the streams, and those are exactly the quantities this model is
+// calibrated to produce.
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"fadewich/internal/geom"
+	"fadewich/internal/rng"
+)
+
+// Config parameterises the propagation model. Zero fields are replaced by
+// the defaults from DefaultConfig.
+type Config struct {
+	// TxPowerDBm is the sensors' transmit power.
+	TxPowerDBm float64
+	// RefLossDB is the path loss at the 1 m reference distance (≈40 dB at
+	// 2.4 GHz).
+	RefLossDB float64
+	// PathLossExp is the log-distance path loss exponent n (2.0 free
+	// space; 2.5–4 cluttered indoor).
+	PathLossExp float64
+	// ShadowStdDB is the standard deviation of the static per-link
+	// shadowing offset.
+	ShadowStdDB float64
+	// NoiseStdDB is the standard deviation of the stationary AR(1)
+	// measurement noise on a quiet link.
+	NoiseStdDB float64
+	// NoiseAR is the AR(1) coefficient of the measurement noise in (0,1);
+	// higher values give slower, smoother wander.
+	NoiseAR float64
+	// BodyAttenDB is the maximum attenuation a single body inflicts when
+	// standing exactly on the line of sight.
+	BodyAttenDB float64
+	// BodyEllipseM is the excess-path-length scale (metres) of the
+	// elliptical shadowing model; larger values widen the sensitive
+	// region around each link.
+	BodyEllipseM float64
+	// MotionNoiseStdDB is the noise standard deviation a body moving at
+	// 1 m/s induces on a link it stands on; it decays with distance from
+	// the link and scales with speed.
+	MotionNoiseStdDB float64
+	// MotionRangeM is the exponential decay range of the motion-induced
+	// perturbation with the body's distance from the link segment.
+	MotionRangeM float64
+	// QuantStepDB is the receiver's RSSI quantisation step (1 dB on
+	// commodity hardware).
+	QuantStepDB float64
+	// MinRSSIDBm and MaxRSSIDBm clamp the reported value to the
+	// receiver's dynamic range.
+	MinRSSIDBm, MaxRSSIDBm float64
+	// InterferencePerHour is the expected number of external interference
+	// bursts (e.g. a microwave oven, co-channel WiFi traffic) per hour.
+	// Bursts raise noise on a random subset of links for a few seconds
+	// and are the main source of MD false positives besides in-room
+	// fidgeting.
+	InterferencePerHour float64
+	// InterferenceStdDB is the extra noise std during a burst.
+	InterferenceStdDB float64
+	// InterferenceMeanSec is the mean burst duration in seconds.
+	InterferenceMeanSec float64
+	// Subcarriers emulates CSI-grade measurements: each link reports this
+	// many sub-streams with independent fast noise but shared body
+	// shadowing. 0 or 1 yields plain RSSI. This implements the paper's
+	// future-work item on channel state information.
+	Subcarriers int
+}
+
+// DefaultConfig returns the calibrated parameter set used throughout the
+// reproduction. The values land quiet links at an RSSI jitter of ≈0.5–1 dB
+// and a body crossing a link at a 5–8 dB dip, matching the magnitudes
+// reported in the RTI literature.
+func DefaultConfig() Config {
+	return Config{
+		TxPowerDBm:          4,
+		RefLossDB:           40,
+		PathLossExp:         3.0,
+		ShadowStdDB:         2.0,
+		NoiseStdDB:          0.7,
+		NoiseAR:             0.6,
+		BodyAttenDB:         7.0,
+		BodyEllipseM:        0.35,
+		MotionNoiseStdDB:    3.6,
+		MotionRangeM:        0.7,
+		QuantStepDB:         1.0,
+		MinRSSIDBm:          -95,
+		MaxRSSIDBm:          -20,
+		InterferencePerHour: 0.4,
+		InterferenceStdDB:   2.2,
+		InterferenceMeanSec: 1.2,
+		Subcarriers:         1,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.TxPowerDBm == 0 {
+		c.TxPowerDBm = d.TxPowerDBm
+	}
+	if c.RefLossDB == 0 {
+		c.RefLossDB = d.RefLossDB
+	}
+	if c.PathLossExp == 0 {
+		c.PathLossExp = d.PathLossExp
+	}
+	if c.ShadowStdDB == 0 {
+		c.ShadowStdDB = d.ShadowStdDB
+	}
+	if c.NoiseStdDB == 0 {
+		c.NoiseStdDB = d.NoiseStdDB
+	}
+	if c.NoiseAR == 0 {
+		c.NoiseAR = d.NoiseAR
+	}
+	if c.BodyAttenDB == 0 {
+		c.BodyAttenDB = d.BodyAttenDB
+	}
+	if c.BodyEllipseM == 0 {
+		c.BodyEllipseM = d.BodyEllipseM
+	}
+	if c.MotionNoiseStdDB == 0 {
+		c.MotionNoiseStdDB = d.MotionNoiseStdDB
+	}
+	if c.MotionRangeM == 0 {
+		c.MotionRangeM = d.MotionRangeM
+	}
+	if c.QuantStepDB == 0 {
+		c.QuantStepDB = d.QuantStepDB
+	}
+	if c.MinRSSIDBm == 0 {
+		c.MinRSSIDBm = d.MinRSSIDBm
+	}
+	if c.MaxRSSIDBm == 0 {
+		c.MaxRSSIDBm = d.MaxRSSIDBm
+	}
+	if c.InterferencePerHour == 0 {
+		c.InterferencePerHour = d.InterferencePerHour
+	}
+	if c.InterferenceStdDB == 0 {
+		c.InterferenceStdDB = d.InterferenceStdDB
+	}
+	if c.InterferenceMeanSec == 0 {
+		c.InterferenceMeanSec = d.InterferenceMeanSec
+	}
+	if c.Subcarriers < 1 {
+		c.Subcarriers = 1
+	}
+	return c
+}
+
+// Body is a human body on the floor plan as seen by the radio layer.
+type Body struct {
+	Pos geom.Point
+	// Speed is the body's current speed in m/s; 0 for a perfectly still
+	// body, small (<0.1) for seated fidgeting, ≈1.4 when walking.
+	Speed float64
+}
+
+// Link is a directed sensor pair; stream k carries packets from sensor TX
+// to sensor RX.
+type Link struct {
+	TX, RX int
+}
+
+// String renders the link in the paper's "di-dj" notation (1-based).
+func (l Link) String() string { return fmt.Sprintf("d%d-d%d", l.TX+1, l.RX+1) }
+
+// Network evaluates the propagation model for a fixed sensor deployment.
+// It is not safe for concurrent use; the simulator drives it from a single
+// goroutine.
+type Network struct {
+	cfg     Config
+	sensors []geom.Point
+	links   []Link
+	segs    []geom.Segment // per-link TX→RX segment
+	base    []float64      // per-stream static RSSI (path loss + shadowing)
+	ar      []float64      // per-stream AR(1) noise state
+	src     *rng.Source
+
+	// Interference burst state: remaining ticks and per-stream
+	// participation mask for the current burst.
+	burstTicks int
+	burstMask  []bool
+
+	dt float64 // tick duration in seconds, needed for burst scheduling
+}
+
+// NewNetwork builds a network over the given sensor positions. dt is the
+// simulation tick in seconds. It returns an error when fewer than two
+// sensors are supplied, since no link exists then.
+func NewNetwork(cfg Config, sensors []geom.Point, dt float64, src *rng.Source) (*Network, error) {
+	if len(sensors) < 2 {
+		return nil, fmt.Errorf("rf: need at least 2 sensors, got %d", len(sensors))
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("rf: tick duration must be positive, got %v", dt)
+	}
+	cfg = cfg.withDefaults()
+	m := len(sensors)
+	pts := make([]geom.Point, m)
+	copy(pts, sensors)
+
+	var links []Link
+	for tx := 0; tx < m; tx++ {
+		for rx := 0; rx < m; rx++ {
+			if tx != rx {
+				links = append(links, Link{TX: tx, RX: rx})
+			}
+		}
+	}
+	n := &Network{
+		cfg:       cfg,
+		sensors:   pts,
+		links:     links,
+		segs:      make([]geom.Segment, 0, len(links)*cfg.Subcarriers),
+		base:      make([]float64, 0, len(links)*cfg.Subcarriers),
+		ar:        make([]float64, len(links)*cfg.Subcarriers),
+		src:       src,
+		burstMask: make([]bool, len(links)*cfg.Subcarriers),
+		dt:        dt,
+	}
+	for _, l := range links {
+		seg := geom.Segment{A: pts[l.TX], B: pts[l.RX]}
+		d := seg.Length()
+		if d < 0.1 {
+			d = 0.1 // sensors essentially co-located; avoid log blow-up
+		}
+		pl := cfg.RefLossDB + 10*cfg.PathLossExp*math.Log10(d)
+		for s := 0; s < cfg.Subcarriers; s++ {
+			shadow := src.Normal(0, cfg.ShadowStdDB)
+			n.segs = append(n.segs, seg)
+			n.base = append(n.base, cfg.TxPowerDBm-pl+shadow)
+		}
+	}
+	return n, nil
+}
+
+// NumStreams returns the number of RSSI streams, m·(m−1)·Subcarriers.
+func (n *Network) NumStreams() int { return len(n.base) }
+
+// Links returns the directed links in stream order. With Subcarriers > 1
+// each link repeats Subcarriers times consecutively.
+func (n *Network) Links() []Link {
+	out := make([]Link, 0, n.NumStreams())
+	for _, l := range n.links {
+		for s := 0; s < n.cfg.Subcarriers; s++ {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Sensors returns a copy of the sensor positions.
+func (n *Network) Sensors() []geom.Point {
+	out := make([]geom.Point, len(n.sensors))
+	copy(out, n.sensors)
+	return out
+}
+
+// Config returns the effective (defaults-filled) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// bodyAttenuation returns the deterministic shadowing loss (dB) the bodies
+// inflict on the given link segment.
+func (n *Network) bodyAttenuation(seg geom.Segment, bodies []Body) float64 {
+	var atten float64
+	for i := range bodies {
+		excess := seg.ExcessPathLength(bodies[i].Pos)
+		atten += n.cfg.BodyAttenDB * math.Exp(-excess/n.cfg.BodyEllipseM)
+	}
+	// Two bodies on the same link shadow it more, but the effect
+	// saturates; cap at 1.5× the single-body maximum.
+	limit := 1.5 * n.cfg.BodyAttenDB
+	if atten > limit {
+		atten = limit
+	}
+	return atten
+}
+
+// motionNoiseStd returns the standard deviation of the motion-induced
+// perturbation on the link for the given bodies.
+func (n *Network) motionNoiseStd(seg geom.Segment, bodies []Body) float64 {
+	var variance float64
+	for i := range bodies {
+		if bodies[i].Speed <= 0 {
+			continue
+		}
+		dist, _ := seg.DistToPoint(bodies[i].Pos)
+		sd := n.cfg.MotionNoiseStdDB * bodies[i].Speed * math.Exp(-dist/n.cfg.MotionRangeM)
+		variance += sd * sd
+	}
+	return math.Sqrt(variance)
+}
+
+// stepBursts advances the interference burst process by one tick and
+// reports whether a burst is active.
+func (n *Network) stepBursts() bool {
+	if n.burstTicks > 0 {
+		n.burstTicks--
+		return true
+	}
+	// Poisson arrivals: probability of a burst starting this tick.
+	p := n.cfg.InterferencePerHour * n.dt / 3600
+	if !n.src.Bool(p) {
+		return false
+	}
+	dur := n.src.Exponential(n.cfg.InterferenceMeanSec)
+	n.burstTicks = int(dur / n.dt)
+	if n.burstTicks < 1 {
+		n.burstTicks = 1
+	}
+	// Each burst hits a random ~third of the streams (co-channel
+	// interference is frequency- and position-selective).
+	for i := range n.burstMask {
+		n.burstMask[i] = n.src.Bool(1.0 / 3.0)
+	}
+	return true
+}
+
+// Sample advances the model one tick and writes the RSSI of every stream
+// into out, which must have length NumStreams. The same bodies slice may
+// be reused across calls.
+func (n *Network) Sample(bodies []Body, out []float64) {
+	if len(out) != n.NumStreams() {
+		panic(fmt.Sprintf("rf: Sample output length %d, want %d", len(out), n.NumStreams()))
+	}
+	burst := n.stepBursts()
+	arCoef := n.cfg.NoiseAR
+	innovation := n.cfg.NoiseStdDB * math.Sqrt(1-arCoef*arCoef)
+
+	for k := range n.base {
+		seg := n.segs[k]
+		rssi := n.base[k]
+		rssi -= n.bodyAttenuation(seg, bodies)
+
+		// Stationary correlated measurement noise.
+		n.ar[k] = arCoef*n.ar[k] + n.src.Normal(0, innovation)
+		rssi += n.ar[k]
+
+		// Motion-induced perturbation (white, per-tick).
+		if sd := n.motionNoiseStd(seg, bodies); sd > 0 {
+			rssi += n.src.Normal(0, sd)
+		}
+
+		// Interference burst.
+		if burst && n.burstMask[k] {
+			rssi += n.src.Normal(0, n.cfg.InterferenceStdDB)
+		}
+
+		// Receiver quantisation and clamping.
+		rssi = math.Round(rssi/n.cfg.QuantStepDB) * n.cfg.QuantStepDB
+		if rssi < n.cfg.MinRSSIDBm {
+			rssi = n.cfg.MinRSSIDBm
+		}
+		if rssi > n.cfg.MaxRSSIDBm {
+			rssi = n.cfg.MaxRSSIDBm
+		}
+		out[k] = rssi
+	}
+}

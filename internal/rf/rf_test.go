@@ -1,0 +1,272 @@
+package rf
+
+import (
+	"math"
+	"testing"
+
+	"fadewich/internal/geom"
+	"fadewich/internal/rng"
+	"fadewich/internal/stats"
+)
+
+func testSensors() []geom.Point {
+	return []geom.Point{{X: 0, Y: 0}, {X: 6, Y: 0}, {X: 3, Y: 3}}
+}
+
+func newTestNetwork(t *testing.T, cfg Config, seed uint64) *Network {
+	t.Helper()
+	n, err := NewNetwork(cfg, testSensors(), 0.2, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNetworkErrors(t *testing.T) {
+	if _, err := NewNetwork(Config{}, []geom.Point{{X: 0, Y: 0}}, 0.2, rng.New(1)); err == nil {
+		t.Fatal("expected error for < 2 sensors")
+	}
+	if _, err := NewNetwork(Config{}, testSensors(), 0, rng.New(1)); err == nil {
+		t.Fatal("expected error for non-positive tick")
+	}
+}
+
+func TestStreamCount(t *testing.T) {
+	n := newTestNetwork(t, Config{}, 1)
+	if got := n.NumStreams(); got != 6 { // 3·2 directed links
+		t.Fatalf("streams %d, want 6", got)
+	}
+	links := n.Links()
+	if len(links) != 6 {
+		t.Fatalf("links %d", len(links))
+	}
+	seen := map[Link]bool{}
+	for _, l := range links {
+		if l.TX == l.RX {
+			t.Fatalf("self-link %v", l)
+		}
+		if seen[l] {
+			t.Fatalf("duplicate link %v", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestSubcarriersMultiplyStreams(t *testing.T) {
+	cfg := Config{Subcarriers: 4}
+	n := newTestNetwork(t, cfg, 1)
+	if got := n.NumStreams(); got != 24 {
+		t.Fatalf("streams %d, want 24", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sample := func() []float64 {
+		n := newTestNetwork(t, Config{}, 42)
+		out := make([]float64, n.NumStreams())
+		acc := make([]float64, 0, 100*n.NumStreams())
+		bodies := []Body{{Pos: geom.Point{X: 2, Y: 1}, Speed: 1.0}}
+		for i := 0; i < 100; i++ {
+			n.Sample(bodies, out)
+			acc = append(acc, out...)
+		}
+		return acc
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("samples diverged at %d", i)
+		}
+	}
+}
+
+func TestPathLossOrdersLinks(t *testing.T) {
+	// Averaged over noise, a longer link must be weaker than a shorter
+	// one (same shadowing draw would be cleaner, but averaging over many
+	// networks washes shadowing out).
+	var shortSum, longSum float64
+	const trials = 60
+	for s := uint64(0); s < trials; s++ {
+		sensors := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 10, Y: 0}}
+		n, err := NewNetwork(Config{}, sensors, 0.2, rng.New(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, n.NumStreams())
+		n.Sample(nil, out)
+		links := n.Links()
+		for k, l := range links {
+			d := sensors[l.TX].Dist(sensors[l.RX])
+			if d <= 1.5 {
+				shortSum += out[k]
+			}
+			if d >= 9 {
+				longSum += out[k]
+			}
+		}
+	}
+	if shortSum <= longSum {
+		t.Fatalf("short links (%v) should be stronger than long links (%v)", shortSum, longSum)
+	}
+}
+
+func TestBodyOnLoSAttenuates(t *testing.T) {
+	cfg := Config{NoiseStdDB: 0.01, InterferencePerHour: -1} // negative → withDefaults keeps it? ensure tiny noise
+	cfg.InterferencePerHour = 0.000001
+	quietMean := meanRSSIOverTicks(t, cfg, nil, 0, 200)
+	onLoS := []Body{{Pos: geom.Point{X: 3, Y: 0}, Speed: 0}} // midpoint of link 0-1
+	blockedMean := meanRSSIOverTicks(t, cfg, onLoS, 0, 200)
+	drop := quietMean - blockedMean
+	if drop < 3 {
+		t.Fatalf("LoS body dropped stream 0 by only %.2f dB", drop)
+	}
+	// A body far from the link barely matters.
+	far := []Body{{Pos: geom.Point{X: 3, Y: 2.9}, Speed: 0}}
+	farMean := meanRSSIOverTicks(t, cfg, far, 0, 200)
+	if quietMean-farMean > 1.5 {
+		t.Fatalf("far body dropped stream 0 by %.2f dB", quietMean-farMean)
+	}
+}
+
+// meanRSSIOverTicks samples the network and averages one stream.
+func meanRSSIOverTicks(t *testing.T, cfg Config, bodies []Body, stream, ticks int) float64 {
+	t.Helper()
+	n := newTestNetwork(t, cfg, 7)
+	out := make([]float64, n.NumStreams())
+	var sum float64
+	for i := 0; i < ticks; i++ {
+		n.Sample(bodies, out)
+		sum += out[stream]
+	}
+	return sum / float64(ticks)
+}
+
+func TestMovingBodyRaisesStdDev(t *testing.T) {
+	// The motion-induced perturbation is the MD module's entire signal:
+	// a walking body near a link must raise that link's windowed std.
+	collect := func(bodies []Body) float64 {
+		n := newTestNetwork(t, Config{}, 11)
+		out := make([]float64, n.NumStreams())
+		var vals []float64
+		for i := 0; i < 300; i++ {
+			n.Sample(bodies, out)
+			vals = append(vals, out[0]) // link 0→1 along y=0
+		}
+		return stats.StdDev(vals)
+	}
+	quiet := collect(nil)
+	walking := collect([]Body{{Pos: geom.Point{X: 3, Y: 0.2}, Speed: 1.4}})
+	if walking < quiet*2 {
+		t.Fatalf("walking std %v not clearly above quiet std %v", walking, quiet)
+	}
+}
+
+func TestStationaryBodyDoesNotRaiseStdDev(t *testing.T) {
+	collect := func(bodies []Body) float64 {
+		n := newTestNetwork(t, Config{}, 13)
+		out := make([]float64, n.NumStreams())
+		var vals []float64
+		for i := 0; i < 300; i++ {
+			n.Sample(bodies, out)
+			vals = append(vals, out[0])
+		}
+		return stats.StdDev(vals)
+	}
+	quiet := collect(nil)
+	still := collect([]Body{{Pos: geom.Point{X: 3, Y: 0.2}, Speed: 0}})
+	if still > quiet*1.6 {
+		t.Fatalf("still body std %v vs quiet %v: static bodies should only shift the mean", still, quiet)
+	}
+}
+
+func TestQuantisation(t *testing.T) {
+	n := newTestNetwork(t, Config{QuantStepDB: 1}, 17)
+	out := make([]float64, n.NumStreams())
+	for i := 0; i < 50; i++ {
+		n.Sample(nil, out)
+		for k, v := range out {
+			if v != math.Round(v) {
+				t.Fatalf("stream %d value %v not integer-quantised", k, v)
+			}
+		}
+	}
+}
+
+func TestClamping(t *testing.T) {
+	cfg := Config{MinRSSIDBm: -95, MaxRSSIDBm: -20}
+	n := newTestNetwork(t, cfg, 19)
+	out := make([]float64, n.NumStreams())
+	for i := 0; i < 200; i++ {
+		n.Sample(nil, out)
+		for _, v := range out {
+			if v < -95 || v > -20 {
+				t.Fatalf("RSSI %v outside dynamic range", v)
+			}
+		}
+	}
+}
+
+func TestSamplePanicsOnWrongLength(t *testing.T) {
+	n := newTestNetwork(t, Config{}, 23)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample with short buffer did not panic")
+		}
+	}()
+	n.Sample(nil, make([]float64, 1))
+}
+
+func TestBodyAttenuationSaturates(t *testing.T) {
+	n := newTestNetwork(t, Config{}, 29)
+	seg := geom.Segment{A: testSensors()[0], B: testSensors()[1]}
+	one := n.bodyAttenuation(seg, []Body{{Pos: seg.Midpoint()}})
+	four := n.bodyAttenuation(seg, []Body{
+		{Pos: seg.Midpoint()}, {Pos: seg.Midpoint()},
+		{Pos: seg.Midpoint()}, {Pos: seg.Midpoint()},
+	})
+	if four > 1.5*n.Config().BodyAttenDB+1e-9 {
+		t.Fatalf("attenuation %v exceeds saturation cap", four)
+	}
+	if four < one {
+		t.Fatal("more bodies should not reduce attenuation")
+	}
+}
+
+func TestInterferenceBurstsRaiseVariance(t *testing.T) {
+	// With an extreme burst rate, long-run variance should exceed the
+	// no-interference baseline.
+	variance := func(rate float64, seed uint64) float64 {
+		cfg := Config{InterferencePerHour: rate, InterferenceMeanSec: 5, InterferenceStdDB: 6}
+		n, err := NewNetwork(cfg, testSensors(), 0.2, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, n.NumStreams())
+		var vals []float64
+		for i := 0; i < 4000; i++ {
+			n.Sample(nil, out)
+			vals = append(vals, out[0])
+		}
+		return stats.Variance(vals)
+	}
+	quiet := variance(0.0001, 31)
+	noisy := variance(3600, 31) // a burst every second on average
+	if noisy < quiet*1.3 {
+		t.Fatalf("interference variance %v not above quiet %v", noisy, quiet)
+	}
+}
+
+func TestLinkString(t *testing.T) {
+	l := Link{TX: 8, RX: 1}
+	if got := l.String(); got != "d9-d2" {
+		t.Fatalf("link string %q", got)
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	n := newTestNetwork(t, Config{}, 37)
+	cfg := n.Config()
+	if cfg.PathLossExp == 0 || cfg.NoiseStdDB == 0 || cfg.BodyAttenDB == 0 || cfg.Subcarriers != 1 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+
+	"fadewich/internal/agent"
+	"fadewich/internal/md"
+	"fadewich/internal/office"
+)
+
+func smallLayout() *office.Layout { return office.Small() }
+func wideLayout() *office.Layout  { return office.Wide() }
+
+// TestOverlapExtension exercises the paper's Section IV-E scenario: with
+// overlapping movements allowed, simultaneous departures merge into one
+// long variation window — the situation Rule 2 handles conservatively.
+func TestOverlapExtension(t *testing.T) {
+	cfg := Config{Days: 1, Seed: 31}
+	cfg.Agent.DaySeconds = 3600
+	cfg.Agent.MorningJitterSec = 120
+	cfg.Agent.DeparturesPerDay = 6
+	cfg.Agent.OutsideMeanSec = 120
+	cfg.Agent.AllowOverlaps = true
+	cfg.Agent.MinMovementGapSec = 1
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find at least one overlapping pair of movements across many seeds
+	// would be flaky; instead verify the sim runs and MD still produces
+	// windows covering the events.
+	subset := ds.StreamSubset([]int{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	res, err := md.Run(ds.Days[0].Streams, subset, ds.Days[0].DT, md.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := md.FilterWindows(res.Windows, ds.Days[0].DT, 4.5)
+	if len(wins) == 0 {
+		t.Fatal("no windows under the overlap configuration")
+	}
+	covered := 0
+	total := 0
+	for _, e := range ds.Days[0].Events {
+		if e.Type != agent.EventDeparture && e.Type != agent.EventEntry {
+			continue
+		}
+		total++
+		for _, w := range wins {
+			t1 := float64(w.StartTick) * ds.Days[0].DT
+			t2 := float64(w.EndTick) * ds.Days[0].DT
+			if t1 <= e.Time+3 && e.Time-3 <= t2 {
+				covered++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no movement events generated")
+	}
+	if float64(covered) < 0.6*float64(total) {
+		t.Fatalf("only %d/%d events covered by windows under overlaps", covered, total)
+	}
+}
+
+// TestCSISubcarrierExtension exercises the paper's future-work item:
+// richer channel-state-information-like streams via per-link subcarriers.
+func TestCSISubcarrierExtension(t *testing.T) {
+	cfg := Config{Days: 1, Seed: 32}
+	cfg.Agent.DaySeconds = 1200
+	cfg.Agent.MorningJitterSec = 90
+	cfg.RF.Subcarriers = 3
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ds.Links); got != 72*3 {
+		t.Fatalf("CSI streams %d, want 216", got)
+	}
+	// Subcarriers of the same link share geometry: consecutive triples
+	// must reference the same sensor pair.
+	for i := 0; i < len(ds.Links); i += 3 {
+		if ds.Links[i] != ds.Links[i+1] || ds.Links[i] != ds.Links[i+2] {
+			t.Fatalf("subcarrier group at %d spans different links", i)
+		}
+	}
+	// And MD must run over the enlarged stream set.
+	subset := make([]int, len(ds.Links))
+	for i := range subset {
+		subset[i] = i
+	}
+	if _, err := md.Run(ds.Days[0].Streams, subset, ds.Days[0].DT, md.Config{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateOtherLayoutsEndToEnd runs the two non-paper offices through
+// detection, the paper's future-work generalisation question.
+func TestGenerateOtherLayoutsEndToEnd(t *testing.T) {
+	for _, name := range []string{"small", "wide"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{Days: 1, Seed: 33}
+			cfg.Agent.DaySeconds = 2400
+			cfg.Agent.MorningJitterSec = 90
+			cfg.Agent.DeparturesPerDay = 2
+			cfg.Agent.OutsideMeanSec = 90
+			if name == "small" {
+				cfg.Layout = smallLayout()
+			} else {
+				cfg.Layout = wideLayout()
+			}
+			ds, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			subset := make([]int, len(ds.Links))
+			for i := range subset {
+				subset[i] = i
+			}
+			res, err := md.Run(ds.Days[0].Streams, subset, ds.Days[0].DT, md.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Windows) == 0 {
+				t.Fatal("no variation windows in alternative layout")
+			}
+		})
+	}
+}

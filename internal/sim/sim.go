@@ -1,0 +1,224 @@
+// Package sim is the discrete-time engine that stands in for the paper's
+// physical testbed. It advances the user agents tick by tick (default
+// 5 Hz), feeds their body positions into the RF propagation model, and
+// records the resulting RSSI streams together with the exact ground truth
+// (departures, entries, door crossings, seated intervals) the evaluation
+// harness needs. One Trace is one working day; a Dataset is the multi-day
+// collection corresponding to the paper's five-day data collection.
+package sim
+
+import (
+	"fmt"
+
+	"fadewich/internal/agent"
+	"fadewich/internal/office"
+	"fadewich/internal/rf"
+	"fadewich/internal/rng"
+)
+
+// Config parameterises dataset generation.
+type Config struct {
+	// DT is the tick duration in seconds (default 0.2, i.e. 5 Hz).
+	DT float64
+	// Days is the number of working days to simulate (the paper used 5).
+	Days int
+	// Seed drives all randomness; the same seed regenerates the same
+	// dataset bit for bit.
+	Seed uint64
+	// Layout is the office; nil selects office.Paper().
+	Layout *office.Layout
+	// RF configures the propagation model; zero fields take defaults.
+	RF rf.Config
+	// Agent configures user behaviour; zero fields take defaults.
+	Agent agent.Config
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.DT == 0 {
+		c.DT = 0.2
+	}
+	if c.Days == 0 {
+		c.Days = 5
+	}
+	if c.Layout == nil {
+		c.Layout = office.Paper()
+	}
+	return c
+}
+
+// Trace is one simulated day.
+type Trace struct {
+	// DT is the tick duration in seconds.
+	DT float64
+	// Ticks is the number of samples per stream.
+	Ticks int
+	// Streams holds quantised RSSI per stream: Streams[k][i] is stream
+	// k's reading in dBm at tick i. int8 suffices for the receiver's
+	// dynamic range of [-95, -20] dBm at 1 dB quantisation.
+	Streams [][]int8
+	// Events is the ground-truth event log, time-sorted.
+	Events []agent.Event
+	// Seated lists per-user seated intervals.
+	Seated [][]agent.Interval
+	// InputSpans lists per-user intervals that may contain input, ending
+	// exactly at departure decisions (worst-case last-input assumption).
+	InputSpans [][]agent.Interval
+	// DaySeconds is the day length in seconds.
+	DaySeconds float64
+}
+
+// Time returns the timestamp of tick i.
+func (t *Trace) Time(i int) float64 { return float64(i) * t.DT }
+
+// TickAt returns the tick index covering time x, clamped to the valid
+// range.
+func (t *Trace) TickAt(x float64) int {
+	i := int(x / t.DT)
+	if i < 0 {
+		return 0
+	}
+	if i >= t.Ticks {
+		return t.Ticks - 1
+	}
+	return i
+}
+
+// Dataset is the multi-day collection plus the deployment metadata needed
+// to interpret stream indices.
+type Dataset struct {
+	Days   []*Trace
+	Layout *office.Layout
+	// Links maps stream index to its directed sensor pair (full sensor
+	// set).
+	Links []rf.Link
+	// Config is the generation configuration after defaulting.
+	Config Config
+}
+
+// Generate runs the simulation and returns the dataset. It is
+// deterministic in cfg.Seed.
+func Generate(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Layout.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.DT <= 0 || cfg.DT > 1 {
+		return nil, fmt.Errorf("sim: tick duration %v outside (0, 1] seconds", cfg.DT)
+	}
+	root := rng.New(cfg.Seed)
+
+	ds := &Dataset{Layout: cfg.Layout, Config: cfg}
+	for day := 0; day < cfg.Days; day++ {
+		daySrc := root.Split()
+		trace, links, err := generateDay(cfg, daySrc)
+		if err != nil {
+			return nil, err
+		}
+		ds.Days = append(ds.Days, trace)
+		if ds.Links == nil {
+			ds.Links = links
+		}
+	}
+	return ds, nil
+}
+
+// generateDay simulates a single day.
+func generateDay(cfg Config, src *rng.Source) (*Trace, []rf.Link, error) {
+	sched, err := agent.NewSchedule(cfg.Layout, cfg.Agent, src.Split())
+	if err != nil {
+		return nil, nil, err
+	}
+	network, err := rf.NewNetwork(cfg.RF, cfg.Layout.Sensors, cfg.DT, src.Split())
+	if err != nil {
+		return nil, nil, err
+	}
+	sampler := agent.NewSampler(sched, src.Split())
+
+	daySec := sched.DaySeconds()
+	ticks := int(daySec / cfg.DT)
+	numStreams := network.NumStreams()
+
+	streams := make([][]int8, numStreams)
+	for k := range streams {
+		streams[k] = make([]int8, ticks)
+	}
+
+	states := make([]agent.BodyState, sched.NumUsers())
+	bodies := make([]rf.Body, 0, sched.NumUsers())
+	rssi := make([]float64, numStreams)
+
+	for i := 0; i < ticks; i++ {
+		t := float64(i) * cfg.DT
+		sampler.At(t, states)
+		bodies = bodies[:0]
+		for u := range states {
+			if states[u].Present {
+				bodies = append(bodies, rf.Body{Pos: states[u].Pos, Speed: states[u].Speed})
+			}
+		}
+		network.Sample(bodies, rssi)
+		for k := 0; k < numStreams; k++ {
+			streams[k][i] = int8(rssi[k])
+		}
+	}
+
+	trace := &Trace{
+		DT:         cfg.DT,
+		Ticks:      ticks,
+		Streams:    streams,
+		Events:     sched.Events(),
+		Seated:     sched.SeatedIntervals(),
+		InputSpans: sched.InputSpans(),
+		DaySeconds: daySec,
+	}
+	return trace, network.Links(), nil
+}
+
+// NumStreams returns the stream count of the full deployment.
+func (d *Dataset) NumStreams() int { return len(d.Links) }
+
+// StreamSubset returns the indices of streams whose both endpoints belong
+// to the given sensor subset (indices into the layout's sensor list), in
+// deterministic order. This models deploying only those sensors: the
+// remaining links' propagation is unaffected by absent receivers.
+func (d *Dataset) StreamSubset(sensors []int) []int {
+	in := make(map[int]bool, len(sensors))
+	for _, s := range sensors {
+		in[s] = true
+	}
+	var out []int
+	for k, l := range d.Links {
+		if in[l.TX] && in[l.RX] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// EventCounts tallies ground-truth label counts over the whole dataset in
+// the paper's Table II format: index 0 is w0 (entries), index i>0 is
+// departures from workstation i-1.
+func (d *Dataset) EventCounts() []int {
+	counts := make([]int, d.Layout.NumWorkstations()+1)
+	for _, day := range d.Days {
+		for _, e := range day.Events {
+			switch e.Type {
+			case agent.EventEntry:
+				counts[0]++
+			case agent.EventDeparture:
+				counts[e.Workstation+1]++
+			}
+		}
+	}
+	return counts
+}
+
+// TotalHours returns the monitored hours across all days.
+func (d *Dataset) TotalHours() float64 {
+	var sec float64
+	for _, day := range d.Days {
+		sec += day.DaySeconds
+	}
+	return sec / 3600
+}

@@ -1,0 +1,127 @@
+package stats
+
+import "math"
+
+// Histogram is a fixed-width binning of a one-dimensional sample, used both
+// for the entropy feature of the RE module (Section IV-D1) and for the
+// 256-bin quantisation that the RMI feature analysis (Appendix A) applies.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Total    int
+}
+
+// NewHistogram bins xs into the given number of equal-width bins spanning
+// [min(xs), max(xs)]. A sample whose values are all identical lands in a
+// single bin. bins < 1 is clamped to 1.
+func NewHistogram(xs []float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	h := &Histogram{Counts: make([]int, bins)}
+	if len(xs) == 0 {
+		return h
+	}
+	h.Min, h.Max = Min(xs), Max(xs)
+	width := h.Max - h.Min
+	for _, x := range xs {
+		var idx int
+		if width > 0 {
+			idx = int(float64(bins) * (x - h.Min) / width)
+			if idx >= bins {
+				idx = bins - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+		}
+		h.Counts[idx]++
+		h.Total++
+	}
+	return h
+}
+
+// Probabilities returns the normalised bin frequencies. Bins with zero
+// counts yield zero probability.
+func (h *Histogram) Probabilities() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.Total)
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy (natural log) of the histogram's
+// frequency distribution:
+//
+//	H = −Σ P(r_j)·log P(r_j)
+//
+// matching the RE feature definition in Section IV-D1.
+func (h *Histogram) Entropy() float64 {
+	var sum float64
+	for _, p := range h.Probabilities() {
+		if p > 0 {
+			sum -= p * math.Log(p)
+		}
+	}
+	return sum
+}
+
+// Entropy is a convenience wrapper binning xs into bins equal-width bins
+// and returning the Shannon entropy of the resulting frequency histogram.
+func Entropy(xs []float64, bins int) float64 {
+	return NewHistogram(xs, bins).Entropy()
+}
+
+// EntropyOfCounts returns the Shannon entropy (natural log) of an arbitrary
+// count vector, used by the mutual-information computation.
+func EntropyOfCounts(counts []int) float64 {
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) / float64(total)
+			sum -= p * math.Log(p)
+		}
+	}
+	return sum
+}
+
+// Quantize maps each value of xs to a bin index in [0, bins) using
+// equal-width bins over the sample's own range, the quantisation scheme the
+// paper's Appendix A uses ("256 linearly distributed bins among the minimum
+// and the maximum of the distribution").
+func Quantize(xs []float64, bins int) []int {
+	if bins < 1 {
+		bins = 1
+	}
+	out := make([]int, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	lo, hi := Min(xs), Max(xs)
+	width := hi - lo
+	if width == 0 {
+		return out
+	}
+	for i, x := range xs {
+		idx := int(float64(bins) * (x - lo) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = idx
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramCounts(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if h.Total != 10 {
+		t.Fatalf("total %d", h.Total)
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Fatalf("bin %d count %d, want 2", i, c)
+		}
+	}
+}
+
+func TestHistogramMaxValueLandsInLastBin(t *testing.T) {
+	h := NewHistogram([]float64{0, 10}, 4)
+	if h.Counts[3] != 1 || h.Counts[0] != 1 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+}
+
+func TestHistogramConstantSample(t *testing.T) {
+	h := NewHistogram([]float64{5, 5, 5}, 8)
+	if h.Counts[0] != 3 {
+		t.Fatalf("constant sample counts %v", h.Counts)
+	}
+	if e := h.Entropy(); e != 0 {
+		t.Fatalf("constant entropy %v, want 0", e)
+	}
+}
+
+func TestEntropyUniformIsLogN(t *testing.T) {
+	// A perfectly uniform 8-bin histogram has entropy ln(8).
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	if e := Entropy(xs, 8); !almost(e, math.Log(8), 1e-9) {
+		t.Fatalf("uniform entropy %v, want %v", e, math.Log(8))
+	}
+}
+
+func TestEntropyOrdering(t *testing.T) {
+	// Concentrated data has lower entropy than spread data.
+	concentrated := []float64{5, 5, 5, 5, 5, 5, 5, 9}
+	spread := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if Entropy(concentrated, 8) >= Entropy(spread, 8) {
+		t.Fatal("concentrated sample should have lower entropy")
+	}
+}
+
+func TestEntropyOfCounts(t *testing.T) {
+	if e := EntropyOfCounts([]int{10, 0, 0}); e != 0 {
+		t.Fatalf("single-class entropy %v", e)
+	}
+	if e := EntropyOfCounts([]int{5, 5}); !almost(e, math.Log(2), 1e-12) {
+		t.Fatalf("two-class entropy %v", e)
+	}
+	if e := EntropyOfCounts(nil); e != 0 {
+		t.Fatalf("empty entropy %v", e)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	bins := Quantize([]float64{0, 2.5, 5, 7.5, 10}, 4)
+	want := []int{0, 0, 2, 2, 3}
+	// 2.5 maps to bin 0 (2.5/10*4 = 1.0 → idx 1)? Verify exact arithmetic:
+	// idx = int(4 * (x-0)/10): 0→0, 2.5→1, 5→2, 7.5→3, 10→3.
+	want = []int{0, 1, 2, 3, 3}
+	for i, b := range bins {
+		if b != want[i] {
+			t.Fatalf("bins %v, want %v", bins, want)
+		}
+	}
+}
+
+func TestQuantizeConstant(t *testing.T) {
+	bins := Quantize([]float64{3, 3, 3}, 256)
+	for _, b := range bins {
+		if b != 0 {
+			t.Fatalf("constant quantization %v", bins)
+		}
+	}
+}
+
+func TestQuantizeRange(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i) * 0.37
+	}
+	for _, b := range Quantize(xs, 16) {
+		if b < 0 || b >= 16 {
+			t.Fatalf("bin %d out of range", b)
+		}
+	}
+}
+
+func TestHistogramProbabilitiesSumToOne(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 2, 8, 3, 9, 4}, 5)
+	var sum float64
+	for _, p := range h.Probabilities() {
+		sum += p
+	}
+	if !almost(sum, 1, 1e-12) {
+		t.Fatalf("probabilities sum %v", sum)
+	}
+}

@@ -1,0 +1,68 @@
+package stats
+
+// This file implements the information-theoretic feature analysis of the
+// paper's Appendix A: mutual information between a quantised feature and a
+// class label, and the relative mutual information (RMI)
+//
+//	RMI(x, y) = (H(x) − H(x|y)) / H(x)
+//
+// used to rank features (Table V) and to draw the stream-importance
+// heat-map (Fig 12).
+
+// MutualInformation returns I(X;Y) in nats for the paired discrete
+// sequences xs (feature bins) and ys (class labels). Sequences of unequal
+// length or empty sequences yield 0.
+func MutualInformation(xs, ys []int) float64 {
+	hx, hxy := marginalAndConditionalEntropy(xs, ys)
+	return hx - hxy
+}
+
+// RelativeMutualInformation returns RMI(x, y) = (H(x) − H(x|y)) / H(x), the
+// fraction of the feature's entropy explained by the class label. A
+// constant feature (H(x)=0) carries no information and yields 0.
+func RelativeMutualInformation(xs, ys []int) float64 {
+	hx, hxy := marginalAndConditionalEntropy(xs, ys)
+	if hx == 0 {
+		return 0
+	}
+	return (hx - hxy) / hx
+}
+
+// marginalAndConditionalEntropy returns H(x) and H(x|y) for the paired
+// discrete sequences.
+func marginalAndConditionalEntropy(xs, ys []int) (hx, hxGivenY float64) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, 0
+	}
+	n := float64(len(xs))
+
+	xCounts := make(map[int]int)
+	yCounts := make(map[int]int)
+	// Per-class histograms of x, keyed by class label.
+	xGivenY := make(map[int]map[int]int)
+	for i := range xs {
+		xCounts[xs[i]]++
+		yCounts[ys[i]]++
+		inner, ok := xGivenY[ys[i]]
+		if !ok {
+			inner = make(map[int]int)
+			xGivenY[ys[i]] = inner
+		}
+		inner[xs[i]]++
+	}
+
+	hx = EntropyOfCounts(mapValues(xCounts))
+	for y, inner := range xGivenY {
+		py := float64(yCounts[y]) / n
+		hxGivenY += py * EntropyOfCounts(mapValues(inner))
+	}
+	return hx, hxGivenY
+}
+
+func mapValues(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"fadewich/internal/rng"
+)
+
+func TestMutualInformationPerfectDependence(t *testing.T) {
+	// x == y: I(X;Y) = H(X) = ln 2 for a balanced binary variable.
+	xs := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	if mi := MutualInformation(xs, xs); !almost(mi, math.Log(2), 1e-12) {
+		t.Fatalf("MI(x,x) = %v, want ln2", mi)
+	}
+	if rmi := RelativeMutualInformation(xs, xs); !almost(rmi, 1, 1e-12) {
+		t.Fatalf("RMI(x,x) = %v, want 1", rmi)
+	}
+}
+
+func TestMutualInformationIndependence(t *testing.T) {
+	// Independent large samples: MI ≈ 0.
+	src := rng.New(77)
+	n := 20000
+	xs := make([]int, n)
+	ys := make([]int, n)
+	for i := range xs {
+		xs[i] = src.Intn(4)
+		ys[i] = src.Intn(3)
+	}
+	if mi := MutualInformation(xs, ys); mi > 0.01 {
+		t.Fatalf("independent MI = %v, want ≈0", mi)
+	}
+	if rmi := RelativeMutualInformation(xs, ys); rmi > 0.01 {
+		t.Fatalf("independent RMI = %v, want ≈0", rmi)
+	}
+}
+
+func TestRMIConstantFeature(t *testing.T) {
+	xs := []int{5, 5, 5, 5}
+	ys := []int{0, 1, 0, 1}
+	if rmi := RelativeMutualInformation(xs, ys); rmi != 0 {
+		t.Fatalf("constant-feature RMI = %v", rmi)
+	}
+}
+
+func TestRMIBounds(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 50 + src.Intn(100)
+		xs := make([]int, n)
+		ys := make([]int, n)
+		for i := range xs {
+			xs[i] = src.Intn(8)
+			// y correlates loosely with x.
+			if src.Bool(0.5) {
+				ys[i] = xs[i] % 3
+			} else {
+				ys[i] = src.Intn(3)
+			}
+		}
+		rmi := RelativeMutualInformation(xs, ys)
+		if rmi < -1e-12 || rmi > 1+1e-12 {
+			t.Fatalf("RMI out of [0,1]: %v", rmi)
+		}
+	}
+}
+
+func TestMutualInformationMismatchedLengths(t *testing.T) {
+	if mi := MutualInformation([]int{1, 2}, []int{1}); mi != 0 {
+		t.Fatalf("mismatched MI = %v", mi)
+	}
+	if mi := MutualInformation(nil, nil); mi != 0 {
+		t.Fatalf("empty MI = %v", mi)
+	}
+}
+
+func TestInformativeFeatureRanksHigher(t *testing.T) {
+	// A feature that separates classes should out-rank noise — the basis
+	// of the paper's Table V ranking.
+	src := rng.New(11)
+	n := 2000
+	labels := make([]int, n)
+	good := make([]int, n)
+	noise := make([]int, n)
+	for i := range labels {
+		labels[i] = src.Intn(4)
+		good[i] = labels[i]*10 + src.Intn(3) // strongly class-dependent
+		noise[i] = src.Intn(40)
+	}
+	gr := RelativeMutualInformation(good, labels)
+	nr := RelativeMutualInformation(noise, labels)
+	if gr <= nr+0.2 {
+		t.Fatalf("informative RMI %v should clearly exceed noise RMI %v", gr, nr)
+	}
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmptyDistribution is returned when a KDE or ECDF is requested over no
+// observations.
+var ErrEmptyDistribution = errors.New("stats: empty distribution")
+
+// KDE is a Gaussian kernel density estimate over a one-dimensional sample,
+// exactly the construction Section IV-C1 of the paper uses for the MD
+// module's normal profile:
+//
+//	f̂(r) = 1/(n·h) Σ_i K((r − r_i)/h)
+//
+// with K the standard Gaussian kernel and h the bandwidth. Because the
+// kernel is Gaussian, the CDF has the closed form mean of Φ((x−r_i)/h),
+// which lets the MD module invert percentiles without numerical
+// integration of the density.
+type KDE struct {
+	samples []float64 // sorted ascending
+	h       float64
+}
+
+// NewKDE builds a KDE over samples with the given bandwidth. A bandwidth
+// <= 0 selects Silverman's rule of thumb. It returns
+// ErrEmptyDistribution when samples is empty.
+func NewKDE(samples []float64, bandwidth float64) (*KDE, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmptyDistribution
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	if bandwidth <= 0 {
+		bandwidth = SilvermanBandwidth(sorted)
+	}
+	return &KDE{samples: sorted, h: bandwidth}, nil
+}
+
+// SilvermanBandwidth returns Silverman's rule-of-thumb bandwidth
+// 0.9 · min(σ̂, IQR/1.34) · n^(−1/5), with a small positive floor so a
+// constant sample still yields a usable (spiky) estimate.
+func SilvermanBandwidth(samples []float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 1
+	}
+	sigma := math.Sqrt(SampleVariance(samples))
+	sorted := make([]float64, n)
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	iqr := percentileSorted(sorted, 75) - percentileSorted(sorted, 25)
+	spread := sigma
+	if iqr > 0 && iqr/1.34 < spread {
+		spread = iqr / 1.34
+	}
+	h := 0.9 * spread * math.Pow(float64(n), -0.2)
+	if h <= 1e-9 {
+		h = 1e-3
+	}
+	return h
+}
+
+// Bandwidth returns the kernel bandwidth in use.
+func (k *KDE) Bandwidth() float64 { return k.h }
+
+// N returns the number of underlying observations.
+func (k *KDE) N() int { return len(k.samples) }
+
+// Density evaluates the estimated probability density at x.
+func (k *KDE) Density(x float64) float64 {
+	const invSqrt2Pi = 0.3989422804014327
+	var sum float64
+	for _, s := range k.samples {
+		z := (x - s) / k.h
+		sum += invSqrt2Pi * math.Exp(-0.5*z*z)
+	}
+	return sum / (float64(len(k.samples)) * k.h)
+}
+
+// cdfCutoff is the |z| beyond which Φ(z) is treated as exactly 0 or 1; at
+// 8 standard deviations the error is below 1e-15, far under the bisection
+// tolerance of Percentile.
+const cdfCutoff = 8
+
+// CDF evaluates the estimated cumulative distribution function at x.
+// Because the samples are kept sorted, kernels farther than cdfCutoff
+// bandwidths from x contribute exactly 0 or 1, so the evaluation is
+// O(log n + w) where w is the number of samples within the cutoff — this
+// keeps the MD module's frequent profile refits cheap.
+func (k *KDE) CDF(x float64) float64 {
+	n := len(k.samples)
+	lo := sort.SearchFloat64s(k.samples, x-cdfCutoff*k.h)
+	hi := sort.SearchFloat64s(k.samples, x+cdfCutoff*k.h)
+	sum := float64(lo) // all samples below the window contribute Φ≈1
+	for _, s := range k.samples[lo:hi] {
+		sum += stdNormalCDF((x - s) / k.h)
+	}
+	return sum / float64(n)
+}
+
+// stdNormalCDF is Φ(z) for the standard normal distribution.
+func stdNormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// Percentile inverts the CDF: it returns the x at which CDF(x) = p/100,
+// found by bisection over an interval padded by 10 bandwidths beyond the
+// sample range. This is how MD derives the (100−α)-th percentile anomaly
+// threshold from the normal profile.
+func (k *KDE) Percentile(p float64) float64 {
+	target := p / 100
+	if target <= 0 {
+		return k.samples[0] - 10*k.h
+	}
+	if target >= 1 {
+		return k.samples[len(k.samples)-1] + 10*k.h
+	}
+	lo := k.samples[0] - 10*k.h
+	hi := k.samples[len(k.samples)-1] + 10*k.h
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if k.CDF(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-10 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Samples returns a copy of the (sorted) underlying observations.
+func (k *KDE) Samples() []float64 {
+	out := make([]float64, len(k.samples))
+	copy(out, k.samples)
+	return out
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF over samples. It returns ErrEmptyDistribution when
+// samples is empty.
+func NewECDF(samples []float64) (*ECDF, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmptyDistribution
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}, nil
+}
+
+// At returns the fraction of observations <= x.
+func (e *ECDF) At(x float64) float64 {
+	idx := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Percentile returns the p-th percentile (0..100) of the sample.
+func (e *ECDF) Percentile(p float64) float64 {
+	return percentileSorted(e.sorted, p)
+}
+
+// N returns the number of observations.
+func (e *ECDF) N() int { return len(e.sorted) }

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"fadewich/internal/rng"
+)
+
+func gaussianSample(seed uint64, n int, mean, sd float64) []float64 {
+	src := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Normal(mean, sd)
+	}
+	return xs
+}
+
+func TestNewKDEEmpty(t *testing.T) {
+	if _, err := NewKDE(nil, 0); err == nil {
+		t.Fatal("expected error for empty sample")
+	}
+}
+
+func TestKDEDensityIntegratesToOne(t *testing.T) {
+	xs := gaussianSample(1, 500, 0, 1)
+	kde, err := NewKDE(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoidal integration over ±6σ.
+	var integral float64
+	const step = 0.01
+	for x := -6.0; x < 6; x += step {
+		integral += kde.Density(x) * step
+	}
+	if !almost(integral, 1, 0.01) {
+		t.Fatalf("density integral %v, want ≈1", integral)
+	}
+}
+
+func TestKDECDFMonotoneAndBounded(t *testing.T) {
+	xs := gaussianSample(2, 300, 5, 2)
+	kde, _ := NewKDE(xs, 0)
+	prev := -1.0
+	for x := -5.0; x <= 15; x += 0.25 {
+		c := kde.CDF(x)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of [0,1]: %v", c)
+		}
+		prev = c
+	}
+	if c := kde.CDF(-100); !almost(c, 0, 1e-9) {
+		t.Fatalf("CDF(-inf) = %v", c)
+	}
+	if c := kde.CDF(100); !almost(c, 1, 1e-9) {
+		t.Fatalf("CDF(+inf) = %v", c)
+	}
+}
+
+func TestKDEPercentileInvertsCDF(t *testing.T) {
+	xs := gaussianSample(3, 400, 0, 1)
+	kde, _ := NewKDE(xs, 0)
+	for _, p := range []float64{1, 25, 50, 75, 99} {
+		x := kde.Percentile(p)
+		if c := kde.CDF(x); !almost(c, p/100, 1e-4) {
+			t.Fatalf("CDF(P%v) = %v", p, c)
+		}
+	}
+}
+
+func TestKDEPercentileMatchesGaussian(t *testing.T) {
+	// For a large Gaussian sample the KDE's 99th percentile should land
+	// near the true z=2.326.
+	xs := gaussianSample(4, 5000, 0, 1)
+	kde, _ := NewKDE(xs, 0)
+	if p := kde.Percentile(99); math.Abs(p-2.326) > 0.2 {
+		t.Fatalf("P99 = %v, want ≈2.33", p)
+	}
+	if p := kde.Percentile(50); math.Abs(p) > 0.1 {
+		t.Fatalf("P50 = %v, want ≈0", p)
+	}
+}
+
+func TestKDEConstantSample(t *testing.T) {
+	xs := []float64{7, 7, 7, 7, 7}
+	kde, err := NewKDE(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the bandwidth floor the estimate is a spike at 7.
+	if p := kde.Percentile(50); !almost(p, 7, 0.01) {
+		t.Fatalf("P50 of constant sample %v", p)
+	}
+}
+
+func TestKDEExplicitBandwidth(t *testing.T) {
+	kde, _ := NewKDE([]float64{0, 10}, 0.5)
+	if kde.Bandwidth() != 0.5 {
+		t.Fatalf("bandwidth %v", kde.Bandwidth())
+	}
+	// Density at 5 should be tiny with a narrow bandwidth.
+	if d := kde.Density(5); d > 1e-6 {
+		t.Fatalf("mid-density %v", d)
+	}
+}
+
+func TestSilvermanBandwidthScales(t *testing.T) {
+	narrow := SilvermanBandwidth(gaussianSample(5, 200, 0, 0.5))
+	wide := SilvermanBandwidth(gaussianSample(6, 200, 0, 5))
+	if narrow <= 0 || wide <= 0 {
+		t.Fatal("bandwidths must be positive")
+	}
+	if wide < 5*narrow {
+		t.Fatalf("bandwidth should scale with spread: narrow=%v wide=%v", narrow, wide)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := e.At(3); v != 0.6 {
+		t.Fatalf("At(3) = %v", v)
+	}
+	if v := e.At(0); v != 0 {
+		t.Fatalf("At(0) = %v", v)
+	}
+	if v := e.At(5); v != 1 {
+		t.Fatalf("At(5) = %v", v)
+	}
+	if p := e.Percentile(50); p != 3 {
+		t.Fatalf("P50 = %v", p)
+	}
+	if _, err := NewECDF(nil); err == nil {
+		t.Fatal("expected error for empty ECDF")
+	}
+}
+
+func TestKDESamplesCopied(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	kde, _ := NewKDE(xs, 0)
+	xs[0] = 99 // mutating the input must not affect the KDE
+	got := kde.Samples()
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("samples %v, want sorted copy of original", got)
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import "math"
+
+// RollingStd maintains the standard deviation of the last w observations of
+// a stream in O(1) per update, using running sums with periodic exact
+// recomputation to bound floating-point drift. The MD module keeps one of
+// these per RSSI stream: its statistic s_t is the sum of the RollingStd
+// values across all streams (Section IV-C2).
+type RollingStd struct {
+	buf   []float64
+	head  int
+	count int
+	sum   float64
+	sumSq float64
+	// updatesSinceRebuild triggers an exact recomputation of the running
+	// sums every rebuildEvery updates so that cancellation error cannot
+	// accumulate over multi-day traces.
+	updatesSinceRebuild int
+}
+
+// rebuildEvery bounds floating-point drift; the exact rebuild is O(w) and
+// amortises to a negligible constant.
+const rebuildEvery = 1 << 14
+
+// NewRollingStd returns a rolling standard deviation over windows of w
+// observations. It panics for w < 1, which is a configuration error.
+func NewRollingStd(w int) *RollingStd {
+	if w < 1 {
+		panic("stats: RollingStd window must be >= 1")
+	}
+	return &RollingStd{buf: make([]float64, w)}
+}
+
+// Push adds an observation, evicting the oldest when the window is full.
+func (r *RollingStd) Push(x float64) {
+	if r.count == len(r.buf) {
+		old := r.buf[r.head]
+		r.sum -= old
+		r.sumSq -= old * old
+	} else {
+		r.count++
+	}
+	r.buf[r.head] = x
+	r.sum += x
+	r.sumSq += x * x
+	r.head = (r.head + 1) % len(r.buf)
+
+	r.updatesSinceRebuild++
+	if r.updatesSinceRebuild >= rebuildEvery {
+		r.rebuild()
+	}
+}
+
+func (r *RollingStd) rebuild() {
+	r.updatesSinceRebuild = 0
+	var sum, sumSq float64
+	n := r.count
+	for i := 0; i < n; i++ {
+		idx := (r.head - 1 - i + len(r.buf)*2) % len(r.buf)
+		v := r.buf[idx]
+		sum += v
+		sumSq += v * v
+	}
+	r.sum, r.sumSq = sum, sumSq
+}
+
+// Full reports whether the window has received at least w observations.
+func (r *RollingStd) Full() bool { return r.count == len(r.buf) }
+
+// N returns the number of observations currently in the window.
+func (r *RollingStd) N() int { return r.count }
+
+// Std returns the population standard deviation of the current window
+// contents, or 0 when fewer than two observations are present.
+func (r *RollingStd) Std() float64 {
+	if r.count < 2 {
+		return 0
+	}
+	n := float64(r.count)
+	mean := r.sum / n
+	v := r.sumSq/n - mean*mean
+	if v < 0 {
+		v = 0 // guard against tiny negative values from rounding
+	}
+	return math.Sqrt(v)
+}
+
+// Mean returns the mean of the current window contents, or 0 when empty.
+func (r *RollingStd) Mean() float64 {
+	if r.count == 0 {
+		return 0
+	}
+	return r.sum / float64(r.count)
+}
+
+// Reset empties the window.
+func (r *RollingStd) Reset() {
+	r.head, r.count = 0, 0
+	r.sum, r.sumSq = 0, 0
+	r.updatesSinceRebuild = 0
+}
+
+// Window returns the current window contents oldest-first. It allocates;
+// intended for tests and feature extraction, not the per-tick hot path.
+func (r *RollingStd) Window() []float64 {
+	out := make([]float64, r.count)
+	for i := 0; i < r.count; i++ {
+		idx := (r.head - r.count + i + 2*len(r.buf)) % len(r.buf)
+		out[i] = r.buf[idx]
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fadewich/internal/rng"
+)
+
+// mod wraps quick-generated floats into a bounded range.
+func mod(x, m float64) float64 {
+	if math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, m)
+}
+
+func TestRollingStdMatchesNaive(t *testing.T) {
+	// Property: after any sequence of pushes, the rolling std equals the
+	// population std of the last w values.
+	src := rng.New(55)
+	for _, w := range []int{2, 5, 12, 30} {
+		r := NewRollingStd(w)
+		var history []float64
+		for i := 0; i < 500; i++ {
+			x := src.Normal(-60, 3)
+			r.Push(x)
+			history = append(history, x)
+			lo := len(history) - w
+			if lo < 0 {
+				lo = 0
+			}
+			want := StdDev(history[lo:])
+			if got := r.Std(); !almost(got, want, 1e-6) {
+				t.Fatalf("w=%d step=%d: rolling %v, naive %v", w, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRollingStdWarmup(t *testing.T) {
+	r := NewRollingStd(10)
+	if r.Std() != 0 || r.Full() || r.N() != 0 {
+		t.Fatal("fresh window should be empty")
+	}
+	r.Push(5)
+	if r.Std() != 0 {
+		t.Fatal("single observation should have zero std")
+	}
+	if r.Mean() != 5 {
+		t.Fatalf("mean %v", r.Mean())
+	}
+	for i := 0; i < 9; i++ {
+		r.Push(float64(i))
+	}
+	if !r.Full() || r.N() != 10 {
+		t.Fatalf("window should be full: n=%d", r.N())
+	}
+}
+
+func TestRollingStdReset(t *testing.T) {
+	r := NewRollingStd(4)
+	for i := 0; i < 8; i++ {
+		r.Push(float64(i * i))
+	}
+	r.Reset()
+	if r.N() != 0 || r.Std() != 0 {
+		t.Fatal("reset did not clear the window")
+	}
+	r.Push(1)
+	r.Push(3)
+	if !almost(r.Std(), 1, 1e-12) {
+		t.Fatalf("std after reset %v", r.Std())
+	}
+}
+
+func TestRollingStdWindowContents(t *testing.T) {
+	r := NewRollingStd(3)
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		r.Push(x)
+	}
+	w := r.Window()
+	if len(w) != 3 || w[0] != 3 || w[1] != 4 || w[2] != 5 {
+		t.Fatalf("window %v, want [3 4 5]", w)
+	}
+}
+
+func TestRollingStdPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRollingStd(0) did not panic")
+		}
+	}()
+	NewRollingStd(0)
+}
+
+func TestRollingStdLongRunStability(t *testing.T) {
+	// Drift guard: after far more pushes than rebuildEvery, the running
+	// sums must still agree with the naive computation.
+	src := rng.New(60)
+	r := NewRollingStd(16)
+	recent := make([]float64, 0, 16)
+	for i := 0; i < rebuildEvery*2+100; i++ {
+		// Large offset amplifies cancellation error if drift were present.
+		x := 1e6 + src.NormFloat64()
+		r.Push(x)
+		recent = append(recent, x)
+		if len(recent) > 16 {
+			recent = recent[1:]
+		}
+	}
+	want := StdDev(recent)
+	// The large offset makes some cancellation error unavoidable even for
+	// the naive formula; without the periodic rebuild the error here
+	// would be orders of magnitude larger.
+	if got := r.Std(); !almost(got, want, 5e-3) {
+		t.Fatalf("after long run: rolling %v, naive %v", got, want)
+	}
+}
+
+func TestRollingStdNonNegativeProperty(t *testing.T) {
+	r := NewRollingStd(8)
+	if err := quick.Check(func(x float64) bool {
+		if x != x { // NaN guard
+			x = 0
+		}
+		// Keep inputs in a physically meaningful (dBm-like) range;
+		// squaring near-max float64 overflows for any formula.
+		r.Push(mod(x, 1e3))
+		return r.Std() >= 0
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
