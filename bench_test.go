@@ -10,9 +10,13 @@
 package fadewich_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"fadewich/internal/core"
+	"fadewich/internal/engine"
 	"fadewich/internal/eval"
 	"fadewich/internal/geom"
 	"fadewich/internal/md"
@@ -460,5 +464,83 @@ func BenchmarkSimulateDay(b *testing.B) {
 		if _, err := sim.Generate(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Fleet-engine benches: sequential vs parallel generation, fleet
+// --- throughput at increasing office counts ---
+
+// BenchmarkGenerateDataset compares sequential and parallel multi-day
+// dataset generation; the parallel case fans the days out over one
+// worker per CPU. On a multi-core machine the parallel variant should
+// approach a Days-fold speedup (capped by core count); output is
+// bit-identical either way.
+func BenchmarkGenerateDataset(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{fmt.Sprintf("parallel-%dcpu", runtime.NumCPU()), 0},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := sim.Config{Days: 8, Seed: 11, Workers: c.workers}
+			cfg.Agent.DaySeconds = 600
+			cfg.Agent.MorningJitterSec = 60
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i) + 11
+				if _, err := sim.Generate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetThroughput measures merged-stream tick delivery at 1, 8
+// and 64 offices, reporting aggregate ticks/sec across the fleet. The
+// per-office System work is identical, so the metric shows how fleet
+// sharding scales with office count.
+func BenchmarkFleetThroughput(b *testing.B) {
+	const (
+		streams    = 12
+		batchTicks = 128
+	)
+	for _, offices := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("offices-%d", offices), func(b *testing.B) {
+			fleet, err := engine.NewFleet(engine.FleetConfig{
+				Offices: offices,
+				System:  core.Config{Streams: streams, Workstations: 3},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One pre-generated quiet batch per office, reused every
+			// iteration: the benchmark measures delivery, not rng.
+			batch := make([][][]float64, offices)
+			for o := range batch {
+				src := rng.New(uint64(o) + 1)
+				ticks := make([][]float64, batchTicks)
+				for t := range ticks {
+					row := make([]float64, streams)
+					for k := range row {
+						row[k] = -60 + src.Normal(0, 0.5)
+					}
+					ticks[t] = row
+				}
+				batch[o] = ticks
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.RunBatch(batch, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			totalTicks := float64(b.N) * float64(offices) * batchTicks
+			b.ReportMetric(totalTicks/b.Elapsed().Seconds(), "ticks/sec")
+		})
 	}
 }

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	fadewich-eval [-exp all|fig2|table2|fig7|table3|fig8|fig9|fig10|table4|fig11|fig12|table5|fig13]
-//	              [-days N] [-seed S] [-draws D] [-csv]
+//	              [-days N] [-seed S] [-draws D] [-parallel P] [-csv]
 //
 // Each experiment prints an ASCII table (and, with -csv, the raw series)
 // that corresponds to one table or figure of the paper; EXPERIMENTS.md
@@ -29,23 +29,24 @@ func main() {
 	days := flag.Int("days", 5, "simulated working days")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	draws := flag.Int("draws", 100, "input redraws for the usability simulation")
+	parallel := flag.Int("parallel", 0, "worker pool width for generation and sweeps (0 = one per CPU, 1 = sequential)")
 	csv := flag.Bool("csv", false, "also print figure series as CSV")
 	flag.Parse()
 
-	if err := run(*exp, *days, *seed, *draws, *csv); err != nil {
+	if err := run(*exp, *days, *seed, *draws, *parallel, *csv); err != nil {
 		fmt.Fprintf(os.Stderr, "fadewich-eval: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, days int, seed uint64, draws int, csv bool) error {
+func run(exp string, days int, seed uint64, draws, parallel int, csv bool) error {
 	start := time.Now()
 	fmt.Printf("generating dataset: %d day(s), seed %d ...\n", days, seed)
-	ds, err := sim.Generate(sim.Config{Days: days, Seed: seed})
+	ds, err := sim.Generate(sim.Config{Days: days, Seed: seed, Workers: parallel})
 	if err != nil {
 		return err
 	}
-	h, err := eval.NewHarness(ds, eval.Options{Seed: seed})
+	h, err := eval.NewHarness(ds, eval.Options{Seed: seed, Workers: parallel})
 	if err != nil {
 		return err
 	}

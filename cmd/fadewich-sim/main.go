@@ -5,18 +5,26 @@
 // the online phase on the final day and reports every deauthentication
 // against the ground truth.
 //
+// With -offices K (K > 1) it scales the same pipeline to a fleet: K
+// independent office deployments generate their datasets in parallel,
+// train and serve as one engine.Fleet sharded across -parallel workers,
+// and report the aggregate catch rate plus fleet throughput.
+//
 // Usage:
 //
-//	fadewich-sim [-days N] [-seed S] [-sensors M] [-v]
+//	fadewich-sim [-days N] [-seed S] [-sensors M] [-offices K] [-parallel P] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"time"
 
 	"fadewich/internal/agent"
 	"fadewich/internal/core"
+	"fadewich/internal/engine"
 	"fadewich/internal/kma"
 	"fadewich/internal/rng"
 	"fadewich/internal/sim"
@@ -26,21 +34,32 @@ func main() {
 	days := flag.Int("days", 3, "total days (all but the last train the system)")
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	sensors := flag.Int("sensors", 9, "sensors to deploy (3..9)")
+	offices := flag.Int("offices", 1, "independent office deployments to run as a fleet")
+	parallel := flag.Int("parallel", 0, "worker pool width (0 = one per CPU, 1 = sequential)")
 	verbose := flag.Bool("v", false, "print every action")
 	flag.Parse()
 
-	if err := run(*days, *seed, *sensors, *verbose); err != nil {
+	var err error
+	switch {
+	case *offices < 1:
+		err = fmt.Errorf("need at least 1 office, got %d", *offices)
+	case *offices > 1:
+		err = runFleet(*days, *seed, *sensors, *offices, *parallel, *verbose)
+	default:
+		err = run(*days, *seed, *sensors, *parallel, *verbose)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fadewich-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(days int, seed uint64, sensors int, verbose bool) error {
+func run(days int, seed uint64, sensors, parallel int, verbose bool) error {
 	if days < 2 {
 		return fmt.Errorf("need at least 2 days (training + online), got %d", days)
 	}
 	fmt.Printf("generating %d-day dataset (seed %d)...\n", days, seed)
-	ds, err := sim.Generate(sim.Config{Days: days, Seed: seed})
+	ds, err := sim.Generate(sim.Config{Days: days, Seed: seed, Workers: parallel})
 	if err != nil {
 		return err
 	}
@@ -95,22 +114,7 @@ func run(days int, seed uint64, sensors int, verbose bool) error {
 
 	// Score online deauthentications against ground-truth departures.
 	fmt.Println()
-	departures := 0
-	caught := 0
-	for _, e := range trace.Events {
-		if e.Type != agent.EventDeparture {
-			continue
-		}
-		departures++
-		for _, d := range deauths {
-			if d.Workstation == e.Workstation && d.Time >= e.Time && d.Time <= e.Time+10 {
-				caught++
-				fmt.Printf("departure w%d at %7.1fs -> deauthenticated +%.1fs (%s)\n",
-					e.Workstation+1, e.Time, d.Time-e.Time, d.Cause)
-				break
-			}
-		}
-	}
+	caught, departures := scoreDay(trace, deauths, verbose, -1)
 	fmt.Printf("\nonline day: %d/%d departures deauthenticated within 10 s (%d sensors)\n",
 		caught, departures, sensors)
 	return nil
@@ -130,14 +134,6 @@ func feed(sys *core.System, trace *sim.Trace, streams []int, inputs [][]float64,
 		reactAt[ws] = -1
 	}
 	base := sys.Now()
-	seated := func(ws int, t float64) bool {
-		for _, iv := range trace.Seated[ws] {
-			if iv.Contains(t) {
-				return true
-			}
-		}
-		return false
-	}
 	for i := 0; i < trace.Ticks; i++ {
 		t := base + float64(i+1)*trace.DT
 		dayT := float64(i+1) * trace.DT
@@ -155,7 +151,7 @@ func feed(sys *core.System, trace *sim.Trace, streams []int, inputs [][]float64,
 			rssi[j] = float64(trace.Streams[k][i])
 		}
 		for _, a := range sys.Tick(rssi) {
-			if a.Type == core.ActionScreensaverOn && seated(a.Workstation, dayT) {
+			if a.Type == core.ActionScreensaverOn && seatedAt(trace, a.Workstation, dayT) {
 				reactAt[a.Workstation] = t + reactionSec
 			}
 			if onAction != nil {
@@ -163,4 +159,257 @@ func feed(sys *core.System, trace *sim.Trace, streams []int, inputs [][]float64,
 			}
 		}
 	}
+}
+
+// seatedAt reports whether workstation ws's user is seated at
+// day-relative time t.
+func seatedAt(trace *sim.Trace, ws int, t float64) bool {
+	if ws < 0 || ws >= len(trace.Seated) {
+		return false
+	}
+	for _, iv := range trace.Seated[ws] {
+		if iv.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// scoreDay counts ground-truth departures deauthenticated within 10
+// seconds. Deauth times are day-relative. office >= 0 adds a fleet label
+// to the per-departure lines (verbose only).
+func scoreDay(trace *sim.Trace, deauths []core.Action, verbose bool, office int) (caught, departures int) {
+	for _, e := range trace.Events {
+		if e.Type != agent.EventDeparture {
+			continue
+		}
+		departures++
+		for _, d := range deauths {
+			if d.Workstation == e.Workstation && d.Time >= e.Time && d.Time <= e.Time+10 {
+				caught++
+				if verbose || office < 0 {
+					if office >= 0 {
+						fmt.Printf("office %3d: ", office)
+					}
+					fmt.Printf("departure w%d at %7.1fs -> deauthenticated +%.1fs (%s)\n",
+						e.Workstation+1, e.Time, d.Time-e.Time, d.Cause)
+				}
+				break
+			}
+		}
+	}
+	return caught, departures
+}
+
+// runFleet scales the pipeline to K offices served by one engine.Fleet:
+// per-office datasets generate in parallel, then the fleet trains and
+// serves all offices sharded across the worker pool.
+func runFleet(days int, seed uint64, sensors, offices, parallel int, verbose bool) error {
+	if days < 2 {
+		return fmt.Errorf("need at least 2 days (training + online), got %d", days)
+	}
+	pool := engine.NewPool(parallel)
+	start := time.Now()
+	fmt.Printf("generating %d-day datasets for %d offices (seed %d, %d workers)...\n",
+		days, offices, seed, pool.Workers())
+	dss, err := engine.Gather(pool, offices, func(o int) (*sim.Dataset, error) {
+		// Each office gets its own seed stream; day-level parallelism is
+		// already saturated by the office fan-out.
+		return sim.Generate(sim.Config{Days: days, Seed: seed + uint64(o)*0x9e3779b9, Workers: 1})
+	})
+	if err != nil {
+		return err
+	}
+
+	subsetIdx, err := dss[0].Layout.SensorSubset(sensors)
+	if err != nil {
+		return err
+	}
+	streams := dss[0].StreamSubset(subsetIdx)
+
+	fleet, err := engine.NewFleet(engine.FleetConfig{
+		Offices: offices,
+		Workers: parallel,
+		System: core.Config{
+			DT:           dss[0].Days[0].DT,
+			Streams:      len(streams),
+			Workstations: dss[0].Layout.NumWorkstations(),
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Per-office input draws, one independent stream per office.
+	inputs := make([][][][]float64, offices) // [office][day][ws][]times
+	for o := 0; o < offices; o++ {
+		src := rng.New((seed + uint64(o)) ^ 0xfade)
+		inputs[o] = make([][][]float64, days)
+		for day, trace := range dss[o].Days {
+			inputs[o][day] = kma.GenerateInputs(trace.InputSpans, trace.Events, kma.InputModel{}, src.Split())
+		}
+	}
+	fmt.Printf("datasets ready in %.1fs; training fleet on %d day(s)...\n",
+		time.Since(start).Seconds(), days-1)
+
+	totalTicks := 0
+	serveStart := time.Now()
+	for day := 0; day < days-1; day++ {
+		ticks, err := fleetDay(fleet, dss, streams, inputs, day, nil)
+		if err != nil {
+			return err
+		}
+		totalTicks += ticks
+	}
+	if err := fleet.FinishTraining(); err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+	fmt.Printf("%d classifiers trained on %d auto-labelled samples total; going online\n\n",
+		offices, fleet.TrainingSamples())
+
+	// Online phase: the merged, time-ordered fleet stream scores each
+	// office against its own ground truth.
+	dayBase := make([]float64, offices)
+	for o := range dayBase {
+		dayBase[o] = fleet.System(o).Now()
+	}
+	deauths := make([][]core.Action, offices)
+	online := days - 1
+	ticks, err := fleetDay(fleet, dss, streams, inputs, online, func(a engine.OfficeAction) {
+		act := a.Action
+		act.Time -= dayBase[a.Office]
+		if verbose {
+			fmt.Printf("  office %3d  %8.1fs  %-15s w%d\n", a.Office, act.Time, act.Type, act.Workstation+1)
+		}
+		if act.Type == core.ActionDeauthenticate {
+			deauths[a.Office] = append(deauths[a.Office], act)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	totalTicks += ticks
+
+	caught, departures := 0, 0
+	for o := 0; o < offices; o++ {
+		c, d := scoreDay(dss[o].Days[online], deauths[o], verbose, o)
+		caught += c
+		departures += d
+	}
+	elapsed := time.Since(serveStart).Seconds()
+	fmt.Printf("\nfleet online day: %d/%d departures deauthenticated within 10 s across %d offices (%d sensors)\n",
+		caught, departures, offices, sensors)
+	fmt.Printf("fleet throughput: %.0f ticks/sec (%d ticks over %.1fs, %d workers)\n",
+		float64(totalTicks)/elapsed, totalTicks, elapsed, pool.Workers())
+	return nil
+}
+
+// fleetDay drives every office through one day in batches, handling input
+// delivery and the seated user's ~1.5 s screensaver reaction. It returns
+// the number of ticks delivered fleet-wide.
+//
+// The batch size must not exceed the reaction delay: a screensaver seen
+// in batch b schedules a reaction input that can only be delivered from
+// batch b+1 on, and the alert deauthenticates t_ss (3 s) after the
+// screensaver. With batchTicks <= reactionTicks the due tick always
+// falls inside the next batch, so the reaction lands at its exact tick —
+// the same cancellation the single-office feed() performs — instead of
+// arriving after the session is already gone.
+func fleetDay(fleet *engine.Fleet, dss []*sim.Dataset, streams []int, inputs [][][][]float64, day int, onAction func(engine.OfficeAction)) (int, error) {
+	offices := fleet.Offices()
+	dt := dss[0].Days[day].DT
+	reactionTicks := int(math.Ceil(1.5 / dt))
+	batchTicks := reactionTicks
+
+	dayBase := make([]float64, offices)
+	cursor := make([][]int, offices)
+	pending := make([][]engine.InputEvent, offices) // reactions, Tick day-absolute
+	maxTicks := 0
+	for o := 0; o < offices; o++ {
+		dayBase[o] = fleet.System(o).Now()
+		cursor[o] = make([]int, len(inputs[o][day]))
+		if t := dss[o].Days[day].Ticks; t > maxTicks {
+			maxTicks = t
+		}
+	}
+
+	total := 0
+	for startTick := 0; startTick < maxTicks; startTick += batchTicks {
+		endTick := startTick + batchTicks
+		if endTick > maxTicks {
+			endTick = maxTicks
+		}
+		sub := make([][][]float64, offices)
+		var evs []engine.InputEvent
+		for o := 0; o < offices; o++ {
+			trace := dss[o].Days[day]
+			end := endTick
+			if end > trace.Ticks {
+				end = trace.Ticks
+			}
+			if startTick >= end {
+				continue // this office's day is already over
+			}
+			m := make([][]float64, end-startTick)
+			for i := startTick; i < end; i++ {
+				row := make([]float64, len(streams))
+				for j, k := range streams {
+					row[j] = float64(trace.Streams[k][i])
+				}
+				m[i-startTick] = row
+			}
+			sub[o] = m
+			total += end - startTick
+
+			// Scheduled keyboard/mouse inputs falling in this range.
+			for ws, times := range inputs[o][day] {
+				for cursor[o][ws] < len(times) && int(times[cursor[o][ws]]/dt) < end {
+					tick := int(times[cursor[o][ws]] / dt)
+					if tick < startTick {
+						tick = startTick
+					}
+					evs = append(evs, engine.InputEvent{Office: o, Workstation: ws, Tick: tick - startTick})
+					cursor[o][ws]++
+				}
+			}
+			// Matured screensaver reactions.
+			keep := pending[o][:0]
+			for _, ev := range pending[o] {
+				if ev.Tick < end {
+					tick := ev.Tick
+					if tick < startTick {
+						tick = startTick
+					}
+					evs = append(evs, engine.InputEvent{Office: o, Workstation: ev.Workstation, Tick: tick - startTick})
+				} else {
+					keep = append(keep, ev)
+				}
+			}
+			pending[o] = keep
+		}
+
+		acts, err := fleet.RunBatch(sub, evs)
+		if err != nil {
+			return total, err
+		}
+		for _, a := range acts {
+			o := a.Office
+			dayT := a.Action.Time - dayBase[o]
+			if a.Action.Type == core.ActionScreensaverOn && seatedAt(dss[o].Days[day], a.Action.Workstation, dayT) {
+				// Day-relative tick index of the screensaver action
+				// (rounded against float drift), due reactionTicks later —
+				// the same tick feed() would deliver the reaction at.
+				ssTick := int(dayT/dt+0.5) - 1
+				pending[o] = append(pending[o], engine.InputEvent{
+					Office:      o,
+					Workstation: a.Action.Workstation,
+					Tick:        ssTick + reactionTicks,
+				})
+			}
+			if onAction != nil {
+				onAction(a)
+			}
+		}
+	}
+	return total, nil
 }

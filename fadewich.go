@@ -15,6 +15,11 @@
 //     multi-day RSSI datasets with exact ground truth.
 //   - Harness (internal/eval) — regenerates every table and figure of the
 //     paper's evaluation from a dataset.
+//   - Fleet (internal/engine) — the concurrent fleet layer: shards many
+//     independent office Systems across a worker pool with batched tick
+//     delivery and a merged, time-ordered action stream. The same pool
+//     parallelises dataset generation and the harness's experiment
+//     sweeps, deterministically in the seed.
 //
 // Quick start:
 //
@@ -29,6 +34,7 @@ import (
 	"fadewich/internal/agent"
 	"fadewich/internal/control"
 	"fadewich/internal/core"
+	"fadewich/internal/engine"
 	"fadewich/internal/eval"
 	"fadewich/internal/kma"
 	"fadewich/internal/md"
@@ -66,6 +72,25 @@ const (
 
 // NewSystem builds a streaming System in the training phase.
 func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
+
+// Fleet shards many independent office Systems across a worker pool with
+// batched tick delivery and a merged time-ordered action stream.
+type Fleet = engine.Fleet
+
+// FleetConfig parameterises a Fleet.
+type FleetConfig = engine.FleetConfig
+
+// OfficeAction is one action emitted by one office of a Fleet.
+type OfficeAction = engine.OfficeAction
+
+// InputEvent routes a keyboard/mouse notification to one office within a
+// Fleet batch.
+type InputEvent = engine.InputEvent
+
+// NewFleet builds a multi-office fleet with every office System in the
+// training phase. Deterministic: the merged action stream is identical
+// for every worker count.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return engine.NewFleet(cfg) }
 
 // Layout is an office floor plan: workstations, wall sensors, the door.
 type Layout = office.Layout

@@ -1,0 +1,3 @@
+module fadewich
+
+go 1.24

@@ -1,10 +1,11 @@
-package core
+package core_test
 
 import (
 	"errors"
 	"testing"
 
 	"fadewich/internal/control"
+	"fadewich/internal/core"
 	"fadewich/internal/kma"
 	"fadewich/internal/re"
 	"fadewich/internal/rng"
@@ -13,36 +14,36 @@ import (
 )
 
 func TestNewSystemErrors(t *testing.T) {
-	if _, err := NewSystem(Config{Streams: 0, Workstations: 1}); err == nil {
+	if _, err := core.NewSystem(core.Config{Streams: 0, Workstations: 1}); err == nil {
 		t.Fatal("zero streams accepted")
 	}
-	if _, err := NewSystem(Config{Streams: 4, Workstations: 0}); err == nil {
+	if _, err := core.NewSystem(core.Config{Streams: 4, Workstations: 0}); err == nil {
 		t.Fatal("zero workstations accepted")
 	}
 }
 
 func TestFinishTrainingGuards(t *testing.T) {
-	sys, err := NewSystem(Config{Streams: 2, Workstations: 1})
+	sys, err := core.NewSystem(core.Config{Streams: 2, Workstations: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	err = sys.FinishTraining()
-	if !errors.Is(err, ErrTooFewSamples) {
-		t.Fatalf("expected ErrTooFewSamples, got %v", err)
+	if !errors.Is(err, core.ErrTooFewSamples) {
+		t.Fatalf("expected core.ErrTooFewSamples, got %v", err)
 	}
 	// Force online via an adopted classifier, then FinishTraining must
 	// refuse.
 	clf := trainedClassifier(t)
 	sys.AdoptClassifier(clf)
-	if err := sys.FinishTraining(); !errors.Is(err, ErrNotTraining) {
-		t.Fatalf("expected ErrNotTraining, got %v", err)
+	if err := sys.FinishTraining(); !errors.Is(err, core.ErrNotTraining) {
+		t.Fatalf("expected core.ErrNotTraining, got %v", err)
 	}
-	if sys.Phase() != PhaseOnline {
+	if sys.Phase() != core.PhaseOnline {
 		t.Fatal("phase not online after AdoptClassifier")
 	}
 }
 
-// trainedClassifier builds a trivial 2-class classifier with the System's
+// trainedClassifier builds a trivial 2-class classifier with the core.System's
 // feature dimensionality for 2 streams.
 func trainedClassifier(t *testing.T) *re.Classifier {
 	t.Helper()
@@ -65,7 +66,7 @@ func trainedClassifier(t *testing.T) *re.Classifier {
 }
 
 func TestNotifyInputAuthenticatesAndIgnoresBadIndex(t *testing.T) {
-	sys, _ := NewSystem(Config{Streams: 2, Workstations: 2})
+	sys, _ := core.NewSystem(core.Config{Streams: 2, Workstations: 2})
 	if sys.Authenticated(0) {
 		t.Fatal("authenticated before any input")
 	}
@@ -84,7 +85,7 @@ func TestNotifyInputAuthenticatesAndIgnoresBadIndex(t *testing.T) {
 }
 
 // feedQuiet pushes n quiet ticks into the system.
-func feedQuiet(sys *System, src *rng.Source, n int, streams int) {
+func feedQuiet(sys *core.System, src *rng.Source, n int, streams int) {
 	buf := make([]float64, streams)
 	for i := 0; i < n; i++ {
 		for k := range buf {
@@ -95,8 +96,8 @@ func feedQuiet(sys *System, src *rng.Source, n int, streams int) {
 }
 
 // feedNoisy pushes n high-variance ticks.
-func feedNoisy(sys *System, src *rng.Source, n int, streams int) []Action {
-	var all []Action
+func feedNoisy(sys *core.System, src *rng.Source, n int, streams int) []core.Action {
+	var all []core.Action
 	buf := make([]float64, streams)
 	for i := 0; i < n; i++ {
 		for k := range buf {
@@ -109,7 +110,7 @@ func feedNoisy(sys *System, src *rng.Source, n int, streams int) []Action {
 
 func TestOnlineRule1Deauthenticates(t *testing.T) {
 	const streams = 2
-	sys, err := NewSystem(Config{Streams: streams, Workstations: 2})
+	sys, err := core.NewSystem(core.Config{Streams: streams, Workstations: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,9 +123,9 @@ func TestOnlineRule1Deauthenticates(t *testing.T) {
 	feedQuiet(sys, src, 50, streams)  // ws0 idles ≥ t∆ afterwards
 	actions := feedNoisy(sys, src, 60, streams)
 
-	var deauth *Action
+	var deauth *core.Action
 	for i := range actions {
-		if actions[i].Type == ActionDeauthenticate && actions[i].Workstation == 0 {
+		if actions[i].Type == core.ActionDeauthenticate && actions[i].Workstation == 0 {
 			deauth = &actions[i]
 			break
 		}
@@ -180,7 +181,7 @@ func alwaysClassifier(t *testing.T, streams, label int) *re.Classifier {
 
 func TestOnlineAlertLifecycle(t *testing.T) {
 	const streams = 2
-	sys, _ := NewSystem(Config{Streams: streams, Workstations: 1})
+	sys, _ := core.NewSystem(core.Config{Streams: streams, Workstations: 1})
 	sys.AdoptClassifier(alwaysClassifier(t, streams, 0)) // w0: no Rule 1
 
 	src := rng.New(13)
@@ -192,11 +193,11 @@ func TestOnlineAlertLifecycle(t *testing.T) {
 	var sawAlert, sawSS, sawDeauth bool
 	for _, a := range actions {
 		switch a.Type {
-		case ActionAlertEnter:
+		case core.ActionAlertEnter:
 			sawAlert = true
-		case ActionScreensaverOn:
+		case core.ActionScreensaverOn:
 			sawSS = true
-		case ActionDeauthenticate:
+		case core.ActionDeauthenticate:
 			if a.Cause == control.CauseAlert {
 				sawDeauth = true
 			}
@@ -209,7 +210,7 @@ func TestOnlineAlertLifecycle(t *testing.T) {
 
 func TestInputCancelsAlert(t *testing.T) {
 	const streams = 2
-	sys, _ := NewSystem(Config{Streams: streams, Workstations: 1})
+	sys, _ := core.NewSystem(core.Config{Streams: streams, Workstations: 1})
 	sys.AdoptClassifier(alwaysClassifier(t, streams, 0))
 
 	src := rng.New(17)
@@ -225,10 +226,10 @@ func TestInputCancelsAlert(t *testing.T) {
 		}
 		acts := sys.Tick(buf)
 		for _, a := range acts {
-			if a.Type == ActionAlertEnter {
+			if a.Type == core.ActionAlertEnter {
 				sys.NotifyInput(0) // immediate reaction
 			}
-			if a.Type == ActionAlertExit {
+			if a.Type == core.ActionAlertExit {
 				exited = true
 			}
 		}
@@ -254,7 +255,7 @@ func TestEndToEndOnSimulatedDay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := NewSystem(Config{
+	sys, err := core.NewSystem(core.Config{
 		DT:                 ds.Days[0].DT,
 		Streams:            ds.NumStreams(),
 		Workstations:       ds.Layout.NumWorkstations(),
@@ -273,9 +274,9 @@ func TestEndToEndOnSimulatedDay(t *testing.T) {
 	}
 
 	base := sys.Now()
-	var deauths []Action
-	replay(sys, ds.Days[1], inputs1, func(a Action) {
-		if a.Type == ActionDeauthenticate {
+	var deauths []core.Action
+	replay(sys, ds.Days[1], inputs1, func(a core.Action) {
+		if a.Type == core.ActionDeauthenticate {
 			a.Time -= base
 			deauths = append(deauths, a)
 		}
@@ -303,8 +304,8 @@ func TestEndToEndOnSimulatedDay(t *testing.T) {
 	}
 }
 
-// replay feeds a day into the System.
-func replay(sys *System, trace *sim.Trace, inputs [][]float64, onAction func(Action)) {
+// replay feeds a day into the core.System.
+func replay(sys *core.System, trace *sim.Trace, inputs [][]float64, onAction func(core.Action)) {
 	cursor := make([]int, len(inputs))
 	rssi := make([]float64, len(trace.Streams))
 	base := sys.Now()
@@ -328,19 +329,19 @@ func replay(sys *System, trace *sim.Trace, inputs [][]float64, onAction func(Act
 }
 
 func TestActionTypeString(t *testing.T) {
-	for _, a := range []ActionType{ActionAlertEnter, ActionAlertExit, ActionScreensaverOn, ActionDeauthenticate} {
+	for _, a := range []core.ActionType{core.ActionAlertEnter, core.ActionAlertExit, core.ActionScreensaverOn, core.ActionDeauthenticate} {
 		if a.String() == "" {
 			t.Fatal("empty action string")
 		}
 	}
-	if ActionType(99).String() == "" {
+	if core.ActionType(99).String() == "" {
 		t.Fatal("unknown action type should render")
 	}
 }
 
 func TestTimeoutBackstopOnline(t *testing.T) {
 	const streams = 2
-	sys, _ := NewSystem(Config{
+	sys, _ := core.NewSystem(core.Config{
 		Streams:      streams,
 		Workstations: 1,
 		Params:       control.Params{TimeoutSec: 60},
@@ -348,14 +349,14 @@ func TestTimeoutBackstopOnline(t *testing.T) {
 	src := rng.New(19)
 	feedQuiet(sys, src, 100, streams)
 	sys.NotifyInput(0)
-	var timeout *Action
+	var timeout *core.Action
 	buf := make([]float64, streams)
 	for i := 0; i < 400; i++ {
 		for k := range buf {
 			buf[k] = -60 + src.Normal(0, 0.5)
 		}
 		for _, a := range sys.Tick(buf) {
-			if a.Type == ActionDeauthenticate && a.Cause == control.CauseTimeout {
+			if a.Type == core.ActionDeauthenticate && a.Cause == control.CauseTimeout {
 				timeout = &a
 			}
 		}

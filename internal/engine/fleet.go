@@ -1,0 +1,211 @@
+// Fleet: a sharded multi-office deployment of core.System instances.
+//
+// The paper evaluates one 6 m × 3 m office; a production deployment
+// monitors thousands. Each office is an independent core.System — the
+// System itself stays single-goroutine and unaware of the fleet — and the
+// Fleet owns all routing: it delivers batched RSSI ticks and input
+// notifications to every office, shards the offices across pool workers,
+// and merges the per-office action streams into one globally time-ordered
+// stream tagged with the office index.
+
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"fadewich/internal/core"
+)
+
+// FleetConfig parameterises a Fleet.
+type FleetConfig struct {
+	// Offices is the number of independent office Systems to run.
+	Offices int
+	// System is the per-office configuration. Every office currently
+	// shares the same configuration; per-office layouts differ only in
+	// the tick data fed to them.
+	System core.Config
+	// Workers caps the worker-pool width (0 selects one per CPU, 1 forces
+	// sequential delivery). Output is identical for every value.
+	Workers int
+}
+
+// OfficeAction is one action emitted by one office of the fleet.
+type OfficeAction struct {
+	// Office is the index of the emitting System.
+	Office int
+	// Action is the System output (Action.Time is that office's clock).
+	Action core.Action
+}
+
+// InputEvent routes a keyboard/mouse notification to one office. Tick is
+// the index within the current batch before which the notification is
+// delivered; events at the same tick are delivered in slice order.
+type InputEvent struct {
+	Office      int
+	Workstation int
+	Tick        int
+}
+
+// Fleet shards N office Systems across a worker pool. Methods must be
+// called from one goroutine; the fleet fans work out internally.
+type Fleet struct {
+	cfg     FleetConfig
+	pool    *Pool
+	systems []*core.System
+	// perOffice[i] accumulates office i's actions during a batch; the
+	// slices are reused between batches.
+	perOffice [][]OfficeAction
+}
+
+// NewFleet builds the fleet with every office System in the training
+// phase.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Offices < 1 {
+		return nil, fmt.Errorf("engine: fleet needs at least one office, got %d", cfg.Offices)
+	}
+	f := &Fleet{
+		cfg:       cfg,
+		pool:      NewPool(cfg.Workers),
+		systems:   make([]*core.System, cfg.Offices),
+		perOffice: make([][]OfficeAction, cfg.Offices),
+	}
+	for i := range f.systems {
+		sys, err := core.NewSystem(cfg.System)
+		if err != nil {
+			return nil, fmt.Errorf("engine: office %d: %w", i, err)
+		}
+		f.systems[i] = sys
+	}
+	return f, nil
+}
+
+// Offices returns the fleet size.
+func (f *Fleet) Offices() int { return len(f.systems) }
+
+// System returns office i's System for direct inspection (training
+// sample counts, phase, authentication state). The System must not be
+// ticked directly while the fleet is also delivering batches.
+func (f *Fleet) System(i int) *core.System { return f.systems[i] }
+
+// NotifyInput routes a single input notification to one office between
+// batches. For inputs interleaved with a batch's ticks, pass InputEvents
+// to RunBatch instead.
+func (f *Fleet) NotifyInput(office, workstation int) {
+	if office < 0 || office >= len(f.systems) {
+		return
+	}
+	f.systems[office].NotifyInput(workstation)
+}
+
+// RunBatch delivers a batch of ticks to every office and returns the
+// merged action stream. ticks[i] holds office i's RSSI ticks (each one
+// sample per stream); offices may supply different tick counts — each
+// system advances its own clock by its own count. inputs are routed to
+// their office and delivered, in slice order, before the tick they name;
+// events whose tick exceeds the office's batch length are delivered after
+// the last tick.
+//
+// The merged stream is ordered by action time, ties broken by office
+// index, then by each office's own emission order — a total order that is
+// byte-identical for every worker count.
+func (f *Fleet) RunBatch(ticks [][][]float64, inputs []InputEvent) ([]OfficeAction, error) {
+	if len(ticks) != len(f.systems) {
+		return nil, fmt.Errorf("engine: batch has %d offices, fleet has %d", len(ticks), len(f.systems))
+	}
+	// Bucket inputs per office, preserving slice order within a bucket.
+	var byOffice map[int][]InputEvent
+	if len(inputs) > 0 {
+		byOffice = make(map[int][]InputEvent)
+		for _, ev := range inputs {
+			if ev.Office < 0 || ev.Office >= len(f.systems) {
+				return nil, fmt.Errorf("engine: input event for office %d outside fleet of %d", ev.Office, len(f.systems))
+			}
+			byOffice[ev.Office] = append(byOffice[ev.Office], ev)
+		}
+	}
+
+	err := f.pool.Map(len(f.systems), func(i int) error {
+		sys := f.systems[i]
+		out := f.perOffice[i][:0]
+		evs := byOffice[i]
+		// evs is ordered by slice position; deliver all events with
+		// Tick <= t before tick t. Sort stably by tick so out-of-order
+		// caller input still lands deterministically.
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].Tick < evs[b].Tick })
+		next := 0
+		for t, rssi := range ticks[i] {
+			for next < len(evs) && evs[next].Tick <= t {
+				sys.NotifyInput(evs[next].Workstation)
+				next++
+			}
+			for _, a := range sys.Tick(rssi) {
+				out = append(out, OfficeAction{Office: i, Action: a})
+			}
+		}
+		for ; next < len(evs); next++ {
+			sys.NotifyInput(evs[next].Workstation)
+		}
+		f.perOffice[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f.merge(), nil
+}
+
+// Tick delivers one tick to every office (rssi[i] is office i's sample
+// vector) and returns the merged actions of that tick.
+func (f *Fleet) Tick(rssi [][]float64) ([]OfficeAction, error) {
+	batch := make([][][]float64, len(rssi))
+	for i := range rssi {
+		batch[i] = [][]float64{rssi[i]}
+	}
+	return f.RunBatch(batch, nil)
+}
+
+// merge concatenates the per-office buffers and sorts them into the
+// global order (time, then office, then per-office emission order).
+func (f *Fleet) merge() []OfficeAction {
+	total := 0
+	for _, acts := range f.perOffice {
+		total += len(acts)
+	}
+	if total == 0 {
+		return nil
+	}
+	merged := make([]OfficeAction, 0, total)
+	for _, acts := range f.perOffice {
+		merged = append(merged, acts...)
+	}
+	sort.SliceStable(merged, func(a, b int) bool {
+		if merged[a].Action.Time != merged[b].Action.Time {
+			return merged[a].Action.Time < merged[b].Action.Time
+		}
+		return merged[a].Office < merged[b].Office
+	})
+	return merged
+}
+
+// FinishTraining moves every office to the online phase, fanning the SVM
+// training out across the pool. It fails on the first office (in index
+// order) whose training fails, wrapping the office index.
+func (f *Fleet) FinishTraining() error {
+	return f.pool.Map(len(f.systems), func(i int) error {
+		if err := f.systems[i].FinishTraining(); err != nil {
+			return fmt.Errorf("engine: office %d: %w", i, err)
+		}
+		return nil
+	})
+}
+
+// TrainingSamples returns the total labelled training samples collected
+// across the fleet.
+func (f *Fleet) TrainingSamples() int {
+	total := 0
+	for _, sys := range f.systems {
+		total += sys.TrainingSamples()
+	}
+	return total
+}

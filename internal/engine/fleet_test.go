@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"fadewich/internal/control"
+	"fadewich/internal/core"
+	"fadewich/internal/rng"
+)
+
+// fleetCfg is a small office System whose timeout backstop guarantees
+// actions without needing a trained classifier.
+func fleetCfg(offices, workers int) FleetConfig {
+	return FleetConfig{
+		Offices: offices,
+		Workers: workers,
+		System: core.Config{
+			Streams:      2,
+			Workstations: 1,
+			Params:       control.Params{TimeoutSec: 30},
+		},
+	}
+}
+
+// fleetScenario builds a deterministic 64-office workload: per-office
+// quiet RSSI ticks and one staggered login per office, so the timeout
+// deauthentications land at distinct, office-dependent times.
+func fleetScenario(offices, ticks int) (batch [][][]float64, inputs []InputEvent) {
+	batch = make([][][]float64, offices)
+	for o := 0; o < offices; o++ {
+		src := rng.New(uint64(o) + 1)
+		days := make([][]float64, ticks)
+		for t := range days {
+			days[t] = []float64{-60 + src.Normal(0, 0.4), -58 + src.Normal(0, 0.4)}
+		}
+		batch[o] = days
+		inputs = append(inputs, InputEvent{Office: o, Workstation: 0, Tick: o % 17})
+	}
+	return batch, inputs
+}
+
+// runFleet drives one scenario through a fleet with the given worker
+// count and returns the merged action stream.
+func runFleet(t *testing.T, offices, workers, ticks int) []OfficeAction {
+	t.Helper()
+	f, err := NewFleet(fleetCfg(offices, workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, inputs := fleetScenario(offices, ticks)
+	// Split the scenario into several batches to exercise batch-boundary
+	// state carry-over.
+	const batchTicks = 77
+	var out []OfficeAction
+	for start := 0; start < ticks; start += batchTicks {
+		end := start + batchTicks
+		if end > ticks {
+			end = ticks
+		}
+		sub := make([][][]float64, offices)
+		for o := range sub {
+			sub[o] = batch[o][start:end]
+		}
+		var evs []InputEvent
+		for _, ev := range inputs {
+			if ev.Tick >= start && ev.Tick < end {
+				ev.Tick -= start
+				evs = append(evs, ev)
+			}
+		}
+		acts, err := f.RunBatch(sub, evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, acts...)
+	}
+	return out
+}
+
+func TestFleet64OfficesDeterministicAcrossWorkerCounts(t *testing.T) {
+	const offices, ticks = 64, 260
+	want := runFleet(t, offices, 1, ticks)
+	if len(want) == 0 {
+		t.Fatal("scenario produced no actions; the determinism check is vacuous")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := runFleet(t, offices, workers, ticks)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: merged stream differs from sequential (%d vs %d actions)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+func TestFleetMatchesIndependentSystems(t *testing.T) {
+	const offices, ticks = 16, 220
+	got := runFleet(t, offices, 8, ticks)
+
+	// Reference: drive each office as a standalone System in a plain loop.
+	batch, inputs := fleetScenario(offices, ticks)
+	var want []OfficeAction
+	for o := 0; o < offices; o++ {
+		sys, err := core.NewSystem(fleetCfg(offices, 1).System)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputTick := -1
+		for _, ev := range inputs {
+			if ev.Office == o {
+				inputTick = ev.Tick
+			}
+		}
+		for tk := 0; tk < ticks; tk++ {
+			if tk == inputTick {
+				sys.NotifyInput(0)
+			}
+			for _, a := range sys.Tick(batch[o][tk]) {
+				want = append(want, OfficeAction{Office: o, Action: a})
+			}
+		}
+	}
+	want = sortReference(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fleet stream differs from independent systems: %d vs %d actions", len(got), len(want))
+	}
+}
+
+// sortReference applies the fleet's documented total order to a reference
+// action list.
+func sortReference(acts []OfficeAction) []OfficeAction {
+	out := make([]OfficeAction, len(acts))
+	copy(out, acts)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.Action.Time < a.Action.Time || (b.Action.Time == a.Action.Time && b.Office < a.Office) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestFleetMergedStreamIsTimeOrdered(t *testing.T) {
+	acts := runFleet(t, 64, 4, 260)
+	for i := 1; i < len(acts); i++ {
+		a, b := acts[i-1], acts[i]
+		if b.Action.Time < a.Action.Time {
+			t.Fatalf("action %d at %.2fs precedes %d at %.2fs", i, b.Action.Time, i-1, a.Action.Time)
+		}
+		if b.Action.Time == a.Action.Time && b.Office < a.Office {
+			t.Fatalf("tie at %.2fs breaks office order: %d before %d", a.Action.Time, a.Office, b.Office)
+		}
+	}
+}
+
+func TestFleetInputRouting(t *testing.T) {
+	f, err := NewFleet(fleetCfg(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.NotifyInput(1, 0)
+	f.NotifyInput(-1, 0) // ignored, must not panic
+	f.NotifyInput(99, 0)
+	if f.System(0).Authenticated(0) || !f.System(1).Authenticated(0) || f.System(2).Authenticated(0) {
+		t.Fatal("NotifyInput routed to the wrong office")
+	}
+}
+
+func TestFleetRunBatchValidation(t *testing.T) {
+	f, err := NewFleet(fleetCfg(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunBatch(make([][][]float64, 3), nil); err == nil {
+		t.Fatal("office-count mismatch accepted")
+	}
+	batch := [][][]float64{{{-60, -60}}, {{-60, -60}}}
+	if _, err := f.RunBatch(batch, []InputEvent{{Office: 5}}); err == nil {
+		t.Fatal("out-of-range input office accepted")
+	}
+}
+
+func TestFleetTickSingle(t *testing.T) {
+	f, err := NewFleet(fleetCfg(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Tick([][]float64{{-60, -60}, {-61, -59}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.System(0).Now(); got != 0.2 {
+		t.Fatalf("office 0 clock %.2f after one tick, want 0.2", got)
+	}
+}
+
+func TestFleetFinishTrainingReportsFirstFailingOffice(t *testing.T) {
+	f, err := NewFleet(fleetCfg(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.FinishTraining()
+	if err == nil {
+		t.Fatal("training with zero samples succeeded")
+	}
+	if !strings.Contains(err.Error(), "office 0") {
+		t.Fatalf("error %q does not name office 0", err)
+	}
+	if f.TrainingSamples() != 0 {
+		t.Fatalf("phantom training samples: %d", f.TrainingSamples())
+	}
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	if _, err := NewFleet(FleetConfig{Offices: 0}); err == nil {
+		t.Fatal("zero offices accepted")
+	}
+	if _, err := NewFleet(FleetConfig{Offices: 2, System: core.Config{Streams: 0, Workstations: 1}}); err == nil {
+		t.Fatal("invalid system config accepted")
+	}
+}

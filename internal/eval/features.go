@@ -48,8 +48,9 @@ func (h *Harness) featureMatrix() ([]re.Sample, []rf.Link, error) {
 	if len(samples) == 0 {
 		return nil, nil, fmt.Errorf("eval: no labelled samples for feature analysis")
 	}
-	links := make([]rf.Link, 0, len(h.streamSubsets[n]))
-	for _, k := range h.streamSubsets[n] {
+	subset := h.streamSubset(n)
+	links := make([]rf.Link, 0, len(subset))
+	for _, k := range subset {
 		links = append(links, h.ds.Links[k])
 	}
 	return samples, links, nil

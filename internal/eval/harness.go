@@ -9,9 +9,11 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"fadewich/internal/agent"
 	"fadewich/internal/control"
+	"fadewich/internal/engine"
 	"fadewich/internal/kma"
 	"fadewich/internal/md"
 	"fadewich/internal/re"
@@ -41,6 +43,12 @@ type Options struct {
 	Input kma.InputModel
 	// SensorCounts lists the deployment sizes swept by the experiments.
 	SensorCounts []int
+	// Workers caps the worker pool behind the harness's parallel
+	// fan-outs (per-day MD runs, per-sensor-count sweeps, usability
+	// input draws): 0 uses one worker per CPU, 1 forces sequential
+	// execution. Every result is deterministic in the harness seed
+	// regardless of this value.
+	Workers int
 }
 
 // DefaultOptions returns the paper's evaluation configuration.
@@ -89,16 +97,23 @@ type TrueEvent struct {
 	ExitTime float64
 }
 
-// Harness wraps a dataset and caches derived artefacts.
+// Harness wraps a dataset and caches derived artefacts. Its methods are
+// driven from one goroutine; internally the expensive sweeps fan out over
+// the harness worker pool, so the caches below are guarded by mu.
 type Harness struct {
 	ds   *sim.Dataset
 	opt  Options
 	root *rng.Source
+	pool *engine.Pool
 
 	// events[day] lists the labelled events of that day, time-sorted.
 	events [][]TrueEvent
 	// inputs is the canonical input draw: [day][workstation][times].
 	inputs [][][]float64
+
+	// mu guards the lazily grown caches below against concurrent sweep
+	// workers.
+	mu sync.Mutex
 	// subsets[n] is the deterministic sensor subset of size n.
 	subsets map[int][]int
 	// streamSubsets[n] lists stream indices for subset n.
@@ -115,6 +130,7 @@ func NewHarness(ds *sim.Dataset, opt Options) (*Harness, error) {
 		ds:            ds,
 		opt:           opt,
 		root:          rng.New(opt.Seed),
+		pool:          engine.NewPool(opt.Workers),
 		subsets:       make(map[int][]int),
 		streamSubsets: make(map[int][]int),
 		mdRuns:        make(map[int][]*md.Result),
@@ -204,33 +220,60 @@ func (h *Harness) AllEvents() []TrueEvent {
 func (h *Harness) Inputs() [][][]float64 { return h.inputs }
 
 // SensorSubset returns the cached subset for n sensors.
-func (h *Harness) SensorSubset(n int) []int { return h.subsets[n] }
+func (h *Harness) SensorSubset(n int) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.subsets[n]
+}
+
+// streamSubset returns the cached stream subset for n sensors (nil when
+// RunMD has not resolved it yet).
+func (h *Harness) streamSubset(n int) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.streamSubsets[n]
+}
 
 // RunMD returns the (cached) detector output for each day under the
-// n-sensor deployment.
+// n-sensor deployment, running uncached days in parallel over the
+// harness pool. Safe to call from concurrent sweep workers; md.Run is a
+// pure function of the trace, so a rare duplicated computation yields the
+// identical result.
 func (h *Harness) RunMD(n int) ([]*md.Result, error) {
+	h.mu.Lock()
 	if rs, ok := h.mdRuns[n]; ok {
+		h.mu.Unlock()
 		return rs, nil
 	}
 	subset, ok := h.streamSubsets[n]
 	if !ok {
 		sub, err := h.ds.Layout.SensorSubset(n)
 		if err != nil {
+			h.mu.Unlock()
 			return nil, fmt.Errorf("eval: %w", err)
 		}
 		h.subsets[n] = sub
 		subset = h.ds.StreamSubset(sub)
 		h.streamSubsets[n] = subset
 	}
+	h.mu.Unlock()
+
 	rs := make([]*md.Result, len(h.ds.Days))
-	for day, trace := range h.ds.Days {
+	err := h.pool.Map(len(h.ds.Days), func(day int) error {
+		trace := h.ds.Days[day]
 		r, err := md.Run(trace.Streams, subset, trace.DT, h.opt.MD)
 		if err != nil {
-			return nil, fmt.Errorf("eval: MD day %d: %w", day, err)
+			return fmt.Errorf("eval: MD day %d: %w", day, err)
 		}
 		rs[day] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	h.mu.Lock()
 	h.mdRuns[n] = rs
+	h.mu.Unlock()
 	return rs, nil
 }
 
@@ -324,7 +367,7 @@ func (h *Harness) Samples(n int, matches []*DayMatch, tDelta float64) []re.Sampl
 // sample, the ground-truth event its window matched — needed by the
 // security analysis to anchor deauthentication timings.
 func (h *Harness) SamplesWithEvents(n int, matches []*DayMatch, tDelta float64) ([]re.Sample, []TrueEvent) {
-	subset := h.streamSubsets[n]
+	subset := h.streamSubset(n)
 	feat := h.opt.Feat
 	feat.TDeltaSec = tDelta
 	var out []re.Sample

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"fadewich/internal/agent"
+	"fadewich/internal/engine"
 	"fadewich/internal/stats"
 )
 
@@ -139,8 +140,9 @@ type Fig7Point struct {
 }
 
 // Fig7 sweeps the minimum window duration t∆ for each sensor count and
-// returns the F-measure surface. Detector runs are cached per sensor
-// count; the sweep itself only refilters and rematches windows.
+// returns the F-measure surface. Sensor counts fan out over the harness
+// pool (the detector run is the expensive part); within one count the
+// sweep only refilters and rematches windows.
 func (h *Harness) Fig7(tDeltas []float64, sensorCounts []int) ([]Fig7Point, error) {
 	if len(tDeltas) == 0 {
 		tDeltas = []float64{2, 2.5, 3, 3.5, 4, 4.5, 5, 5.5, 6, 6.5, 7, 7.5, 8}
@@ -148,16 +150,25 @@ func (h *Harness) Fig7(tDeltas []float64, sensorCounts []int) ([]Fig7Point, erro
 	if len(sensorCounts) == 0 {
 		sensorCounts = []int{3, 5, 7, 9}
 	}
-	var out []Fig7Point
-	for _, n := range sensorCounts {
+	perCount, err := engine.Gather(h.pool, len(sensorCounts), func(i int) ([]Fig7Point, error) {
+		n := sensorCounts[i]
 		results, err := h.RunMD(n)
 		if err != nil {
 			return nil, err
 		}
+		pts := make([]Fig7Point, 0, len(tDeltas))
 		for _, td := range tDeltas {
 			_, det := h.Match(results, td)
-			out = append(out, Fig7Point{TDelta: td, Sensors: n, FMeasure: det.FMeasure(), Detection: det})
+			pts = append(pts, Fig7Point{TDelta: td, Sensors: n, FMeasure: det.FMeasure(), Detection: det})
 		}
+		return pts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig7Point
+	for _, pts := range perCount {
+		out = append(out, pts...)
 	}
 	return out, nil
 }
@@ -188,14 +199,13 @@ func (h *Harness) Table3(tDelta float64) ([]Table3Row, error) {
 			tDelta = 4.5
 		}
 	}
-	rows := make([]Table3Row, 0, len(h.opt.SensorCounts))
-	for _, n := range h.opt.SensorCounts {
+	return engine.Gather(h.pool, len(h.opt.SensorCounts), func(i int) (Table3Row, error) {
+		n := h.opt.SensorCounts[i]
 		results, err := h.RunMD(n)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		_, det := h.Match(results, tDelta)
-		rows = append(rows, Table3Row{Sensors: n, Detection: det})
-	}
-	return rows, nil
+		return Table3Row{Sensors: n, Detection: det}, nil
+	})
 }

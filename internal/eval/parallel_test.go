@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+)
+
+// harnessWith builds a harness over the shared fixture dataset with the
+// given worker count.
+func harnessWith(t *testing.T, workers int) *Harness {
+	t.Helper()
+	h, err := NewHarness(testDataset(t), Options{Seed: 5, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestHarnessParallelDeterminism asserts that every parallelised
+// experiment produces results identical to the sequential path for the
+// same harness seed.
+func TestHarnessParallelDeterminism(t *testing.T) {
+	seq := harnessWith(t, 1)
+	par := harnessWith(t, 8)
+
+	t.Run("table3", func(t *testing.T) {
+		a, err := seq.Table3(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Table3(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Table3 differs:\nseq: %+v\npar: %+v", a, b)
+		}
+	})
+
+	t.Run("fig7", func(t *testing.T) {
+		a, err := seq.Fig7([]float64{3, 4.5, 6}, []int{3, 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Fig7([]float64{3, 4.5, 6}, []int{3, 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Fig7 differs:\nseq: %+v\npar: %+v", a, b)
+		}
+	})
+
+	t.Run("fig8", func(t *testing.T) {
+		cfg := Fig8Config{SensorCounts: []int{9}, Repeats: 2}
+		a, err := seq.Fig8(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Fig8(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Fig8 differs:\nseq: %+v\npar: %+v", a, b)
+		}
+	})
+
+	t.Run("fig9", func(t *testing.T) {
+		a, err := seq.Fig9([]int{3, 9}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Fig9([]int{3, 9}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Fig9 differs:\nseq: %+v\npar: %+v", a, b)
+		}
+	})
+
+	t.Run("fig10", func(t *testing.T) {
+		a, err := seq.Fig10(AdversaryDelays{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Fig10(AdversaryDelays{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Fig10 differs:\nseq: %+v\npar: %+v", a, b)
+		}
+	})
+
+	t.Run("table4", func(t *testing.T) {
+		a, err := seq.Table4(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Table4(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Table4 differs:\nseq: %+v\npar: %+v", a, b)
+		}
+	})
+}
+
+// TestRunMDConcurrentCallers hammers the MD cache from parallel sweeps
+// (Table3 twice on the same harness) to exercise the cache lock; run with
+// -race this is the fleet-level data-race check for the harness.
+func TestRunMDConcurrentCallers(t *testing.T) {
+	h := harnessWith(t, 8)
+	first, err := h.Table3(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := h.Table3(0) // all cache hits
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached Table3 differs from computed Table3")
+	}
+}

@@ -8,6 +8,7 @@ package eval
 import (
 	"fmt"
 
+	"fadewich/internal/engine"
 	"fadewich/internal/re"
 	"fadewich/internal/stats"
 	"fadewich/internal/svm"
@@ -51,82 +52,98 @@ func (c Fig8Config) withDefaults(h *Harness) Fig8Config {
 	return c
 }
 
-// Fig8 computes the learning curves. Sensor counts whose MD stage finds
-// fewer TP windows produce shorter curves, exactly as in the paper ("some
-// of the lines end early on the x-axis").
+// Fig8 computes the learning curves, fanning the sensor counts out over
+// the harness pool (each one cross-validates Repeats independent splits).
+// Sensor counts whose MD stage finds fewer TP windows produce shorter
+// curves, exactly as in the paper ("some of the lines end early on the
+// x-axis").
 func (h *Harness) Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 	cfg = cfg.withDefaults(h)
+	perCount, err := engine.Gather(h.pool, len(cfg.SensorCounts), func(i int) ([]Fig8Point, error) {
+		return h.fig8For(cfg, cfg.SensorCounts[i])
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig8Point
-	for _, n := range cfg.SensorCounts {
-		results, err := h.RunMD(n)
-		if err != nil {
-			return nil, err
-		}
-		matches, _ := h.Match(results, cfg.TDelta)
-		samples := h.Samples(n, matches, cfg.TDelta)
-		if len(samples) < 2*cfg.Folds {
-			continue // not enough TP windows to cross-validate
-		}
-		sizes := cfg.TrainSizes
-		maxTrain := len(samples) - len(samples)/cfg.Folds
-		if len(sizes) == 0 {
-			for s := 10; s <= maxTrain; s += 10 {
-				sizes = append(sizes, s)
-			}
-			if len(sizes) == 0 || sizes[len(sizes)-1] < maxTrain {
-				sizes = append(sizes, maxTrain)
-			}
-		}
-
-		labels := make([]int, len(samples))
-		for i, s := range samples {
-			labels[i] = s.Label
-		}
-
-		// acc[size index] collects one mean accuracy per repeat.
-		acc := make([][]float64, len(sizes))
-		for rep := 0; rep < cfg.Repeats; rep++ {
-			folds := svm.StratifiedKFold(labels, cfg.Folds, h.opt.Seed+uint64(rep)*7919+uint64(n))
-			for si, size := range sizes {
-				var foldAcc []float64
-				for f := range folds {
-					train, test := splitFold(samples, folds, f)
-					if size > len(train) {
-						continue
-					}
-					sub := train[:size]
-					if !hasTwoClasses(sub) {
-						continue
-					}
-					clf, err := re.Train(sub, h.svmConfig(uint64(rep*31+f)))
-					if err != nil {
-						continue
-					}
-					correct := 0
-					for _, s := range test {
-						if clf.Predict(s.Features) == s.Label {
-							correct++
-						}
-					}
-					if len(test) > 0 {
-						foldAcc = append(foldAcc, float64(correct)/float64(len(test)))
-					}
-				}
-				if len(foldAcc) > 0 {
-					acc[si] = append(acc[si], stats.Mean(foldAcc))
-				}
-			}
-		}
-		for si, size := range sizes {
-			if len(acc[si]) == 0 {
-				continue
-			}
-			mean, ci := stats.MeanAndCI95(acc[si])
-			out = append(out, Fig8Point{Sensors: n, TrainSize: size, Accuracy: mean, CI95: ci})
-		}
+	for _, pts := range perCount {
+		out = append(out, pts...)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("eval: fig8 produced no points (too few TP samples)")
+	}
+	return out, nil
+}
+
+// fig8For computes one sensor count's learning curve (nil when the MD
+// stage found too few TP windows to cross-validate).
+func (h *Harness) fig8For(cfg Fig8Config, n int) ([]Fig8Point, error) {
+	results, err := h.RunMD(n)
+	if err != nil {
+		return nil, err
+	}
+	matches, _ := h.Match(results, cfg.TDelta)
+	samples := h.Samples(n, matches, cfg.TDelta)
+	if len(samples) < 2*cfg.Folds {
+		return nil, nil // not enough TP windows to cross-validate
+	}
+	sizes := cfg.TrainSizes
+	maxTrain := len(samples) - len(samples)/cfg.Folds
+	if len(sizes) == 0 {
+		for s := 10; s <= maxTrain; s += 10 {
+			sizes = append(sizes, s)
+		}
+		if len(sizes) == 0 || sizes[len(sizes)-1] < maxTrain {
+			sizes = append(sizes, maxTrain)
+		}
+	}
+
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		labels[i] = s.Label
+	}
+
+	// acc[size index] collects one mean accuracy per repeat.
+	acc := make([][]float64, len(sizes))
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		folds := svm.StratifiedKFold(labels, cfg.Folds, h.opt.Seed+uint64(rep)*7919+uint64(n))
+		for si, size := range sizes {
+			var foldAcc []float64
+			for f := range folds {
+				train, test := splitFold(samples, folds, f)
+				if size > len(train) {
+					continue
+				}
+				sub := train[:size]
+				if !hasTwoClasses(sub) {
+					continue
+				}
+				clf, err := re.Train(sub, h.svmConfig(uint64(rep*31+f)))
+				if err != nil {
+					continue
+				}
+				correct := 0
+				for _, s := range test {
+					if clf.Predict(s.Features) == s.Label {
+						correct++
+					}
+				}
+				if len(test) > 0 {
+					foldAcc = append(foldAcc, float64(correct)/float64(len(test)))
+				}
+			}
+			if len(foldAcc) > 0 {
+				acc[si] = append(acc[si], stats.Mean(foldAcc))
+			}
+		}
+	}
+	var out []Fig8Point
+	for si, size := range sizes {
+		if len(acc[si]) == 0 {
+			continue
+		}
+		mean, ci := stats.MeanAndCI95(acc[si])
+		out = append(out, Fig8Point{Sensors: n, TrainSize: size, Accuracy: mean, CI95: ci})
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ package eval
 
 import (
 	"fadewich/internal/baseline"
+	"fadewich/internal/engine"
 )
 
 // OutcomeCase identifies a leaf of the paper's decision tree (Fig 5).
@@ -124,11 +125,11 @@ func (h *Harness) Fig9(sensorCounts []int, maxSec float64) ([]Fig9Curve, error) 
 	if maxSec == 0 {
 		maxSec = 10
 	}
-	var out []Fig9Curve
-	for _, n := range sensorCounts {
+	return engine.Gather(h.pool, len(sensorCounts), func(i int) (Fig9Curve, error) {
+		n := sensorCounts[i]
 		outcomes, err := h.DepartureOutcomes(n, 0, 12345)
 		if err != nil {
-			return nil, err
+			return Fig9Curve{}, err
 		}
 		curve := Fig9Curve{Sensors: n, Cases: map[OutcomeCase]int{}}
 		for _, o := range outcomes {
@@ -149,9 +150,8 @@ func (h *Harness) Fig9(sensorCounts []int, maxSec float64) ([]Fig9Curve, error) 
 				curve.Y = append(curve.Y, 0)
 			}
 		}
-		out = append(out, curve)
-	}
-	return out, nil
+		return curve, nil
+	})
 }
 
 // Fig10Row is one policy's attack-opportunity percentages.
@@ -199,10 +199,11 @@ func (h *Harness) Fig10(adv AdversaryDelays) ([]Fig10Row, error) {
 		InsiderPct:  pct(pol.AttackOpportunities(departures, 0, adv.InsiderSec), departures),
 		CoworkerPct: pct(pol.AttackOpportunities(departures, 0, adv.CoworkerSec), departures),
 	}}
-	for _, n := range h.opt.SensorCounts {
+	perCount, err := engine.Gather(h.pool, len(h.opt.SensorCounts), func(i int) (Fig10Row, error) {
+		n := h.opt.SensorCounts[i]
 		outcomes, err := h.DepartureOutcomes(n, 0, 12345)
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
 		insider, coworker := 0, 0
 		for _, o := range outcomes {
@@ -214,15 +215,18 @@ func (h *Harness) Fig10(adv AdversaryDelays) ([]Fig10Row, error) {
 				coworker++
 			}
 		}
-		rows = append(rows, Fig10Row{
+		return Fig10Row{
 			Policy:      fmt3(n),
 			Sensors:     n,
 			Departures:  len(outcomes),
 			InsiderPct:  pct(insider, len(outcomes)),
 			CoworkerPct: pct(coworker, len(outcomes)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return append(rows, perCount...), nil
 }
 
 func pct(num, den int) float64 {

@@ -95,7 +95,7 @@ func (h *Harness) windowPredictions(n int, tDelta float64) ([]predictedWindow, e
 		}
 	}
 
-	subset := h.streamSubsets[n]
+	subset := h.streamSubset(n)
 	feat := h.opt.Feat
 	feat.TDeltaSec = tDelta
 
@@ -136,9 +136,13 @@ func (h *Harness) usabilityFor(n, draws int) (Table4Row, error) {
 		perDay[w.day] = append(perDay[w.day], w)
 	}
 
+	// Every draw is an independent replay (RedrawInputs seeds a fresh
+	// generator per draw), so the draws fan out over the harness pool
+	// with results slotted by draw index.
 	days := float64(len(h.ds.Days))
-	var ssPerDay, deauthPerDay []float64
-	for draw := 0; draw < draws; draw++ {
+	ssPerDay := make([]float64, draws)
+	deauthPerDay := make([]float64, draws)
+	if err := h.pool.Map(draws, func(draw int) error {
 		inputs := h.RedrawInputs(uint64(draw) + 17)
 		var ss, deauth int
 		for day, trace := range h.ds.Days {
@@ -147,8 +151,11 @@ func (h *Harness) usabilityFor(n, draws int) (Table4Row, error) {
 			ss += s
 			deauth += d
 		}
-		ssPerDay = append(ssPerDay, float64(ss)/days)
-		deauthPerDay = append(deauthPerDay, float64(deauth)/days)
+		ssPerDay[draw] = float64(ss) / days
+		deauthPerDay[draw] = float64(deauth) / days
+		return nil
+	}); err != nil {
+		return Table4Row{}, err
 	}
 
 	row := Table4Row{Sensors: n}

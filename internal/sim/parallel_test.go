@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// parallelConfig is a fast multi-day configuration for determinism checks.
+func parallelConfig(workers int) Config {
+	cfg := Config{Days: 4, Seed: 4242, Workers: workers}
+	cfg.Agent.DaySeconds = 900
+	cfg.Agent.MorningJitterSec = 60
+	cfg.Agent.DeparturesPerDay = 2
+	cfg.Agent.OutsideMeanSec = 90
+	return cfg
+}
+
+// TestGenerateParallelBitIdentical asserts that parallel generation
+// reproduces the sequential dataset bit for bit: same seed, any worker
+// count, byte-identical RSSI streams and identical ground truth.
+func TestGenerateParallelBitIdentical(t *testing.T) {
+	seq, err := Generate(parallelConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 9} {
+		par, err := Generate(parallelConfig(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par.Days) != len(seq.Days) {
+			t.Fatalf("workers=%d: %d days, want %d", workers, len(par.Days), len(seq.Days))
+		}
+		if !reflect.DeepEqual(par.Links, seq.Links) {
+			t.Fatalf("workers=%d: link table differs", workers)
+		}
+		for day := range seq.Days {
+			a, b := seq.Days[day], par.Days[day]
+			if !reflect.DeepEqual(a.Streams, b.Streams) {
+				t.Fatalf("workers=%d: day %d RSSI streams differ", workers, day)
+			}
+			if !reflect.DeepEqual(a.Events, b.Events) {
+				t.Fatalf("workers=%d: day %d event log differs", workers, day)
+			}
+			if !reflect.DeepEqual(a.Seated, b.Seated) || !reflect.DeepEqual(a.InputSpans, b.InputSpans) {
+				t.Fatalf("workers=%d: day %d intervals differ", workers, day)
+			}
+			if a.Ticks != b.Ticks || a.DaySeconds != b.DaySeconds || a.DT != b.DT {
+				t.Fatalf("workers=%d: day %d metadata differs", workers, day)
+			}
+		}
+	}
+}
+
+// TestGenerateParallelPropagatesError checks that an invalid
+// configuration fails identically under parallel generation.
+func TestGenerateParallelPropagatesError(t *testing.T) {
+	cfg := parallelConfig(4)
+	cfg.DT = 5 // outside (0, 1]
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("invalid DT accepted")
+	}
+}

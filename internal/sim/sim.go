@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"fadewich/internal/agent"
+	"fadewich/internal/engine"
 	"fadewich/internal/office"
 	"fadewich/internal/rf"
 	"fadewich/internal/rng"
@@ -23,8 +24,13 @@ type Config struct {
 	// Days is the number of working days to simulate (the paper used 5).
 	Days int
 	// Seed drives all randomness; the same seed regenerates the same
-	// dataset bit for bit.
+	// dataset bit for bit, regardless of Workers.
 	Seed uint64
+	// Workers caps the worker pool generating days in parallel: 0 uses
+	// one worker per CPU, 1 forces sequential generation. The output is
+	// bit-identical for every value — each day's generator is split from
+	// the root source in day order before any worker starts.
+	Workers int
 	// Layout is the office; nil selects office.Paper().
 	Layout *office.Layout
 	// RF configures the propagation model; zero fields take defaults.
@@ -106,18 +112,38 @@ func Generate(cfg Config) (*Dataset, error) {
 	if cfg.DT <= 0 || cfg.DT > 1 {
 		return nil, fmt.Errorf("sim: tick duration %v outside (0, 1] seconds", cfg.DT)
 	}
+	if cfg.Days < 0 {
+		return nil, fmt.Errorf("sim: negative day count %d", cfg.Days)
+	}
 	root := rng.New(cfg.Seed)
 
+	// Split every day's source from the root up front, in day order. The
+	// per-day generators then share no state, so the days can run on any
+	// number of workers and still reproduce the sequential output bit for
+	// bit.
+	srcs := make([]*rng.Source, cfg.Days)
+	for day := range srcs {
+		srcs[day] = root.Split()
+	}
+
+	type dayResult struct {
+		trace *Trace
+		links []rf.Link
+	}
+	pool := engine.NewPool(cfg.Workers)
+	results, err := engine.Gather(pool, cfg.Days, func(day int) (dayResult, error) {
+		trace, links, err := generateDay(cfg, srcs[day])
+		return dayResult{trace, links}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	ds := &Dataset{Layout: cfg.Layout, Config: cfg}
-	for day := 0; day < cfg.Days; day++ {
-		daySrc := root.Split()
-		trace, links, err := generateDay(cfg, daySrc)
-		if err != nil {
-			return nil, err
-		}
-		ds.Days = append(ds.Days, trace)
+	for _, r := range results {
+		ds.Days = append(ds.Days, r.trace)
 		if ds.Links == nil {
-			ds.Links = links
+			ds.Links = r.links
 		}
 	}
 	return ds, nil
