@@ -24,6 +24,7 @@ import (
 	"fadewich/internal/rf"
 	"fadewich/internal/rng"
 	"fadewich/internal/sim"
+	"fadewich/internal/stream"
 	"fadewich/internal/svm"
 )
 
@@ -539,6 +540,72 @@ func BenchmarkFleetThroughput(b *testing.B) {
 				}
 			}
 			b.StopTimer()
+			totalTicks := float64(b.N) * float64(offices) * batchTicks
+			b.ReportMetric(totalTicks/b.Elapsed().Seconds(), "ticks/sec")
+		})
+	}
+}
+
+// BenchmarkIngestorThroughput measures the asynchronous stream layer on
+// top of the fleet: per-office pushes through the bounded queues, one
+// Flush per batch window, with and without a ring sink attached. The
+// delta against BenchmarkFleetThroughput is the price of the queueing
+// and pump machinery.
+func BenchmarkIngestorThroughput(b *testing.B) {
+	const (
+		streams    = 12
+		offices    = 8
+		batchTicks = 128
+	)
+	ticks := make([][][]float64, offices)
+	for o := range ticks {
+		src := rng.New(uint64(o) + 1)
+		rows := make([][]float64, batchTicks)
+		for t := range rows {
+			row := make([]float64, streams)
+			for k := range row {
+				row[k] = -60 + src.Normal(0, 0.5)
+			}
+			rows[t] = row
+		}
+		ticks[o] = rows
+	}
+	for _, c := range []struct {
+		name string
+		sink func() stream.Sink
+	}{
+		{"no-sink", func() stream.Sink { return nil }},
+		{"ring-sink", func() stream.Sink { return stream.NewRingSink(4096) }},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			fleet, err := engine.NewFleet(engine.FleetConfig{
+				Offices: offices,
+				System:  core.Config{Streams: streams, Workstations: 3},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ing, err := stream.NewIngestor(fleet, stream.Config{Queue: batchTicks, Sink: c.sink()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for o := range ticks {
+					for _, row := range ticks[o] {
+						if err := ing.Push(o, row); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if err := ing.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := ing.Close(); err != nil {
+				b.Fatal(err)
+			}
 			totalTicks := float64(b.N) * float64(offices) * batchTicks
 			b.ReportMetric(totalTicks/b.Elapsed().Seconds(), "ticks/sec")
 		})

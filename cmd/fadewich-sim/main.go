@@ -10,9 +10,18 @@
 // train and serve as one engine.Fleet sharded across -parallel workers,
 // and report the aggregate catch rate plus fleet throughput.
 //
+// With -sink the fleet is driven through the asynchronous stream layer
+// (stream.Ingestor) and the merged action stream is delivered to the
+// named backends: a JSONL log file, a TCP peer (length-prefixed frames),
+// or an in-memory ring. -queue and -on-full tune the per-office tick
+// queue and its backpressure policy. -sink implies fleet mode even with
+// a single office.
+//
 // Usage:
 //
-//	fadewich-sim [-days N] [-seed S] [-sensors M] [-offices K] [-parallel P] [-v]
+//	fadewich-sim [-days N] [-seed S] [-sensors M] [-offices K] [-parallel P]
+//	             [-sink log:PATH|tcp:ADDR|ring[:N][,...]] [-queue Q]
+//	             [-on-full block|drop-oldest|error] [-v]
 package main
 
 import (
@@ -20,6 +29,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"fadewich/internal/agent"
@@ -28,6 +39,7 @@ import (
 	"fadewich/internal/kma"
 	"fadewich/internal/rng"
 	"fadewich/internal/sim"
+	"fadewich/internal/stream"
 )
 
 func main() {
@@ -36,6 +48,9 @@ func main() {
 	sensors := flag.Int("sensors", 9, "sensors to deploy (3..9)")
 	offices := flag.Int("offices", 1, "independent office deployments to run as a fleet")
 	parallel := flag.Int("parallel", 0, "worker pool width (0 = one per CPU, 1 = sequential)")
+	sinkSpec := flag.String("sink", "", "action sinks: log:PATH, tcp:ADDR, ring[:N], comma-separated for fan-out")
+	queue := flag.Int("queue", 0, "per-office tick queue capacity (0 = default 256)")
+	onFull := flag.String("on-full", "block", "backpressure policy when a queue is full: block, drop-oldest or error")
 	verbose := flag.Bool("v", false, "print every action")
 	flag.Parse()
 
@@ -43,8 +58,8 @@ func main() {
 	switch {
 	case *offices < 1:
 		err = fmt.Errorf("need at least 1 office, got %d", *offices)
-	case *offices > 1:
-		err = runFleet(*days, *seed, *sensors, *offices, *parallel, *verbose)
+	case *offices > 1 || *sinkSpec != "":
+		err = runFleet(*days, *seed, *sensors, *offices, *parallel, *sinkSpec, *queue, *onFull, *verbose)
 	default:
 		err = run(*days, *seed, *sensors, *parallel, *verbose)
 	}
@@ -52,6 +67,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fadewich-sim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// buildSink parses the -sink flag: a comma-separated list of log:PATH,
+// tcp:ADDR and ring[:N] specs, fanned out through a MultiSink when more
+// than one is named. The ring (if any) is returned separately so the
+// caller can print its summary after the run.
+func buildSink(spec string) (stream.Sink, *stream.RingSink, error) {
+	var sinks []stream.Sink
+	var ring *stream.RingSink
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case strings.HasPrefix(part, "log:"):
+			s, err := stream.NewLogSink(strings.TrimPrefix(part, "log:"))
+			if err != nil {
+				return nil, nil, err
+			}
+			sinks = append(sinks, s)
+		case strings.HasPrefix(part, "tcp:"):
+			s, err := stream.NewTCPSink(strings.TrimPrefix(part, "tcp:"))
+			if err != nil {
+				return nil, nil, err
+			}
+			sinks = append(sinks, s)
+		case part == "ring" || strings.HasPrefix(part, "ring:"):
+			capacity := 0
+			if rest := strings.TrimPrefix(part, "ring"); rest != "" {
+				n, err := strconv.Atoi(strings.TrimPrefix(rest, ":"))
+				if err != nil || n < 1 {
+					return nil, nil, fmt.Errorf("bad ring capacity in %q", part)
+				}
+				capacity = n
+			}
+			ring = stream.NewRingSink(capacity)
+			sinks = append(sinks, ring)
+		default:
+			return nil, nil, fmt.Errorf("unknown sink %q (want log:PATH, tcp:ADDR or ring[:N])", part)
+		}
+	}
+	if len(sinks) == 1 {
+		return sinks[0], ring, nil
+	}
+	return stream.NewMultiSink(sinks...), ring, nil
 }
 
 func run(days int, seed uint64, sensors, parallel int, verbose bool) error {
@@ -203,8 +261,10 @@ func scoreDay(trace *sim.Trace, deauths []core.Action, verbose bool, office int)
 
 // runFleet scales the pipeline to K offices served by one engine.Fleet:
 // per-office datasets generate in parallel, then the fleet trains and
-// serves all offices sharded across the worker pool.
-func runFleet(days int, seed uint64, sensors, offices, parallel int, verbose bool) error {
+// serves all offices sharded across the worker pool. With a sink spec
+// the fleet is driven through a stream.Ingestor and the merged action
+// stream is also delivered to the named backends.
+func runFleet(days int, seed uint64, sensors, offices, parallel int, sinkSpec string, queue int, onFull string, verbose bool) error {
 	if days < 2 {
 		return fmt.Errorf("need at least 2 days (training + online), got %d", days)
 	}
@@ -249,13 +309,60 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, verbose boo
 			inputs[o][day] = kma.GenerateInputs(trace.InputSpans, trace.Events, kma.InputModel{}, src.Split())
 		}
 	}
+
+	// Batch delivery: straight to the fleet, or through the asynchronous
+	// stream layer when sinks are attached. The ingestor's synchronous
+	// OnBatch tap hands each dispatched batch back so the day loop's
+	// reaction scheduling and scoring see exactly the stream the sinks do.
+	deliver := fleet.RunBatch
+	var ing *stream.Ingestor
+	var ring *stream.RingSink
+	if sinkSpec != "" {
+		policy, err := stream.ParsePolicy(onFull)
+		if err != nil {
+			return err
+		}
+		snk, r, err := buildSink(sinkSpec)
+		if err != nil {
+			return err
+		}
+		ring = r
+		var collected []engine.OfficeAction
+		ing, err = stream.NewIngestor(fleet, stream.Config{
+			Queue:  queue,
+			OnFull: policy,
+			Sink:   snk,
+			OnBatch: func(acts []engine.OfficeAction) {
+				collected = append(collected, acts...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer ing.Close()
+		deliver = func(sub [][][]float64, evs []engine.InputEvent) ([]engine.OfficeAction, error) {
+			collected = collected[:0]
+			if err := ing.PushBatch(sub, evs); err != nil {
+				return nil, err
+			}
+			if err := ing.Flush(); err != nil {
+				return nil, err
+			}
+			return collected, nil
+		}
+		effQueue := queue
+		if effQueue == 0 {
+			effQueue = stream.DefaultQueue
+		}
+		fmt.Printf("streaming actions to %s (queue %d, on-full %s)\n", sinkSpec, effQueue, policy)
+	}
 	fmt.Printf("datasets ready in %.1fs; training fleet on %d day(s)...\n",
 		time.Since(start).Seconds(), days-1)
 
 	totalTicks := 0
 	serveStart := time.Now()
 	for day := 0; day < days-1; day++ {
-		ticks, err := fleetDay(fleet, dss, streams, inputs, day, nil)
+		ticks, err := fleetDay(fleet, deliver, dss, streams, inputs, day, nil)
 		if err != nil {
 			return err
 		}
@@ -275,7 +382,7 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, verbose boo
 	}
 	deauths := make([][]core.Action, offices)
 	online := days - 1
-	ticks, err := fleetDay(fleet, dss, streams, inputs, online, func(a engine.OfficeAction) {
+	ticks, err := fleetDay(fleet, deliver, dss, streams, inputs, online, func(a engine.OfficeAction) {
 		act := a.Action
 		act.Time -= dayBase[a.Office]
 		if verbose {
@@ -301,6 +408,19 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, verbose boo
 		caught, departures, offices, sensors)
 	fmt.Printf("fleet throughput: %.0f ticks/sec (%d ticks over %.1fs, %d workers)\n",
 		float64(totalTicks)/elapsed, totalTicks, elapsed, pool.Workers())
+
+	if ing != nil {
+		if err := ing.Close(); err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+		st := ing.Stats()
+		fmt.Printf("sink stream: %d actions in %d batches, %d dropped ticks\n",
+			st.Actions, st.Batches, st.Dropped)
+		if ring != nil {
+			fmt.Printf("ring sink retains the %d newest actions (%d overwritten)\n",
+				ring.Len(), ring.Overwritten())
+		}
+	}
 	return nil
 }
 
@@ -315,7 +435,7 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, verbose boo
 // falls inside the next batch, so the reaction lands at its exact tick —
 // the same cancellation the single-office feed() performs — instead of
 // arriving after the session is already gone.
-func fleetDay(fleet *engine.Fleet, dss []*sim.Dataset, streams []int, inputs [][][][]float64, day int, onAction func(engine.OfficeAction)) (int, error) {
+func fleetDay(fleet *engine.Fleet, deliver func([][][]float64, []engine.InputEvent) ([]engine.OfficeAction, error), dss []*sim.Dataset, streams []int, inputs [][][][]float64, day int, onAction func(engine.OfficeAction)) (int, error) {
 	offices := fleet.Offices()
 	dt := dss[0].Days[day].DT
 	reactionTicks := int(math.Ceil(1.5 / dt))
@@ -388,7 +508,7 @@ func fleetDay(fleet *engine.Fleet, dss []*sim.Dataset, streams []int, inputs [][
 			pending[o] = keep
 		}
 
-		acts, err := fleet.RunBatch(sub, evs)
+		acts, err := deliver(sub, evs)
 		if err != nil {
 			return total, err
 		}

@@ -20,6 +20,11 @@
 //     delivery and a merged, time-ordered action stream. The same pool
 //     parallelises dataset generation and the harness's experiment
 //     sweeps, deterministically in the seed.
+//   - Streaming (internal/stream) — the asynchronous pipeline on top of
+//     the Fleet: an Ingestor with bounded per-office tick queues
+//     (block / drop-oldest / error backpressure) and pluggable action
+//     Sinks (JSONL log file, length-prefixed TCP frames, in-memory ring,
+//     multi-sink fan-out) fed by a dedicated pump goroutine.
 //
 // Quick start:
 //
@@ -42,6 +47,7 @@ import (
 	"fadewich/internal/re"
 	"fadewich/internal/rf"
 	"fadewich/internal/sim"
+	"fadewich/internal/stream"
 	"fadewich/internal/svm"
 )
 
@@ -91,6 +97,62 @@ type InputEvent = engine.InputEvent
 // training phase. Deterministic: the merged action stream is identical
 // for every worker count.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return engine.NewFleet(cfg) }
+
+// Ingestor is the asynchronous front door of a Fleet: bounded per-office
+// tick queues feeding a dispatcher goroutine, with the merged action
+// stream pumped to a pluggable Sink.
+type Ingestor = stream.Ingestor
+
+// IngestorConfig parameterises an Ingestor (queue capacity, backpressure
+// policy, sink, synchronous tap).
+type IngestorConfig = stream.Config
+
+// IngestorStats is a snapshot of an Ingestor's per-office queue
+// depth/drop counters and dispatch totals.
+type IngestorStats = stream.Stats
+
+// BackpressurePolicy selects what Ingestor.Push does when an office's
+// tick queue is full.
+type BackpressurePolicy = stream.Policy
+
+// Backpressure policies.
+const (
+	OnFullBlock      = stream.Block
+	OnFullDropOldest = stream.DropOldest
+	OnFullError      = stream.ErrorOnFull
+)
+
+// NewIngestor wraps a Fleet in the asynchronous ingestion layer and
+// starts its dispatcher (and, with a sink configured, pump) goroutines.
+func NewIngestor(fleet *Fleet, cfg IngestorConfig) (*Ingestor, error) {
+	return stream.NewIngestor(fleet, cfg)
+}
+
+// Sink consumes dispatched batches of the merged fleet action stream.
+type Sink = stream.Sink
+
+// LogSink appends the action stream to a JSONL file.
+type LogSink = stream.LogSink
+
+// TCPSink streams the action stream to a TCP peer as length-prefixed
+// frames, redialing on connection errors.
+type TCPSink = stream.TCPSink
+
+// RingSink keeps the most recent actions in a fixed in-memory ring.
+type RingSink = stream.RingSink
+
+// NewLogSink creates (or truncates) the JSONL file at path.
+func NewLogSink(path string) (*LogSink, error) { return stream.NewLogSink(path) }
+
+// NewTCPSink dials addr and streams length-prefixed action frames to it.
+func NewTCPSink(addr string) (*TCPSink, error) { return stream.NewTCPSink(addr) }
+
+// NewRingSink returns a ring holding up to capacity actions (0 selects
+// the default of 1024).
+func NewRingSink(capacity int) *RingSink { return stream.NewRingSink(capacity) }
+
+// NewMultiSink fans every batch out to all the given sinks.
+func NewMultiSink(sinks ...Sink) Sink { return stream.NewMultiSink(sinks...) }
 
 // Layout is an office floor plan: workstations, wall sensors, the door.
 type Layout = office.Layout

@@ -1,6 +1,9 @@
 package fadewich_test
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"fadewich"
@@ -56,6 +59,75 @@ func TestFacadeEndToEnd(t *testing.T) {
 	sys.NotifyInput(0)
 	if !sys.Authenticated(0) {
 		t.Fatal("NotifyInput did not authenticate through the facade")
+	}
+}
+
+// TestFacadeStreaming exercises the streaming exports: a small fleet
+// behind an Ingestor, its merged action stream fanned out to a ring and a
+// JSONL log sink.
+func TestFacadeStreaming(t *testing.T) {
+	fleet, err := fadewich.NewFleet(fadewich.FleetConfig{
+		Offices: 2,
+		System: fadewich.SystemConfig{
+			Streams:      2,
+			Workstations: 1,
+			Params:       fadewich.ControlParams{TimeoutSec: 5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := fadewich.NewRingSink(256)
+	logPath := filepath.Join(t.TempDir(), "actions.jsonl")
+	logSink, err := fadewich.NewLogSink(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := fadewich.NewIngestor(fleet, fadewich.IngestorConfig{
+		Queue:  64,
+		OnFull: fadewich.OnFullBlock,
+		Sink:   fadewich.NewMultiSink(ring, logSink),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A login then enough quiet ticks for the 5 s timeout backstop to
+	// deauthenticate both offices.
+	for o := 0; o < fleet.Offices(); o++ {
+		if err := ing.PushInput(o, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		for o := 0; o < fleet.Offices(); o++ {
+			if err := ing.Push(o, []float64{-60, -58}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	acts := ring.Actions()
+	deauths := 0
+	for _, a := range acts {
+		if a.Action.Type == fadewich.ActionDeauthenticate {
+			deauths++
+		}
+	}
+	if deauths != 2 {
+		t.Fatalf("%d deauthentications in the sink stream, want one per office", deauths)
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(data, []byte("\n")); lines != len(acts) {
+		t.Fatalf("log sink has %d lines, ring has %d actions", lines, len(acts))
+	}
+	st := ing.Stats()
+	if st.Dropped != 0 || st.Offices[0].Dispatched != 60 {
+		t.Fatalf("ingestor stats: %+v", st)
 	}
 }
 

@@ -109,6 +109,11 @@ func (f *Fleet) NotifyInput(office, workstation int) {
 // The merged stream is ordered by action time, ties broken by office
 // index, then by each office's own emission order — a total order that is
 // byte-identical for every worker count.
+//
+// The returned slice is freshly allocated on every call and never touched
+// by the fleet afterwards: callers (and action sinks) may retain previous
+// batches indefinitely. Only the internal per-office buffers are reused
+// between batches.
 func (f *Fleet) RunBatch(ticks [][][]float64, inputs []InputEvent) ([]OfficeAction, error) {
 	if len(ticks) != len(f.systems) {
 		return nil, fmt.Errorf("engine: batch has %d offices, fleet has %d", len(ticks), len(f.systems))
@@ -166,7 +171,10 @@ func (f *Fleet) Tick(rssi [][]float64) ([]OfficeAction, error) {
 }
 
 // merge concatenates the per-office buffers and sorts them into the
-// global order (time, then office, then per-office emission order).
+// global order (time, then office, then per-office emission order). It
+// must copy into a fresh slice — the per-office buffers are reused by the
+// next batch, and RunBatch promises callers the returned stream is theirs
+// to keep.
 func (f *Fleet) merge() []OfficeAction {
 	total := 0
 	for _, acts := range f.perOffice {

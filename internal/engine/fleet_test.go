@@ -158,6 +158,60 @@ func TestFleetMergedStreamIsTimeOrdered(t *testing.T) {
 	}
 }
 
+// TestFleetRetainedBatchNeverMutated is the regression test for the
+// per-office buffer reuse: a caller (or action sink) retaining a previous
+// batch's []OfficeAction must never see it change as later batches run,
+// even though the fleet reuses its internal accumulation buffers.
+func TestFleetRetainedBatchNeverMutated(t *testing.T) {
+	const offices, ticks = 16, 240
+	f, err := NewFleet(fleetCfg(offices, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, inputs := fleetScenario(offices, ticks)
+
+	// Retain every batch's stream and an immediate deep copy of it.
+	var retained [][]OfficeAction
+	var snapshots [][]OfficeAction
+	const batchTicks = 60
+	for start := 0; start < ticks; start += batchTicks {
+		end := start + batchTicks
+		if end > ticks {
+			end = ticks
+		}
+		sub := make([][][]float64, offices)
+		for o := range sub {
+			sub[o] = batch[o][start:end]
+		}
+		var evs []InputEvent
+		for _, ev := range inputs {
+			if ev.Tick >= start && ev.Tick < end {
+				ev.Tick -= start
+				evs = append(evs, ev)
+			}
+		}
+		acts, err := f.RunBatch(sub, evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		retained = append(retained, acts)
+		snapshots = append(snapshots, append([]OfficeAction(nil), acts...))
+	}
+
+	total := 0
+	for _, acts := range retained {
+		total += len(acts)
+	}
+	if total == 0 {
+		t.Fatal("scenario produced no actions; the aliasing check is vacuous")
+	}
+	for i := range retained {
+		if !reflect.DeepEqual(retained[i], snapshots[i]) {
+			t.Fatalf("batch %d's retained stream was mutated by a later batch", i)
+		}
+	}
+}
+
 func TestFleetInputRouting(t *testing.T) {
 	f, err := NewFleet(fleetCfg(3, 2))
 	if err != nil {

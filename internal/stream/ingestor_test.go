@@ -1,0 +1,360 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"fadewich/internal/control"
+	"fadewich/internal/core"
+	"fadewich/internal/engine"
+	"fadewich/internal/rng"
+)
+
+// testFleet builds a small fleet whose timeout backstop guarantees
+// actions without a trained classifier (same shape as the engine tests).
+func testFleet(t testing.TB, offices, workers int) *engine.Fleet {
+	t.Helper()
+	f, err := engine.NewFleet(engine.FleetConfig{
+		Offices: offices,
+		Workers: workers,
+		System: core.Config{
+			Streams:      2,
+			Workstations: 1,
+			Params:       control.Params{TimeoutSec: 30},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// scenario builds a deterministic workload: per-office quiet RSSI ticks
+// and one staggered login per office, so timeout deauthentications land
+// at distinct office-dependent times.
+func scenario(offices, ticks int) (batch [][][]float64, inputs []engine.InputEvent) {
+	batch = make([][][]float64, offices)
+	for o := 0; o < offices; o++ {
+		src := rng.New(uint64(o) + 1)
+		days := make([][]float64, ticks)
+		for t := range days {
+			days[t] = []float64{-60 + src.Normal(0, 0.4), -58 + src.Normal(0, 0.4)}
+		}
+		batch[o] = days
+		inputs = append(inputs, engine.InputEvent{Office: o, Workstation: 0, Tick: o % 17})
+	}
+	return batch, inputs
+}
+
+// window slices the scenario into [start, end) for every office, with
+// the window's events re-based to the window start.
+func window(batch [][][]float64, inputs []engine.InputEvent, start, end int) ([][][]float64, []engine.InputEvent) {
+	sub := make([][][]float64, len(batch))
+	for o := range batch {
+		sub[o] = batch[o][start:end]
+	}
+	var evs []engine.InputEvent
+	for _, ev := range inputs {
+		if ev.Tick >= start && ev.Tick < end {
+			ev.Tick -= start
+			evs = append(evs, ev)
+		}
+	}
+	return sub, evs
+}
+
+// pushWindow feeds one window through the ingestor via PushBatch — the
+// same bridge fadewich-sim uses to port synchronous RunBatch call sites.
+func pushWindow(t *testing.T, in *Ingestor, sub [][][]float64, evs []engine.InputEvent) {
+	t.Helper()
+	if err := in.PushBatch(sub, evs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestorMatchesSynchronousFleet is the acceptance check: with a
+// RingSink attached, a 64-office fleet driven through the Ingestor
+// (Flush at the same boundaries) produces a sink stream byte-identical
+// to the synchronous RunBatch action stream for the same seed.
+func TestIngestorMatchesSynchronousFleet(t *testing.T) {
+	const offices, ticks, windowTicks = 64, 260, 77
+	batch, inputs := scenario(offices, ticks)
+
+	// Synchronous reference stream.
+	syncFleet := testFleet(t, offices, 4)
+	var want []engine.OfficeAction
+	for start := 0; start < ticks; start += windowTicks {
+		end := min(start+windowTicks, ticks)
+		sub, evs := window(batch, inputs, start, end)
+		acts, err := syncFleet.RunBatch(sub, evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, acts...)
+	}
+	if len(want) == 0 {
+		t.Fatal("scenario produced no actions; the comparison is vacuous")
+	}
+
+	// Asynchronous stream through the Ingestor into a RingSink.
+	ring := NewRingSink(4096)
+	in, err := NewIngestor(testFleet(t, offices, 4), Config{Queue: windowTicks, Sink: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < ticks; start += windowTicks {
+		end := min(start+windowTicks, ticks)
+		sub, evs := window(batch, inputs, start, end)
+		pushWindow(t, in, sub, evs)
+		if err := in.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := ring.Actions()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sink stream differs from synchronous stream: %d vs %d actions", len(got), len(want))
+	}
+	if !bytes.Equal(AppendJSONL(nil, got), AppendJSONL(nil, want)) {
+		t.Fatal("sink stream wire encoding is not byte-identical to the synchronous stream")
+	}
+	st := in.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("lossless run dropped %d ticks", st.Dropped)
+	}
+	if int(st.Actions) != len(want) {
+		t.Fatalf("stats count %d actions, stream has %d", st.Actions, len(want))
+	}
+}
+
+func TestIngestorBlockPolicyIsLossless(t *testing.T) {
+	in, err := NewIngestor(testFleet(t, 1, 2), Config{Queue: 4, OnFull: Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	row := []float64{-60, -58}
+	for i := 0; i < 50; i++ {
+		if err := in.Push(0, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	o := st.Offices[0]
+	if o.Pushed != 50 || o.Dispatched != 50 || o.Dropped != 0 || o.Depth != 0 {
+		t.Fatalf("block policy stats: %+v", o)
+	}
+}
+
+func TestIngestorDropOldestEvicts(t *testing.T) {
+	in, err := NewIngestor(testFleet(t, 1, 1), Config{Queue: 4, OnFull: DropOldest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	row := []float64{-60, -58}
+	for i := 0; i < 10; i++ {
+		if err := in.Push(0, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	o := st.Offices[0]
+	if o.Dropped != 6 || o.Dispatched != 4 || o.Pushed != 10 {
+		t.Fatalf("drop-oldest stats: %+v", o)
+	}
+}
+
+func TestIngestorErrorOnFullRejects(t *testing.T) {
+	in, err := NewIngestor(testFleet(t, 1, 1), Config{Queue: 2, OnFull: ErrorOnFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	row := []float64{-60, -58}
+	for i := 0; i < 2; i++ {
+		if err := in.Push(0, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Push(0, row); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull push returned %v, want ErrQueueFull", err)
+	}
+	if st := in.Stats(); st.Offices[0].Dropped != 1 || st.Offices[0].Depth != 2 {
+		t.Fatalf("error-on-full stats: %+v", st.Offices[0])
+	}
+}
+
+func TestIngestorInputDelivery(t *testing.T) {
+	f := testFleet(t, 2, 1)
+	in, err := NewIngestor(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if err := in.PushInput(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Push(0, []float64{-60, -58}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Push(1, []float64{-60, -58}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if f.System(0).Authenticated(0) || !f.System(1).Authenticated(0) {
+		t.Fatal("input routed to the wrong office")
+	}
+}
+
+func TestIngestorValidation(t *testing.T) {
+	if _, err := NewIngestor(nil, Config{}); err == nil {
+		t.Fatal("nil fleet accepted")
+	}
+	if _, err := NewIngestor(testFleet(t, 1, 1), Config{Queue: -1}); err == nil {
+		t.Fatal("negative queue accepted")
+	}
+	if _, err := NewIngestor(testFleet(t, 1, 1), Config{Queue: 4, BatchTicks: 8}); err == nil {
+		t.Fatal("batch ticks above queue capacity accepted")
+	}
+	in, err := NewIngestor(testFleet(t, 1, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if err := in.Push(5, []float64{-60, -58}); err == nil {
+		t.Fatal("out-of-range office accepted")
+	}
+	if err := in.PushInput(-1, 0); err == nil {
+		t.Fatal("out-of-range input office accepted")
+	}
+}
+
+func TestIngestorCloseIsIdempotentAndFinal(t *testing.T) {
+	in, err := NewIngestor(testFleet(t, 1, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Push(0, []float64{-60, -58}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := in.Push(0, []float64{-60, -58}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close returned %v, want ErrClosed", err)
+	}
+	if err := in.PushInput(0, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push-input after close returned %v, want ErrClosed", err)
+	}
+	if err := in.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("flush after close returned %v, want ErrClosed", err)
+	}
+	// The pre-close tick was still dispatched (flush-on-close).
+	if st := in.Stats(); st.Offices[0].Dispatched != 1 {
+		t.Fatalf("close did not drain the queue: %+v", st.Offices[0])
+	}
+}
+
+func TestIngestorOnBatchTapSeesFullStream(t *testing.T) {
+	const offices, ticks, windowTicks = 8, 200, 50
+	batch, inputs := scenario(offices, ticks)
+	ring := NewRingSink(2048)
+	var tapped []engine.OfficeAction
+	in, err := NewIngestor(testFleet(t, offices, 2), Config{
+		Sink:    ring,
+		OnBatch: func(acts []engine.OfficeAction) { tapped = append(tapped, acts...) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < ticks; start += windowTicks {
+		sub, evs := window(batch, inputs, start, min(start+windowTicks, ticks))
+		pushWindow(t, in, sub, evs)
+		if err := in.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tapped) == 0 {
+		t.Fatal("tap saw no actions")
+	}
+	if !reflect.DeepEqual(tapped, ring.Actions()) {
+		t.Fatalf("tap stream (%d actions) differs from sink stream (%d)", len(tapped), ring.Len())
+	}
+}
+
+func TestIngestorBatchTicksAutoDispatch(t *testing.T) {
+	in, err := NewIngestor(testFleet(t, 1, 1), Config{Queue: 64, BatchTicks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	row := []float64{-60, -58}
+	for i := 0; i < 8; i++ {
+		if err := in.Push(0, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for in.Stats().Offices[0].Dispatched < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-dispatch never ran: %+v", in.Stats().Offices[0])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestIngestorConcurrentProducers exercises the queues under -race: one
+// producer per office plus a concurrent flusher.
+func TestIngestorConcurrentProducers(t *testing.T) {
+	const offices, perOffice = 4, 200
+	in, err := NewIngestor(testFleet(t, offices, 2), Config{Queue: 16, OnFull: Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for o := 0; o < offices; o++ {
+		wg.Add(1)
+		go func(o int) {
+			defer wg.Done()
+			src := rng.New(uint64(o) + 9)
+			for i := 0; i < perOffice; i++ {
+				if err := in.Push(o, []float64{-60 + src.Normal(0, 0.4), -58}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(o)
+	}
+	wg.Wait()
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	for o, os := range st.Offices {
+		if os.Dispatched != perOffice || os.Dropped != 0 {
+			t.Fatalf("office %d: %+v", o, os)
+		}
+	}
+}

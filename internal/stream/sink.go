@@ -1,0 +1,337 @@
+// Sinks: the pluggable backends the merged fleet action stream is pumped
+// into. All sinks consume whole dispatched batches and share one wire
+// encoding (AppendJSONL); they are safe for use from the pump goroutine
+// plus a closing goroutine.
+
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"fadewich/internal/engine"
+)
+
+// ErrSinkClosed is returned by Write on a closed sink.
+var ErrSinkClosed = errors.New("stream: sink closed")
+
+// Sink consumes dispatched batches of the merged fleet action stream.
+// Write is called from the Ingestor's pump goroutine, one batch at a
+// time, in dispatch order; a non-nil error marks the sink broken (the
+// pump stops writing and surfaces the error). Close flushes buffered
+// data and releases resources; it must be safe to call after a Write
+// error and more than once.
+type Sink interface {
+	Write(batch []engine.OfficeAction) error
+	Close() error
+}
+
+// wireAction is the JSON shape of one action on the wire: one line per
+// action for LogSink files and TCPSink frame payloads.
+type wireAction struct {
+	Office      int     `json:"office"`
+	Time        float64 `json:"time"`
+	Type        string  `json:"type"`
+	Workstation int     `json:"workstation"`
+	Cause       string  `json:"cause,omitempty"`
+	Label       int     `json:"label"`
+}
+
+// AppendJSONL appends the wire encoding of a batch to dst and returns
+// the extended slice: one JSON object per action, one action per line,
+// in batch order. This is the payload format of both the LogSink file
+// and the TCPSink frame.
+func AppendJSONL(dst []byte, batch []engine.OfficeAction) []byte {
+	for _, a := range batch {
+		rec := wireAction{
+			Office:      a.Office,
+			Time:        a.Action.Time,
+			Type:        a.Action.Type.String(),
+			Workstation: a.Action.Workstation,
+			Label:       a.Action.Label,
+		}
+		if a.Action.Cause != 0 {
+			rec.Cause = a.Action.Cause.String()
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			// wireAction contains only plain scalar fields; Marshal
+			// cannot fail on it.
+			panic(err)
+		}
+		dst = append(dst, b...)
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// LogSink appends the action stream to a JSONL file (one JSON object per
+// action), buffered, flushed on Close.
+type LogSink struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewLogSink creates (or truncates) the file at path and returns a sink
+// writing the JSONL action stream to it. An unwritable path fails here,
+// not at the first Write.
+func NewLogSink(path string) (*LogSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("stream: log sink: %w", err)
+	}
+	return &LogSink{f: f, w: bufio.NewWriterSize(f, 64<<10)}, nil
+}
+
+// Write appends one batch to the file.
+func (s *LogSink) Write(batch []engine.OfficeAction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return ErrSinkClosed
+	}
+	s.buf = AppendJSONL(s.buf[:0], batch)
+	if _, err := s.w.Write(s.buf); err != nil {
+		return fmt.Errorf("stream: log sink: %w", err)
+	}
+	return nil
+}
+
+// Close flushes the buffer and closes the file. Idempotent.
+func (s *LogSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	flushErr := s.w.Flush()
+	closeErr := s.f.Close()
+	s.f, s.w = nil, nil
+	if flushErr != nil {
+		return fmt.Errorf("stream: log sink: %w", flushErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("stream: log sink: %w", closeErr)
+	}
+	return nil
+}
+
+// TCPSink streams the action stream to a TCP peer as length-prefixed
+// frames: a 4-byte big-endian payload length followed by the batch's
+// JSONL payload (AppendJSONL), one frame per dispatched batch. Frames
+// are atomic units — on a connection error the sink redials and resends
+// the whole current frame, so a consumer never observes a torn frame,
+// though it may observe a resent one after a mid-frame disconnect.
+//
+// The timing fields may be tuned before the first Write; afterwards the
+// sink owns them.
+type TCPSink struct {
+	// DialTimeout bounds each (re)connection attempt. Default 5 s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write, so a stalled peer surfaces
+	// as an error instead of blocking the pump forever. Default 10 s.
+	WriteTimeout time.Duration
+	// Retries is how many times Write redials after a connection error
+	// before giving up. Default 3.
+	Retries int
+	// Backoff is the pause between redial attempts. Default 50 ms.
+	Backoff time.Duration
+
+	addr string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	frame  []byte
+	closed bool
+}
+
+// NewTCPSink dials addr and returns a sink streaming length-prefixed
+// frames to it. The initial dial failing is an error here; later
+// connection failures are retried by Write.
+func NewTCPSink(addr string) (*TCPSink, error) {
+	s := &TCPSink{
+		DialTimeout:  5 * time.Second,
+		WriteTimeout: 10 * time.Second,
+		Retries:      3,
+		Backoff:      50 * time.Millisecond,
+		addr:         addr,
+	}
+	conn, err := net.DialTimeout("tcp", addr, s.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("stream: tcp sink %s: %w", addr, err)
+	}
+	s.conn = conn
+	return s, nil
+}
+
+// Write sends one batch as a single length-prefixed frame, redialing up
+// to Retries times on connection errors.
+func (s *TCPSink) Write(batch []engine.OfficeAction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSinkClosed
+	}
+	s.frame = append(s.frame[:0], 0, 0, 0, 0)
+	s.frame = AppendJSONL(s.frame, batch)
+	binary.BigEndian.PutUint32(s.frame[:4], uint32(len(s.frame)-4))
+
+	var lastErr error
+	for attempt := 0; attempt <= s.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(s.Backoff)
+		}
+		if s.conn == nil {
+			conn, err := net.DialTimeout("tcp", s.addr, s.DialTimeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			s.conn = conn
+		}
+		s.conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		if _, err := s.conn.Write(s.frame); err != nil {
+			lastErr = err
+			s.conn.Close()
+			s.conn = nil
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("stream: tcp sink %s: %w", s.addr, lastErr)
+}
+
+// Close closes the connection. Idempotent.
+func (s *TCPSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.conn == nil {
+		return nil
+	}
+	err := s.conn.Close()
+	s.conn = nil
+	if err != nil {
+		return fmt.Errorf("stream: tcp sink %s: %w", s.addr, err)
+	}
+	return nil
+}
+
+// RingSink keeps the most recent actions in a fixed-capacity in-memory
+// ring — the inspection/test sink. When full, each new action overwrites
+// the oldest and bumps the Overwritten counter.
+type RingSink struct {
+	mu          sync.Mutex
+	buf         []engine.OfficeAction
+	start, n    int
+	overwritten uint64
+	closed      bool
+}
+
+// NewRingSink returns a ring holding up to capacity actions (0 selects
+// the default of 1024).
+func NewRingSink(capacity int) *RingSink {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &RingSink{buf: make([]engine.OfficeAction, capacity)}
+}
+
+// Write appends the batch's actions, overwriting the oldest on wrap.
+func (s *RingSink) Write(batch []engine.OfficeAction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSinkClosed
+	}
+	for _, a := range batch {
+		if s.n == len(s.buf) {
+			s.buf[s.start] = a
+			s.start = (s.start + 1) % len(s.buf)
+			s.overwritten++
+		} else {
+			s.buf[(s.start+s.n)%len(s.buf)] = a
+			s.n++
+		}
+	}
+	return nil
+}
+
+// Close marks the ring closed; its contents stay readable. Idempotent.
+func (s *RingSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Actions returns the retained actions, oldest first.
+func (s *RingSink) Actions() []engine.OfficeAction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]engine.OfficeAction, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.buf[(s.start+i)%len(s.buf)]
+	}
+	return out
+}
+
+// Len returns the number of retained actions.
+func (s *RingSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Overwritten returns how many actions were evicted by wraparound.
+func (s *RingSink) Overwritten() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overwritten
+}
+
+// multiSink fans every batch out to several sinks.
+type multiSink struct {
+	sinks []Sink
+}
+
+// NewMultiSink returns a sink fanning every Write and Close out to all
+// the given sinks. One sink failing does not stop delivery to the
+// others; the errors of all failing sinks are joined.
+func NewMultiSink(sinks ...Sink) Sink {
+	return &multiSink{sinks: append([]Sink(nil), sinks...)}
+}
+
+// Write delivers the batch to every sink, joining any errors.
+func (s *multiSink) Write(batch []engine.OfficeAction) error {
+	var errs []error
+	for _, snk := range s.sinks {
+		if err := snk.Write(batch); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close closes every sink, joining any errors.
+func (s *multiSink) Close() error {
+	var errs []error
+	for _, snk := range s.sinks {
+		if err := snk.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

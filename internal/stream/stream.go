@@ -1,0 +1,565 @@
+// Package stream is the asynchronous ingestion-and-delivery layer on top
+// of engine.Fleet. The fleet's synchronous API (RunBatch in, merged
+// actions out) couples tick arrival to fleet dispatch: every producer
+// must assemble a full batch and wait for it to run. Package stream
+// decouples the two ends with an Ingestor — bounded per-office tick
+// queues feeding a dispatcher goroutine — and streams the merged action
+// output to pluggable Sink backends (JSONL log files, length-prefixed TCP
+// frames, an in-memory ring, fan-out to several at once) on a dedicated
+// pump goroutine.
+//
+// Data flow:
+//
+//	Push / PushInput
+//	      │  (bounded per-office queues; Block / DropOldest /
+//	      │   ErrorOnFull backpressure, depth and drop counters)
+//	      ▼
+//	dispatcher goroutine ──► engine.Fleet.RunBatch ──► merged, time-
+//	      │                                            ordered actions
+//	      ├──► Config.OnBatch (synchronous tap)
+//	      ▼
+//	pump goroutine ──► Sink.Write (LogSink / TCPSink / RingSink / Multi)
+//
+// Backpressure: every office has its own queue, so one slow or bursty
+// office fills only its own queue and cannot stall ingestion for the
+// rest of the fleet; what happens when a queue is full is the Policy.
+// A slow Sink propagates backpressure the other way — the pump's batch
+// channel fills, the dispatcher blocks handing off, queues fill, and the
+// per-office policy engages — while a failing Sink never blocks the
+// pipeline: the pump records the first error (Err, Flush, Close all
+// surface it) and drains subsequent batches so the dispatcher and
+// producers cannot deadlock.
+//
+// Ordering and determinism: a dispatch cycle snapshots everything queued
+// and runs it as one fleet batch, so the sink observes the concatenation
+// of RunBatch outputs — each batch internally ordered by (time, office),
+// exactly the total order the synchronous API returns. A single producer
+// that pushes the same ticks and calls Flush at the same boundaries as
+// its synchronous RunBatch calls therefore obtains a byte-identical
+// stream (this is tested against a 64-office fleet).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"fadewich/internal/engine"
+)
+
+// DefaultQueue is the per-office tick queue capacity selected when
+// Config.Queue is zero (≈51 s of paper-rate samples per office).
+const DefaultQueue = 256
+
+// Policy selects what Push does when an office's tick queue is full.
+type Policy int
+
+const (
+	// Block makes Push wait until the dispatcher drains the office's
+	// queue. No ticks are lost; arrival slows to dispatch speed.
+	Block Policy = iota
+	// DropOldest evicts the oldest queued tick to make room, counting it
+	// in the office's drop counter. Arrival never blocks; the office's
+	// clock advances only by the ticks that survive.
+	DropOldest
+	// ErrorOnFull makes Push fail fast with ErrQueueFull, leaving the
+	// queue unchanged (the rejected tick is counted as dropped).
+	ErrorOnFull
+)
+
+// String returns the CLI spelling of the policy (block, drop-oldest,
+// error).
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case ErrorOnFull:
+		return "error"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps the CLI spellings block, drop-oldest and error back to
+// a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	case "error":
+		return ErrorOnFull, nil
+	default:
+		return 0, fmt.Errorf("stream: unknown backpressure policy %q (want block, drop-oldest or error)", s)
+	}
+}
+
+// Errors returned by the Ingestor.
+var (
+	// ErrQueueFull is returned by Push under the ErrorOnFull policy when
+	// the office's queue has no room.
+	ErrQueueFull = errors.New("stream: office tick queue full")
+	// ErrClosed is returned by Push, PushInput and Flush after Close.
+	ErrClosed = errors.New("stream: ingestor closed")
+)
+
+// Config parameterises an Ingestor.
+type Config struct {
+	// Queue is the per-office tick queue capacity. 0 selects
+	// DefaultQueue.
+	Queue int
+	// OnFull is the backpressure policy applied by Push when an office's
+	// queue is full. The zero value is Block.
+	OnFull Policy
+	// BatchTicks, when positive, auto-dispatches as soon as any office
+	// has that many ticks queued, without waiting for a Flush. Leave it
+	// zero for strictly Flush-driven (deterministic) cadence.
+	BatchTicks int
+	// Sink, when non-nil, receives every dispatched batch of the merged
+	// action stream on the pump goroutine. The Ingestor owns the sink
+	// from this point: Close flushes and closes it.
+	Sink Sink
+	// OnBatch, when non-nil, is called synchronously on the dispatcher
+	// goroutine with every non-empty dispatched batch, before the batch
+	// is handed to the pump. It is the in-process tap for callers that
+	// need the actions back (Flush returns only after OnBatch does).
+	OnBatch func([]engine.OfficeAction)
+}
+
+// officeQueue is one office's bounded tick queue plus its counters.
+type officeQueue struct {
+	ticks [][]float64
+	// base is the number of ticks ever removed from the front of the
+	// queue (dispatched or dropped); base+len(ticks) is the sequence
+	// number the next pushed tick will get. Input events record the
+	// sequence number they were pushed at, so the dispatcher can place
+	// them at the right tick of the batch even after drops.
+	base       uint64
+	pushed     uint64
+	dispatched uint64
+	dropped    uint64
+}
+
+// pendingInput is a queued input notification: deliver to office/ws
+// before the tick with sequence number seq.
+type pendingInput struct {
+	office, ws int
+	seq        uint64
+}
+
+// Ingestor is the asynchronous front door of an engine.Fleet: producers
+// Push per-office RSSI ticks (and PushInput notifications) into bounded
+// queues; a dispatcher goroutine batches whatever is queued through
+// Fleet.RunBatch and forwards the merged action stream to the configured
+// Sink via the pump goroutine.
+//
+// Push, PushInput, Flush and Stats are safe for concurrent use. The
+// wrapped Fleet must not be driven directly while the Ingestor is open.
+type Ingestor struct {
+	fleet      *engine.Fleet
+	queue      int
+	onFull     Policy
+	batchTicks int
+	sink       Sink
+	onBatch    func([]engine.OfficeAction)
+
+	mu    sync.Mutex
+	work  sync.Cond // dispatcher waits for work
+	space sync.Cond // Block-policy pushers wait for queue space
+	done  sync.Cond // Flush waiters wait for their dispatch cycle
+	q     []officeQueue
+	pend  []pendingInput
+	// flushSeq counts flush requests; doneSeq is the highest request
+	// fully served (dispatch ran over a queue snapshot taken at or after
+	// the request). Close issues a final flush request of its own.
+	flushSeq, doneSeq uint64
+	needSpace         int
+	closed            bool
+	err               error
+	nBatches          uint64
+	nActions          uint64
+
+	pumpCh         chan []engine.OfficeAction
+	pumpDone       chan struct{}
+	dispatcherDone chan struct{}
+}
+
+// NewIngestor wraps the fleet in an asynchronous ingestion layer and
+// starts its dispatcher (and, with a Sink configured, pump) goroutines.
+// Close releases them.
+func NewIngestor(fleet *engine.Fleet, cfg Config) (*Ingestor, error) {
+	if fleet == nil {
+		return nil, errors.New("stream: nil fleet")
+	}
+	if cfg.Queue < 0 {
+		return nil, fmt.Errorf("stream: negative queue capacity %d", cfg.Queue)
+	}
+	queue := cfg.Queue
+	if queue == 0 {
+		queue = DefaultQueue
+	}
+	if cfg.BatchTicks > queue {
+		return nil, fmt.Errorf("stream: batch ticks %d exceed queue capacity %d", cfg.BatchTicks, queue)
+	}
+	in := &Ingestor{
+		fleet:          fleet,
+		queue:          queue,
+		onFull:         cfg.OnFull,
+		batchTicks:     cfg.BatchTicks,
+		sink:           cfg.Sink,
+		onBatch:        cfg.OnBatch,
+		q:              make([]officeQueue, fleet.Offices()),
+		dispatcherDone: make(chan struct{}),
+	}
+	in.work.L = &in.mu
+	in.space.L = &in.mu
+	in.done.L = &in.mu
+	if in.sink != nil {
+		in.pumpCh = make(chan []engine.OfficeAction, 8)
+		in.pumpDone = make(chan struct{})
+		go in.pump()
+	}
+	go in.dispatch()
+	return in, nil
+}
+
+// Push queues one RSSI tick (one sample per stream) for an office. The
+// sample slice is copied, so the caller may reuse its buffer. When the
+// office's queue is full the configured Policy decides: Block waits for
+// the dispatcher, DropOldest evicts, ErrorOnFull returns ErrQueueFull.
+func (in *Ingestor) Push(office int, rssi []float64) error {
+	if office < 0 || office >= len(in.q) {
+		return fmt.Errorf("stream: office %d outside fleet of %d", office, len(in.q))
+	}
+	tick := append([]float64(nil), rssi...)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	q := &in.q[office]
+	for !in.closed && len(q.ticks) >= in.queue {
+		switch in.onFull {
+		case DropOldest:
+			q.ticks = q.ticks[1:]
+			q.base++
+			q.dropped++
+		case ErrorOnFull:
+			q.dropped++
+			return fmt.Errorf("%w (office %d, capacity %d)", ErrQueueFull, office, in.queue)
+		default: // Block
+			in.needSpace++
+			in.work.Signal()
+			in.space.Wait()
+			in.needSpace--
+		}
+	}
+	if in.closed {
+		return ErrClosed
+	}
+	q.ticks = append(q.ticks, tick)
+	q.pushed++
+	if in.batchTicks > 0 && len(q.ticks) >= in.batchTicks {
+		in.work.Signal()
+	}
+	return nil
+}
+
+// PushInput queues a keyboard/mouse notification for one office. It is
+// delivered before the office's next pushed tick — i.e. after every tick
+// queued so far — matching System.NotifyInput between Tick calls.
+func (in *Ingestor) PushInput(office, workstation int) error {
+	if office < 0 || office >= len(in.q) {
+		return fmt.Errorf("stream: office %d outside fleet of %d", office, len(in.q))
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return ErrClosed
+	}
+	q := &in.q[office]
+	in.pend = append(in.pend, pendingInput{office: office, ws: workstation, seq: q.base + uint64(len(q.ticks))})
+	return nil
+}
+
+// PushBatch feeds one pre-assembled fleet batch through the queues
+// exactly as Fleet.RunBatch would consume it: per office, every input
+// event with Tick <= t is delivered before tick t (ties in slice
+// order), trailing events after the office's last tick. It is the
+// bridge for callers porting synchronous RunBatch call sites — pushing
+// the same batches and calling Flush at the same boundaries yields a
+// byte-identical action stream. The per-office backpressure policy
+// applies to every tick pushed.
+func (in *Ingestor) PushBatch(sub [][][]float64, evs []engine.InputEvent) error {
+	if len(sub) != len(in.q) {
+		return fmt.Errorf("stream: batch has %d offices, fleet has %d", len(sub), len(in.q))
+	}
+	for _, ev := range evs {
+		if ev.Office < 0 || ev.Office >= len(in.q) {
+			return fmt.Errorf("stream: input event for office %d outside fleet of %d", ev.Office, len(in.q))
+		}
+	}
+	for o := range sub {
+		var evsO []engine.InputEvent
+		for _, ev := range evs {
+			if ev.Office == o {
+				evsO = append(evsO, ev)
+			}
+		}
+		sort.SliceStable(evsO, func(a, b int) bool { return evsO[a].Tick < evsO[b].Tick })
+		next := 0
+		for t, row := range sub[o] {
+			for next < len(evsO) && evsO[next].Tick <= t {
+				if err := in.PushInput(o, evsO[next].Workstation); err != nil {
+					return err
+				}
+				next++
+			}
+			if err := in.Push(o, row); err != nil {
+				return err
+			}
+		}
+		for ; next < len(evsO); next++ {
+			if err := in.PushInput(o, evsO[next].Workstation); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush dispatches everything queued at the time of the call as one
+// fleet batch and blocks until that dispatch — including the OnBatch tap
+// — has completed and the batch has been handed to the sink pump. It
+// returns the first pipeline error (fleet dispatch or sink) seen so far.
+func (in *Ingestor) Flush() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return ErrClosed
+	}
+	in.flushSeq++
+	ticket := in.flushSeq
+	in.work.Signal()
+	for in.doneSeq < ticket && !in.closed {
+		in.done.Wait()
+	}
+	return in.err
+}
+
+// Err returns the first pipeline error (fleet dispatch or sink write)
+// recorded so far, without waiting.
+func (in *Ingestor) Err() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.err
+}
+
+// Close dispatches any remaining queued ticks, stops the dispatcher,
+// drains the pump, and flushes and closes the sink. It returns the first
+// pipeline error, unblocks any Block-policy pushers with ErrClosed, and
+// is idempotent.
+func (in *Ingestor) Close() error {
+	in.mu.Lock()
+	if in.closed {
+		err := in.err
+		in.mu.Unlock()
+		return err
+	}
+	in.closed = true
+	in.flushSeq++ // final drain
+	in.work.Broadcast()
+	in.space.Broadcast()
+	in.done.Broadcast()
+	in.mu.Unlock()
+
+	<-in.dispatcherDone
+	if in.pumpCh != nil {
+		close(in.pumpCh)
+		<-in.pumpDone
+	}
+	var sinkErr error
+	if in.sink != nil {
+		sinkErr = in.sink.Close()
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if sinkErr != nil && in.err == nil {
+		in.err = fmt.Errorf("stream: sink close: %w", sinkErr)
+	}
+	return in.err
+}
+
+// OfficeStats are one office's queue counters.
+type OfficeStats struct {
+	// Depth is the number of ticks currently queued.
+	Depth int
+	// Pushed counts ticks accepted into the queue.
+	Pushed uint64
+	// Dispatched counts ticks delivered to the fleet.
+	Dispatched uint64
+	// Dropped counts ticks lost to DropOldest eviction or ErrorOnFull
+	// rejection.
+	Dropped uint64
+}
+
+// Stats is a snapshot of the Ingestor's instrumentation.
+type Stats struct {
+	// Offices holds the per-office queue counters.
+	Offices []OfficeStats
+	// Batches counts dispatch cycles that delivered at least one tick or
+	// input event; Actions counts the merged actions they produced.
+	Batches, Actions uint64
+	// Dropped is the fleet-wide total of dropped/rejected ticks.
+	Dropped uint64
+}
+
+// Stats returns a snapshot of the per-office queue depth/drop counters
+// and the dispatch totals.
+func (in *Ingestor) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := Stats{
+		Offices: make([]OfficeStats, len(in.q)),
+		Batches: in.nBatches,
+		Actions: in.nActions,
+	}
+	for i := range in.q {
+		q := &in.q[i]
+		st.Offices[i] = OfficeStats{
+			Depth:      len(q.ticks),
+			Pushed:     q.pushed,
+			Dispatched: q.dispatched,
+			Dropped:    q.dropped,
+		}
+		st.Dropped += q.dropped
+	}
+	return st
+}
+
+// dispatch is the dispatcher goroutine: it waits for work (a flush
+// request, a Block-policy pusher out of space, a BatchTicks threshold, or
+// Close), snapshots the queues into one fleet batch, runs it, and hands
+// the merged actions to the OnBatch tap and the sink pump.
+func (in *Ingestor) dispatch() {
+	defer close(in.dispatcherDone)
+	in.mu.Lock()
+	for {
+		for !in.closed && in.flushSeq == in.doneSeq && in.needSpace == 0 && !in.thresholdLocked() {
+			in.work.Wait()
+		}
+		if in.closed && in.flushSeq == in.doneSeq && !in.queuedLocked() {
+			in.mu.Unlock()
+			return
+		}
+		ticket := in.flushSeq
+		batch, evs, n := in.takeLocked()
+		in.mu.Unlock()
+
+		var acts []engine.OfficeAction
+		var err error
+		if n > 0 || len(evs) > 0 {
+			acts, err = in.fleet.RunBatch(batch, evs)
+		}
+		if err == nil && len(acts) > 0 {
+			if in.onBatch != nil {
+				in.onBatch(acts)
+			}
+			if in.pumpCh != nil {
+				in.pumpCh <- acts
+			}
+		}
+
+		in.mu.Lock()
+		if err != nil && in.err == nil {
+			in.err = fmt.Errorf("stream: dispatch: %w", err)
+		}
+		if n > 0 || len(evs) > 0 {
+			in.nBatches++
+			in.nActions += uint64(len(acts))
+		}
+		if ticket > in.doneSeq {
+			in.doneSeq = ticket
+		}
+		in.space.Broadcast()
+		in.done.Broadcast()
+	}
+}
+
+// thresholdLocked reports whether BatchTicks auto-dispatch is due.
+func (in *Ingestor) thresholdLocked() bool {
+	if in.batchTicks <= 0 {
+		return false
+	}
+	for i := range in.q {
+		if len(in.q[i].ticks) >= in.batchTicks {
+			return true
+		}
+	}
+	return false
+}
+
+// queuedLocked reports whether any ticks or input events are pending.
+func (in *Ingestor) queuedLocked() bool {
+	if len(in.pend) > 0 {
+		return true
+	}
+	for i := range in.q {
+		if len(in.q[i].ticks) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// takeLocked snapshots every office queue and all pending inputs into one
+// fleet batch, advancing the queue bases. Input sequence numbers are
+// translated to batch-relative tick indices; events whose tick was
+// dropped clamp to the start of the batch (RunBatch delivers them before
+// the first surviving tick).
+func (in *Ingestor) takeLocked() (batch [][][]float64, evs []engine.InputEvent, n int) {
+	batch = make([][][]float64, len(in.q))
+	if len(in.pend) > 0 {
+		evs = make([]engine.InputEvent, 0, len(in.pend))
+		for _, pi := range in.pend {
+			tick := 0
+			if pi.seq > in.q[pi.office].base {
+				tick = int(pi.seq - in.q[pi.office].base)
+			}
+			evs = append(evs, engine.InputEvent{Office: pi.office, Workstation: pi.ws, Tick: tick})
+		}
+		in.pend = in.pend[:0]
+	}
+	for i := range in.q {
+		q := &in.q[i]
+		batch[i] = q.ticks
+		n += len(q.ticks)
+		q.base += uint64(len(q.ticks))
+		q.dispatched += uint64(len(q.ticks))
+		q.ticks = nil
+	}
+	return batch, evs, n
+}
+
+// pump is the sink delivery goroutine: it forwards dispatched batches to
+// the Sink in dispatch order. After the first write error it records the
+// error and keeps draining the channel (discarding batches), so a broken
+// sink can never deadlock the dispatcher or producers.
+func (in *Ingestor) pump() {
+	defer close(in.pumpDone)
+	failed := false
+	for batch := range in.pumpCh {
+		if failed {
+			continue
+		}
+		if err := in.sink.Write(batch); err != nil {
+			failed = true
+			in.mu.Lock()
+			if in.err == nil {
+				in.err = fmt.Errorf("stream: sink: %w", err)
+			}
+			in.mu.Unlock()
+		}
+	}
+}
