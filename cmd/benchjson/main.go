@@ -1,0 +1,341 @@
+// Command benchjson converts `go test -bench` output into a compact JSON
+// snapshot and gates benchmark regressions against a committed baseline.
+// It is the core of the CI bench job: every run on main uploads a
+// BENCH_<date>.json artifact, and the job fails when any benchmark's
+// median ns/op exceeds the baseline by more than the tolerance.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count=5 ./... | benchjson -out BENCH_2026-07-29.json
+//	benchjson -in bench.txt -out BENCH.json -baseline BENCH_baseline.json -tolerance 0.15
+//
+// With -count=N the N samples of each benchmark are collapsed to their
+// median, which is robust against the occasional scheduler hiccup that
+// would make a min or mean gate flaky. Custom metrics (ticks/sec,
+// fmeasure, ...) are carried through informationally; only ns/op gates.
+//
+// Exit status: 0 on success, 1 on parse/IO errors or when the regression
+// gate trips.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one benchmark's aggregated result.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Runs is the number of samples aggregated (the -count).
+	Runs int `json:"runs"`
+	// NsPerOp is the median ns/op across the samples.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the -benchmem medians (omitted when
+	// the run had no -benchmem).
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds medians of any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the BENCH_<date>.json schema.
+type Snapshot struct {
+	Schema    int    `json:"schema"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Provenance records where the numbers came from ("ci" for the
+	// pinned CI runner, "local" otherwise). The regression gate only
+	// fails hard when baseline and current provenance match — absolute
+	// timings are not comparable across hardware generations, so a
+	// local seed gating a CI run (or vice versa) reports advisorily
+	// instead of failing. See docs/CI.md.
+	Provenance string      `json:"provenance"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Regression is one benchmark that got slower than the gate allows.
+type Regression struct {
+	Name            string
+	BaselineNsPerOp float64
+	CurrentNsPerOp  float64
+	Ratio           float64
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON snapshot to write (default stdout)")
+	baseline := flag.String("baseline", "", "baseline snapshot to gate against (empty = no gate)")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed ns/op slowdown fraction before the gate trips")
+	date := flag.String("date", "", "date stamped into the snapshot (default today, UTC)")
+	provenance := flag.String("provenance", "local", "where this run's numbers come from (ci|local); the gate only fails hard when it matches the baseline's")
+	flag.Parse()
+
+	if err := run(*in, *out, *baseline, *tolerance, *date, *provenance); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, baseline string, tolerance float64, date, provenance string) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+	if date == "" {
+		date = time.Now().UTC().Format("2006-01-02")
+	}
+	snap := Snapshot{
+		Schema:     1,
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Provenance: provenance,
+		Benchmarks: benches,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+
+	if baseline == "" {
+		return nil
+	}
+	baseData, err := os.ReadFile(baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Snapshot
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baseline, err)
+	}
+	regs, missing := Compare(base.Benchmarks, benches, tolerance)
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "benchjson: warning: baseline benchmark %q missing from this run\n", name)
+	}
+	// Absolute timings only gate within one hardware environment: a
+	// local seed cannot fail a CI run (or vice versa) — the comparison
+	// is reported, but advisorily. The gate arms itself once the
+	// baseline is refreshed from a run of the same provenance.
+	enforce := base.Provenance == provenance
+	if len(regs) > 0 {
+		for _, reg := range regs {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f ns/op -> %.0f ns/op (%.0f%% slower, tolerance %.0f%%)\n",
+				reg.Name, reg.BaselineNsPerOp, reg.CurrentNsPerOp, (reg.Ratio-1)*100, tolerance*100)
+		}
+		if !enforce {
+			fmt.Fprintf(os.Stderr, "benchjson: advisory only: baseline provenance %q != this run's %q (refresh the baseline from a %q run to arm the gate)\n",
+				base.Provenance, provenance, provenance)
+			return nil
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% versus %s", len(regs), tolerance*100, baseline)
+	}
+	mode := "gated"
+	if !enforce {
+		mode = "advisory (provenance mismatch)"
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% of %s [%s]\n", len(benches), tolerance*100, baseline, mode)
+	return nil
+}
+
+// Parse reads `go test -bench` output and aggregates repeated samples of
+// each benchmark (from -count=N) into their medians. The -GOMAXPROCS
+// name suffix is stripped so snapshots compare across machines with
+// different core counts — but only when it is genuinely the procs
+// suffix: go test appends it to *every* benchmark (and only when
+// GOMAXPROCS != 1), so a trailing "-N" is stripped only if all parsed
+// names end in the same "-N". A sub-benchmark whose own name ends in a
+// number (offices-64) on a single-CPU machine is therefore left intact.
+func Parse(r io.Reader) ([]Benchmark, error) {
+	type sample struct {
+		name  string
+		pairs [][2]string // (value, unit)
+	}
+	var lines []sample
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		s := sample{name: fields[0]}
+		for i := 2; i+1 < len(fields); i += 2 {
+			s.pairs = append(s.pairs, [2]string{fields[i], fields[i+1]})
+		}
+		lines = append(lines, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	names := make([]string, len(lines))
+	for i, ln := range lines {
+		names[i] = ln.name
+	}
+	suffix := commonProcsSuffix(names)
+
+	type samples struct {
+		ns, bytes, allocs []float64
+		metrics           map[string][]float64
+	}
+	byName := make(map[string]*samples)
+	var order []string
+	for _, ln := range lines {
+		name := strings.TrimSuffix(ln.name, suffix)
+		s := byName[name]
+		if s == nil {
+			s = &samples{metrics: make(map[string][]float64)}
+			byName[name] = s
+			order = append(order, name)
+		}
+		for _, pair := range ln.pairs {
+			val, err := strconv.ParseFloat(pair[0], 64)
+			if err != nil {
+				continue
+			}
+			switch pair[1] {
+			case "ns/op":
+				s.ns = append(s.ns, val)
+			case "B/op":
+				s.bytes = append(s.bytes, val)
+			case "allocs/op":
+				s.allocs = append(s.allocs, val)
+			default:
+				s.metrics[pair[1]] = append(s.metrics[pair[1]], val)
+			}
+		}
+	}
+
+	var out []Benchmark
+	for _, name := range order {
+		s := byName[name]
+		if len(s.ns) == 0 {
+			continue
+		}
+		b := Benchmark{Name: name, Runs: len(s.ns), NsPerOp: median(s.ns)}
+		if len(s.bytes) > 0 {
+			v := median(s.bytes)
+			b.BytesPerOp = &v
+		}
+		if len(s.allocs) > 0 {
+			v := median(s.allocs)
+			b.AllocsPerOp = &v
+		}
+		if len(s.metrics) > 0 {
+			b.Metrics = make(map[string]float64, len(s.metrics))
+			for unit, vals := range s.metrics {
+				b.Metrics[unit] = median(vals)
+			}
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// commonProcsSuffix returns the "-N" suffix shared by every benchmark
+// name (the GOMAXPROCS suffix go test appends to all benchmarks when
+// procs != 1), or "" when the names do not all share one.
+func commonProcsSuffix(names []string) string {
+	suffix := ""
+	for i, n := range names {
+		j := strings.LastIndex(n, "-")
+		if j < 0 {
+			return ""
+		}
+		if _, err := strconv.Atoi(n[j+1:]); err != nil {
+			return ""
+		}
+		if i == 0 {
+			suffix = n[j:]
+		} else if n[j:] != suffix {
+			return ""
+		}
+	}
+	return suffix
+}
+
+// median returns the median of vals (mean of the middle pair for even
+// counts). vals must be non-empty; it is not modified.
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Compare gates current against baseline: a benchmark regresses when its
+// median ns/op exceeds the baseline's by more than the tolerance
+// fraction. Baseline entries absent from current are returned in missing
+// (renames and removals warn instead of failing); benchmarks new in
+// current are ignored — they become part of the gate once the baseline is
+// refreshed.
+func Compare(baseline, current []Benchmark, tolerance float64) (regs []Regression, missing []string) {
+	cur := make(map[string]Benchmark, len(current))
+	for _, b := range current {
+		cur[b.Name] = b
+	}
+	for _, base := range baseline {
+		c, ok := cur[base.Name]
+		if !ok {
+			missing = append(missing, base.Name)
+			continue
+		}
+		if base.NsPerOp <= 0 {
+			continue
+		}
+		ratio := c.NsPerOp / base.NsPerOp
+		if ratio > 1+tolerance {
+			regs = append(regs, Regression{
+				Name:            base.Name,
+				BaselineNsPerOp: base.NsPerOp,
+				CurrentNsPerOp:  c.NsPerOp,
+				Ratio:           ratio,
+			})
+		}
+	}
+	sort.Slice(regs, func(a, b int) bool { return regs[a].Ratio > regs[b].Ratio })
+	return regs, missing
+}

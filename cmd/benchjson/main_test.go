@@ -1,0 +1,149 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: fadewich
+cpu: Example CPU @ 2.40GHz
+BenchmarkMDDetectorTick-8      	  291x	      4100 ns/op	     120 B/op	       3 allocs/op
+BenchmarkMDDetectorTick-8      	  300000	      4000 ns/op	     120 B/op	       3 allocs/op
+BenchmarkMDDetectorTick-8      	  295000	      4300 ns/op	     121 B/op	       3 allocs/op
+BenchmarkFleetThroughput/offices-64-8 	      50	  22000000 ns/op	        510000 ticks/sec
+BenchmarkFleetThroughput/offices-64-8 	      52	  21000000 ns/op	        530000 ticks/sec
+BenchmarkAblationSVMKernel/linear-8   	       9	 120000000 ns/op	         0.8100 accuracy
+PASS
+ok  	fadewich	42.0s
+`
+
+func TestParseAggregatesMedians(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]Benchmark)
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+
+	// The corrupted first MD line (non-numeric iteration count) is
+	// skipped; the remaining two samples collapse to their median.
+	md, ok := byName["BenchmarkMDDetectorTick"]
+	if !ok {
+		t.Fatalf("MD benchmark missing: %+v", benches)
+	}
+	if md.Runs != 2 || md.NsPerOp != 4150 {
+		t.Fatalf("MD aggregate: runs %d ns/op %.0f, want 2 / 4150", md.Runs, md.NsPerOp)
+	}
+	if md.BytesPerOp == nil || *md.BytesPerOp != 120.5 || md.AllocsPerOp == nil || *md.AllocsPerOp != 3 {
+		t.Fatalf("MD benchmem medians: %+v", md)
+	}
+
+	// Sub-benchmark names keep the sub-case but lose the -GOMAXPROCS
+	// suffix; custom metrics ride along.
+	fleet, ok := byName["BenchmarkFleetThroughput/offices-64"]
+	if !ok {
+		t.Fatalf("fleet benchmark missing or suffix not stripped: %+v", benches)
+	}
+	if fleet.NsPerOp != 21500000 || fleet.Metrics["ticks/sec"] != 520000 {
+		t.Fatalf("fleet aggregate: %+v", fleet)
+	}
+	if svm := byName["BenchmarkAblationSVMKernel/linear"]; svm.Metrics["accuracy"] != 0.81 {
+		t.Fatalf("custom metric lost: %+v", svm)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	benches, err := Parse(strings.NewReader("PASS\nok fadewich 1.0s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 0 {
+		t.Fatalf("parsed %d benchmarks from non-bench output", len(benches))
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	baseline := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 2000},
+		{Name: "BenchmarkGone", NsPerOp: 500},
+	}
+	current := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1100}, // +10%: within tolerance
+		{Name: "BenchmarkB", NsPerOp: 2400}, // +20%: trips
+		{Name: "BenchmarkNew", NsPerOp: 50}, // ignored until baselined
+	}
+	regs, missing := Compare(baseline, current, 0.15)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkB" {
+		t.Fatalf("regressions: %+v", regs)
+	}
+	if regs[0].Ratio < 1.19 || regs[0].Ratio > 1.21 {
+		t.Fatalf("ratio %.3f, want ~1.2", regs[0].Ratio)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing: %v", missing)
+	}
+}
+
+func TestCompareExactToleranceBoundaryPasses(t *testing.T) {
+	baseline := []Benchmark{{Name: "BenchmarkA", NsPerOp: 1000}}
+	current := []Benchmark{{Name: "BenchmarkA", NsPerOp: 1150}}
+	if regs, _ := Compare(baseline, current, 0.15); len(regs) != 0 {
+		t.Fatalf("exactly-at-tolerance run tripped the gate: %+v", regs)
+	}
+}
+
+func TestCompareSpeedupsNeverTrip(t *testing.T) {
+	baseline := []Benchmark{{Name: "BenchmarkA", NsPerOp: 1000}}
+	current := []Benchmark{{Name: "BenchmarkA", NsPerOp: 10}}
+	if regs, _ := Compare(baseline, current, 0.15); len(regs) != 0 {
+		t.Fatalf("speedup tripped the gate: %+v", regs)
+	}
+}
+
+func TestCommonProcsSuffix(t *testing.T) {
+	cases := []struct {
+		names []string
+		want  string
+	}{
+		// Multi-core run: every name carries the same -GOMAXPROCS.
+		{[]string{"BenchmarkFoo-8", "BenchmarkBar/sub-case-8", "BenchmarkBaz/offices-64-8"}, "-8"},
+		// Single-CPU run: go test appends nothing; the trailing -64 is
+		// part of the sub-benchmark's own name and must survive.
+		{[]string{"BenchmarkSimulateDay", "BenchmarkFleet/offices-64"}, ""},
+		// -cpu 1,2 style mixed suffixes: ambiguous, strip nothing.
+		{[]string{"BenchmarkFoo-2", "BenchmarkFoo-4"}, ""},
+		{[]string{"BenchmarkFoo/d-1.2s-8"}, "-8"},
+		{nil, ""},
+	}
+	for _, c := range cases {
+		if got := commonProcsSuffix(c.names); got != c.want {
+			t.Errorf("commonProcsSuffix(%v) = %q, want %q", c.names, got, c.want)
+		}
+	}
+}
+
+// TestParseSingleCPUKeepsNumericSubBenchNames pins the 1-CPU regression:
+// without a -GOMAXPROCS suffix on the lines, a sub-benchmark name ending
+// in a number must not be truncated.
+func TestParseSingleCPUKeepsNumericSubBenchNames(t *testing.T) {
+	input := `BenchmarkSimulateDay 	      48	  28065275 ns/op
+BenchmarkFleetThroughput/offices-64 	      50	  22000000 ns/op	    510000 ticks/sec
+`
+	benches, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, b := range benches {
+		names = append(names, b.Name)
+	}
+	want := []string{"BenchmarkSimulateDay", "BenchmarkFleetThroughput/offices-64"}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("parsed names %v, want %v", names, want)
+	}
+}

@@ -10,21 +10,36 @@
 // train and serve as one engine.Fleet sharded across -parallel workers,
 // and report the aggregate catch rate plus fleet throughput.
 //
+// With -office-config FILE the fleet is heterogeneous: FILE holds a JSON
+// array of per-office overrides (floor plan, sensor count, rng seed, MD
+// thresholds), one element per office, and each tenant runs its own
+// layout and configuration inside the same fleet. Fields left zero
+// inherit the shared defaults (the -sensors/-seed flags and the paper
+// office).
+//
+// With -churn N the fleet is elastic: N membership events are spread
+// across the online day — odd events join a fresh tenant (which starts
+// clean in its training phase and streams its own ticks), even events
+// drain and remove the oldest joiner. The original offices keep serving
+// and scoring throughout.
+//
 // With -sink the fleet is driven through the asynchronous stream layer
 // (stream.Ingestor) and the merged action stream is delivered to the
 // named backends: a JSONL log file, a TCP peer (length-prefixed frames),
 // or an in-memory ring. -queue and -on-full tune the per-office tick
 // queue and its backpressure policy. -sink implies fleet mode even with
-// a single office.
+// a single office, as do -office-config and -churn.
 //
 // Usage:
 //
 //	fadewich-sim [-days N] [-seed S] [-sensors M] [-offices K] [-parallel P]
+//	             [-office-config FILE] [-churn N]
 //	             [-sink log:PATH|tcp:ADDR|ring[:N][,...]] [-queue Q]
 //	             [-on-full block|drop-oldest|error] [-v]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -37,6 +52,8 @@ import (
 	"fadewich/internal/core"
 	"fadewich/internal/engine"
 	"fadewich/internal/kma"
+	"fadewich/internal/md"
+	"fadewich/internal/office"
 	"fadewich/internal/rng"
 	"fadewich/internal/sim"
 	"fadewich/internal/stream"
@@ -48,18 +65,30 @@ func main() {
 	sensors := flag.Int("sensors", 9, "sensors to deploy (3..9)")
 	offices := flag.Int("offices", 1, "independent office deployments to run as a fleet")
 	parallel := flag.Int("parallel", 0, "worker pool width (0 = one per CPU, 1 = sequential)")
+	officeConfig := flag.String("office-config", "", "JSON file with per-office overrides (layout, sensors, seed, MD thresholds); implies fleet mode")
+	churn := flag.Int("churn", 0, "membership events (add/remove offices) spread across the online day; implies fleet mode")
 	sinkSpec := flag.String("sink", "", "action sinks: log:PATH, tcp:ADDR, ring[:N], comma-separated for fan-out")
 	queue := flag.Int("queue", 0, "per-office tick queue capacity (0 = default 256)")
 	onFull := flag.String("on-full", "block", "backpressure policy when a queue is full: block, drop-oldest or error")
 	verbose := flag.Bool("v", false, "print every action")
 	flag.Parse()
+	officesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "offices" {
+			officesSet = true
+		}
+	})
 
 	var err error
 	switch {
 	case *offices < 1:
 		err = fmt.Errorf("need at least 1 office, got %d", *offices)
-	case *offices > 1 || *sinkSpec != "":
-		err = runFleet(*days, *seed, *sensors, *offices, *parallel, *sinkSpec, *queue, *onFull, *verbose)
+	case *officeConfig != "" && officesSet:
+		err = fmt.Errorf("-offices and -office-config conflict: the config file's element count sets the fleet size")
+	case *churn < 0:
+		err = fmt.Errorf("churn count must be non-negative, got %d", *churn)
+	case *offices > 1 || *sinkSpec != "" || *officeConfig != "" || *churn > 0:
+		err = runFleet(*days, *seed, *sensors, *offices, *parallel, *officeConfig, *churn, *sinkSpec, *queue, *onFull, *verbose)
 	default:
 		err = run(*days, *seed, *sensors, *parallel, *verbose)
 	}
@@ -69,47 +98,120 @@ func main() {
 	}
 }
 
-// buildSink parses the -sink flag: a comma-separated list of log:PATH,
-// tcp:ADDR and ring[:N] specs, fanned out through a MultiSink when more
-// than one is named. The ring (if any) is returned separately so the
-// caller can print its summary after the run.
-func buildSink(spec string) (stream.Sink, *stream.RingSink, error) {
-	var sinks []stream.Sink
-	var ring *stream.RingSink
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		switch {
-		case strings.HasPrefix(part, "log:"):
-			s, err := stream.NewLogSink(strings.TrimPrefix(part, "log:"))
-			if err != nil {
-				return nil, nil, err
-			}
-			sinks = append(sinks, s)
-		case strings.HasPrefix(part, "tcp:"):
-			s, err := stream.NewTCPSink(strings.TrimPrefix(part, "tcp:"))
-			if err != nil {
-				return nil, nil, err
-			}
-			sinks = append(sinks, s)
-		case part == "ring" || strings.HasPrefix(part, "ring:"):
-			capacity := 0
-			if rest := strings.TrimPrefix(part, "ring"); rest != "" {
-				n, err := strconv.Atoi(strings.TrimPrefix(rest, ":"))
-				if err != nil || n < 1 {
-					return nil, nil, fmt.Errorf("bad ring capacity in %q", part)
-				}
-				capacity = n
-			}
-			ring = stream.NewRingSink(capacity)
-			sinks = append(sinks, ring)
-		default:
-			return nil, nil, fmt.Errorf("unknown sink %q (want log:PATH, tcp:ADDR or ring[:N])", part)
+// officeSpec is one office's overrides in the -office-config JSON array.
+// Zero fields inherit the shared defaults.
+type officeSpec struct {
+	// Layout names the floor plan: paper (default), small or wide.
+	Layout string `json:"layout"`
+	// Sensors is the number of sensors to deploy (0 inherits -sensors).
+	Sensors int `json:"sensors"`
+	// Seed overrides this office's dataset seed (0 derives one from
+	// -seed and the office index).
+	Seed uint64 `json:"seed"`
+	// MDStdWindowSec overrides the movement detector's rolling std-dev
+	// window d in seconds.
+	MDStdWindowSec float64 `json:"md_std_window_sec"`
+	// MDAlpha overrides the anomaly tail percentage: s_t above the
+	// (100-alpha)-th profile percentile is anomalous.
+	MDAlpha float64 `json:"md_alpha"`
+	// MDTau overrides the profile-update batch rejection threshold.
+	MDTau float64 `json:"md_tau"`
+}
+
+// layoutByName maps the JSON layout spelling to a floor plan.
+func layoutByName(name string) (*office.Layout, error) {
+	switch name {
+	case "", "paper":
+		return office.Paper(), nil
+	case "small":
+		return office.Small(), nil
+	case "wide":
+		return office.Wide(), nil
+	default:
+		return nil, fmt.Errorf("unknown layout %q (want paper, small or wide)", name)
+	}
+}
+
+// loadOfficeSpecs parses the -office-config JSON array.
+func loadOfficeSpecs(path string) ([]officeSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var specs []officeSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%s: empty office list", path)
+	}
+	return specs, nil
+}
+
+// tenant is one office's full runtime state: its spec, dataset, deployed
+// stream subset, resolved System configuration and per-day input draws.
+type tenant struct {
+	id      int
+	spec    officeSpec
+	ds      *sim.Dataset
+	streams []int
+	cfg     core.Config
+	// inputs[day][ws] lists input timestamps (nil for churn joiners, which
+	// stream ticks but receive no keyboard/mouse feed).
+	inputs [][][]float64
+	// joinTick is the day-absolute tick a churn joiner entered the fleet.
+	joinTick int
+}
+
+// buildTenant resolves one office's spec into a generated dataset, its
+// deployed stream subset and the office System configuration.
+func buildTenant(spec officeSpec, days int, dsSeed, inputSeed uint64, defSensors int, withInputs bool) (*tenant, error) {
+	layout, err := layoutByName(spec.Layout)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Seed != 0 {
+		dsSeed = spec.Seed
+	}
+	ds, err := sim.Generate(sim.Config{Days: days, Seed: dsSeed, Layout: layout, Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	sensors := spec.Sensors
+	if sensors == 0 {
+		sensors = defSensors
+	}
+	if sensors > layout.NumSensors() {
+		sensors = layout.NumSensors()
+	}
+	subsetIdx, err := ds.Layout.SensorSubset(sensors)
+	if err != nil {
+		return nil, err
+	}
+	streams := ds.StreamSubset(subsetIdx)
+	tn := &tenant{
+		spec:    spec,
+		ds:      ds,
+		streams: streams,
+		cfg: core.Config{
+			DT:           ds.Days[0].DT,
+			Streams:      len(streams),
+			Workstations: ds.Layout.NumWorkstations(),
+			MD: md.Config{
+				StdWindowSec: spec.MDStdWindowSec,
+				Alpha:        spec.MDAlpha,
+				Tau:          spec.MDTau,
+			},
+		},
+	}
+	if withInputs {
+		src := rng.New(inputSeed)
+		tn.inputs = make([][][]float64, days)
+		for day, trace := range ds.Days {
+			tn.inputs[day] = kma.GenerateInputs(trace.InputSpans, trace.Events, kma.InputModel{}, src.Split())
 		}
 	}
-	if len(sinks) == 1 {
-		return sinks[0], ring, nil
-	}
-	return stream.NewMultiSink(sinks...), ring, nil
+	return tn, nil
 }
 
 func run(days int, seed uint64, sensors, parallel int, verbose bool) error {
@@ -259,62 +361,117 @@ func scoreDay(trace *sim.Trace, deauths []core.Action, verbose bool, office int)
 	return caught, departures
 }
 
-// runFleet scales the pipeline to K offices served by one engine.Fleet:
-// per-office datasets generate in parallel, then the fleet trains and
-// serves all offices sharded across the worker pool. With a sink spec
-// the fleet is driven through a stream.Ingestor and the merged action
-// stream is also delivered to the named backends.
-func runFleet(days int, seed uint64, sensors, offices, parallel int, sinkSpec string, queue int, onFull string, verbose bool) error {
+// buildSink parses the -sink flag: a comma-separated list of log:PATH,
+// tcp:ADDR and ring[:N] specs, fanned out through a MultiSink when more
+// than one is named. The ring (if any) is returned separately so the
+// caller can print its summary after the run.
+func buildSink(spec string) (stream.Sink, *stream.RingSink, error) {
+	var sinks []stream.Sink
+	var ring *stream.RingSink
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case strings.HasPrefix(part, "log:"):
+			s, err := stream.NewLogSink(strings.TrimPrefix(part, "log:"))
+			if err != nil {
+				return nil, nil, err
+			}
+			sinks = append(sinks, s)
+		case strings.HasPrefix(part, "tcp:"):
+			s, err := stream.NewTCPSink(strings.TrimPrefix(part, "tcp:"))
+			if err != nil {
+				return nil, nil, err
+			}
+			sinks = append(sinks, s)
+		case part == "ring" || strings.HasPrefix(part, "ring:"):
+			capacity := 0
+			if rest := strings.TrimPrefix(part, "ring"); rest != "" {
+				n, err := strconv.Atoi(strings.TrimPrefix(rest, ":"))
+				if err != nil || n < 1 {
+					return nil, nil, fmt.Errorf("bad ring capacity in %q", part)
+				}
+				capacity = n
+			}
+			ring = stream.NewRingSink(capacity)
+			sinks = append(sinks, ring)
+		default:
+			return nil, nil, fmt.Errorf("unknown sink %q (want log:PATH, tcp:ADDR or ring[:N])", part)
+		}
+	}
+	if len(sinks) == 1 {
+		return sinks[0], ring, nil
+	}
+	return stream.NewMultiSink(sinks...), ring, nil
+}
+
+// runFleet scales the pipeline to a multi-tenant engine.Fleet: per-office
+// datasets generate in parallel (heterogeneous when -office-config names
+// per-tenant layouts/sensor counts/seeds/thresholds), then the fleet
+// trains and serves all offices sharded across the worker pool. With a
+// sink spec the fleet is driven through a stream.Ingestor and the merged
+// action stream is also delivered to the named backends; with -churn the
+// membership changes mid-run.
+func runFleet(days int, seed uint64, sensors, offices, parallel int, officeConfig string, churn int, sinkSpec string, queue int, onFull string, verbose bool) error {
 	if days < 2 {
 		return fmt.Errorf("need at least 2 days (training + online), got %d", days)
 	}
+	specs := make([]officeSpec, offices)
+	if officeConfig != "" {
+		loaded, err := loadOfficeSpecs(officeConfig)
+		if err != nil {
+			return fmt.Errorf("office config: %w", err)
+		}
+		specs = loaded
+		offices = len(specs)
+	}
+
 	pool := engine.NewPool(parallel)
 	start := time.Now()
 	fmt.Printf("generating %d-day datasets for %d offices (seed %d, %d workers)...\n",
 		days, offices, seed, pool.Workers())
-	dss, err := engine.Gather(pool, offices, func(o int) (*sim.Dataset, error) {
+	tenants, err := engine.Gather(pool, offices, func(o int) (*tenant, error) {
 		// Each office gets its own seed stream; day-level parallelism is
 		// already saturated by the office fan-out.
-		return sim.Generate(sim.Config{Days: days, Seed: seed + uint64(o)*0x9e3779b9, Workers: 1})
-	})
-	if err != nil {
-		return err
-	}
-
-	subsetIdx, err := dss[0].Layout.SensorSubset(sensors)
-	if err != nil {
-		return err
-	}
-	streams := dss[0].StreamSubset(subsetIdx)
-
-	fleet, err := engine.NewFleet(engine.FleetConfig{
-		Offices: offices,
-		Workers: parallel,
-		System: core.Config{
-			DT:           dss[0].Days[0].DT,
-			Streams:      len(streams),
-			Workstations: dss[0].Layout.NumWorkstations(),
-		},
-	})
-	if err != nil {
-		return err
-	}
-
-	// Per-office input draws, one independent stream per office.
-	inputs := make([][][][]float64, offices) // [office][day][ws][]times
-	for o := 0; o < offices; o++ {
-		src := rng.New((seed + uint64(o)) ^ 0xfade)
-		inputs[o] = make([][][]float64, days)
-		for day, trace := range dss[o].Days {
-			inputs[o][day] = kma.GenerateInputs(trace.InputSpans, trace.Events, kma.InputModel{}, src.Split())
+		tn, err := buildTenant(specs[o], days, seed+uint64(o)*0x9e3779b9, (seed+uint64(o))^0xfade, sensors, true)
+		if err != nil {
+			return nil, fmt.Errorf("office %d: %w", o, err)
 		}
+		tn.id = o
+		return tn, nil
+	})
+	if err != nil {
+		return err
+	}
+	if officeConfig != "" {
+		for _, tn := range tenants {
+			layout := tn.spec.Layout
+			if layout == "" {
+				layout = "paper"
+			}
+			fmt.Printf("office %3d: layout %-5s  %2d streams  %d workstations\n",
+				tn.id, layout, len(tn.streams), tn.ds.Layout.NumWorkstations())
+		}
+	}
+
+	perOffice := make(map[int]core.Config, offices)
+	for _, tn := range tenants {
+		perOffice[tn.id] = tn.cfg
+	}
+	fleet, err := engine.NewFleet(engine.FleetConfig{
+		Offices:   offices,
+		Workers:   parallel,
+		System:    tenants[0].cfg,
+		PerOffice: perOffice,
+	})
+	if err != nil {
+		return err
 	}
 
 	// Batch delivery: straight to the fleet, or through the asynchronous
 	// stream layer when sinks are attached. The ingestor's synchronous
 	// OnBatch tap hands each dispatched batch back so the day loop's
 	// reaction scheduling and scoring see exactly the stream the sinks do.
-	deliver := fleet.RunBatch
+	deliver := fleet.Run
 	var ing *stream.Ingestor
 	var ring *stream.RingSink
 	if sinkSpec != "" {
@@ -340,9 +497,9 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, sinkSpec st
 			return err
 		}
 		defer ing.Close()
-		deliver = func(sub [][][]float64, evs []engine.InputEvent) ([]engine.OfficeAction, error) {
+		deliver = func(batches []engine.OfficeBatch, evs []engine.InputEvent) ([]engine.OfficeAction, error) {
 			collected = collected[:0]
-			if err := ing.PushBatch(sub, evs); err != nil {
+			if err := ing.PushOffices(batches, evs); err != nil {
 				return nil, err
 			}
 			if err := ing.Flush(); err != nil {
@@ -362,7 +519,7 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, sinkSpec st
 	totalTicks := 0
 	serveStart := time.Now()
 	for day := 0; day < days-1; day++ {
-		ticks, err := fleetDay(fleet, deliver, dss, streams, inputs, day, nil)
+		ticks, err := fleetDay(fleet, deliver, tenants, day, nil, nil)
 		if err != nil {
 			return err
 		}
@@ -374,17 +531,30 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, sinkSpec st
 	fmt.Printf("%d classifiers trained on %d auto-labelled samples total; going online\n\n",
 		offices, fleet.TrainingSamples())
 
+	// Elastic membership plan for the online day.
+	var plan *churnPlan
+	if churn > 0 {
+		plan, err = buildChurnPlan(fleet, ing, tenants, churn, seed, sensors)
+		if err != nil {
+			return err
+		}
+	}
+
 	// Online phase: the merged, time-ordered fleet stream scores each
 	// office against its own ground truth.
-	dayBase := make([]float64, offices)
-	for o := range dayBase {
-		dayBase[o] = fleet.System(o).Now()
+	dayBase := make(map[int]float64, offices)
+	for _, tn := range tenants {
+		dayBase[tn.id] = fleet.System(tn.id).Now()
 	}
-	deauths := make([][]core.Action, offices)
+	deauths := make(map[int][]core.Action, offices)
 	online := days - 1
-	ticks, err := fleetDay(fleet, deliver, dss, streams, inputs, online, func(a engine.OfficeAction) {
+	ticks, err := fleetDay(fleet, deliver, tenants, online, plan, func(a engine.OfficeAction) {
+		base, original := dayBase[a.Office]
+		if !original {
+			return // churn joiner: training-phase actions are not scored
+		}
 		act := a.Action
-		act.Time -= dayBase[a.Office]
+		act.Time -= base
 		if verbose {
 			fmt.Printf("  office %3d  %8.1fs  %-15s w%d\n", a.Office, act.Time, act.Type, act.Workstation+1)
 		}
@@ -398,16 +568,24 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, sinkSpec st
 	totalTicks += ticks
 
 	caught, departures := 0, 0
-	for o := 0; o < offices; o++ {
-		c, d := scoreDay(dss[o].Days[online], deauths[o], verbose, o)
+	for _, tn := range tenants {
+		c, d := scoreDay(tn.ds.Days[online], deauths[tn.id], verbose, tn.id)
 		caught += c
 		departures += d
 	}
 	elapsed := time.Since(serveStart).Seconds()
-	fmt.Printf("\nfleet online day: %d/%d departures deauthenticated within 10 s across %d offices (%d sensors)\n",
-		caught, departures, offices, sensors)
+	deployment := fmt.Sprintf("%d sensors", sensors)
+	if officeConfig != "" {
+		deployment = "per-office sensor counts"
+	}
+	fmt.Printf("\nfleet online day: %d/%d departures deauthenticated within 10 s across %d offices (%s)\n",
+		caught, departures, offices, deployment)
 	fmt.Printf("fleet throughput: %.0f ticks/sec (%d ticks over %.1fs, %d workers)\n",
 		float64(totalTicks)/elapsed, totalTicks, elapsed, pool.Workers())
+	if plan != nil {
+		fmt.Printf("churn: %d joins, %d removals; fleet ended with %d offices\n",
+			plan.joins, plan.removals, fleet.Offices())
+	}
 
 	if ing != nil {
 		if err := ing.Close(); err != nil {
@@ -424,9 +602,125 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, sinkSpec st
 	return nil
 }
 
-// fleetDay drives every office through one day in batches, handling input
-// delivery and the seated user's ~1.5 s screensaver reaction. It returns
-// the number of ticks delivered fleet-wide.
+// churnPlan schedules membership events across the online day: event k
+// fires at the first batch boundary past tick (k+1)*maxTicks/(N+1),
+// alternating between joining a pre-generated tenant and draining and
+// removing the oldest joiner.
+type churnPlan struct {
+	fleet    *engine.Fleet
+	ing      *stream.Ingestor // nil when delivery is synchronous
+	events   []int            // event tick positions, ascending
+	next     int              // next event index
+	joiners  []*tenant        // pre-generated, not yet joined
+	active   []*tenant        // joined, in join order
+	joins    int
+	removals int
+}
+
+// buildChurnPlan pre-generates one single-day dataset per join event so
+// the online loop never stalls on dataset generation mid-run.
+func buildChurnPlan(fleet *engine.Fleet, ing *stream.Ingestor, tenants []*tenant, events int, seed uint64, sensors int) (*churnPlan, error) {
+	joins := (events + 1) / 2
+	plan := &churnPlan{fleet: fleet, ing: ing}
+	for k := 0; k < joins; k++ {
+		tn, err := buildTenant(officeSpec{}, 1, seed+0xC0FFEE+uint64(k)*0x9e3779b9, 0, sensors, false)
+		if err != nil {
+			return nil, fmt.Errorf("churn joiner %d: %w", k, err)
+		}
+		plan.joiners = append(plan.joiners, tn)
+	}
+	maxTicks := 0
+	for _, tn := range tenants {
+		if t := tn.ds.Days[len(tn.ds.Days)-1].Ticks; t > maxTicks {
+			maxTicks = t
+		}
+	}
+	for k := 0; k < events; k++ {
+		plan.events = append(plan.events, (k+1)*maxTicks/(events+1))
+	}
+	return plan, nil
+}
+
+// apply fires every event scheduled at or before startTick. It returns
+// the tenants joined by those events so the day loop can start feeding
+// them.
+func (p *churnPlan) apply(startTick int) ([]*tenant, error) {
+	var joined []*tenant
+	for p.next < len(p.events) && p.events[p.next] <= startTick {
+		ev := p.next
+		p.next++
+		if ev%2 == 0 && len(p.joiners) > 0 {
+			tn := p.joiners[0]
+			p.joiners = p.joiners[1:]
+			var id int
+			var err error
+			if p.ing != nil {
+				id, err = p.ing.AddOffice(tn.cfg)
+			} else {
+				id, err = p.fleet.AddOffice(tn.cfg)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("churn: join: %w", err)
+			}
+			tn.id = id
+			tn.joinTick = startTick
+			p.active = append(p.active, tn)
+			p.joins++
+			joined = append(joined, tn)
+			fmt.Printf("churn: +office %d joined at tick %d (%d streams, training)\n", id, startTick, tn.cfg.Streams)
+		} else if len(p.active) > 0 {
+			tn := p.active[0]
+			p.active = p.active[1:]
+			var sys *core.System
+			var err error
+			if p.ing != nil {
+				sys, err = p.ing.RemoveOffice(tn.id)
+			} else {
+				sys, err = p.fleet.RemoveOffice(tn.id)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("churn: remove: %w", err)
+			}
+			p.removals++
+			fmt.Printf("churn: -office %d removed at tick %d (drained; %d training samples collected)\n",
+				tn.id, startTick, sys.TrainingSamples())
+		}
+	}
+	return joined, nil
+}
+
+// joinerTrace reports whether office id is a churn joiner still active,
+// returning its tenant state.
+func (p *churnPlan) joinerTrace(id int) (*tenant, bool) {
+	if p == nil {
+		return nil, false
+	}
+	for _, tn := range p.active {
+		if tn.id == id {
+			return tn, true
+		}
+	}
+	return nil, false
+}
+
+// sliceTicks copies ticks [lo, hi) of the trace's deployed stream subset
+// into per-tick rows, the payload of one OfficeBatch.
+func sliceTicks(trace *sim.Trace, streams []int, lo, hi int) [][]float64 {
+	m := make([][]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		row := make([]float64, len(streams))
+		for j, k := range streams {
+			row[j] = float64(trace.Streams[k][i])
+		}
+		m[i-lo] = row
+	}
+	return m
+}
+
+// fleetDay drives every tenant through one day in batches, handling input
+// delivery, the seated user's ~1.5 s screensaver reaction, and (on the
+// online day) the churn plan's membership events. It returns the number
+// of ticks delivered fleet-wide.
 //
 // The batch size must not exceed the reaction delay: a screensaver seen
 // in batch b schedules a reaction input that can only be delivered from
@@ -435,34 +729,51 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, sinkSpec st
 // falls inside the next batch, so the reaction lands at its exact tick —
 // the same cancellation the single-office feed() performs — instead of
 // arriving after the session is already gone.
-func fleetDay(fleet *engine.Fleet, deliver func([][][]float64, []engine.InputEvent) ([]engine.OfficeAction, error), dss []*sim.Dataset, streams []int, inputs [][][][]float64, day int, onAction func(engine.OfficeAction)) (int, error) {
-	offices := fleet.Offices()
-	dt := dss[0].Days[day].DT
+func fleetDay(fleet *engine.Fleet, deliver func([]engine.OfficeBatch, []engine.InputEvent) ([]engine.OfficeAction, error), tenants []*tenant, day int, plan *churnPlan, onAction func(engine.OfficeAction)) (int, error) {
+	dt := tenants[0].ds.Days[day].DT
 	reactionTicks := int(math.Ceil(1.5 / dt))
 	batchTicks := reactionTicks
 
-	dayBase := make([]float64, offices)
-	cursor := make([][]int, offices)
-	pending := make([][]engine.InputEvent, offices) // reactions, Tick day-absolute
+	dayBase := make(map[int]float64, len(tenants))
+	cursor := make(map[int][]int, len(tenants))
+	pending := make(map[int][]engine.InputEvent, len(tenants)) // reactions, Tick day-absolute
+	byID := make(map[int]*tenant, len(tenants))
 	maxTicks := 0
-	for o := 0; o < offices; o++ {
-		dayBase[o] = fleet.System(o).Now()
-		cursor[o] = make([]int, len(inputs[o][day]))
-		if t := dss[o].Days[day].Ticks; t > maxTicks {
+	for _, tn := range tenants {
+		byID[tn.id] = tn
+		dayBase[tn.id] = fleet.System(tn.id).Now()
+		cursor[tn.id] = make([]int, len(tn.inputs[day]))
+		if t := tn.ds.Days[day].Ticks; t > maxTicks {
 			maxTicks = t
 		}
 	}
+	// Churn joiners streaming this day, keyed by office ID.
+	joiners := make(map[int]*tenant)
 
 	total := 0
 	for startTick := 0; startTick < maxTicks; startTick += batchTicks {
+		if plan != nil {
+			newJoiners, err := plan.apply(startTick)
+			if err != nil {
+				return total, err
+			}
+			for _, tn := range newJoiners {
+				joiners[tn.id] = tn
+			}
+			for id := range joiners {
+				if _, still := plan.joinerTrace(id); !still {
+					delete(joiners, id)
+				}
+			}
+		}
 		endTick := startTick + batchTicks
 		if endTick > maxTicks {
 			endTick = maxTicks
 		}
-		sub := make([][][]float64, offices)
+		var batches []engine.OfficeBatch
 		var evs []engine.InputEvent
-		for o := 0; o < offices; o++ {
-			trace := dss[o].Days[day]
+		for _, tn := range tenants {
+			trace := tn.ds.Days[day]
 			end := endTick
 			if end > trace.Ticks {
 				end = trace.Ticks
@@ -470,58 +781,74 @@ func fleetDay(fleet *engine.Fleet, deliver func([][][]float64, []engine.InputEve
 			if startTick >= end {
 				continue // this office's day is already over
 			}
-			m := make([][]float64, end-startTick)
-			for i := startTick; i < end; i++ {
-				row := make([]float64, len(streams))
-				for j, k := range streams {
-					row[j] = float64(trace.Streams[k][i])
-				}
-				m[i-startTick] = row
-			}
-			sub[o] = m
+			batches = append(batches, engine.OfficeBatch{Office: tn.id, Ticks: sliceTicks(trace, tn.streams, startTick, end)})
 			total += end - startTick
 
 			// Scheduled keyboard/mouse inputs falling in this range.
-			for ws, times := range inputs[o][day] {
-				for cursor[o][ws] < len(times) && int(times[cursor[o][ws]]/dt) < end {
-					tick := int(times[cursor[o][ws]] / dt)
+			for ws, times := range tn.inputs[day] {
+				for cursor[tn.id][ws] < len(times) && int(times[cursor[tn.id][ws]]/dt) < end {
+					tick := int(times[cursor[tn.id][ws]] / dt)
 					if tick < startTick {
 						tick = startTick
 					}
-					evs = append(evs, engine.InputEvent{Office: o, Workstation: ws, Tick: tick - startTick})
-					cursor[o][ws]++
+					evs = append(evs, engine.InputEvent{Office: tn.id, Workstation: ws, Tick: tick - startTick})
+					cursor[tn.id][ws]++
 				}
 			}
 			// Matured screensaver reactions.
-			keep := pending[o][:0]
-			for _, ev := range pending[o] {
+			keep := pending[tn.id][:0]
+			for _, ev := range pending[tn.id] {
 				if ev.Tick < end {
 					tick := ev.Tick
 					if tick < startTick {
 						tick = startTick
 					}
-					evs = append(evs, engine.InputEvent{Office: o, Workstation: ev.Workstation, Tick: tick - startTick})
+					evs = append(evs, engine.InputEvent{Office: tn.id, Workstation: ev.Workstation, Tick: tick - startTick})
 				} else {
 					keep = append(keep, ev)
 				}
 			}
-			pending[o] = keep
+			pending[tn.id] = keep
+		}
+		// Churn joiners stream their own (single-day) trace, offset to
+		// their join tick; they are in the training phase and receive no
+		// input feed.
+		for id, tn := range joiners {
+			trace := tn.ds.Days[0]
+			lo, hi := startTick-tn.joinTick, endTick-tn.joinTick
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > trace.Ticks {
+				hi = trace.Ticks
+			}
+			if lo >= hi {
+				continue
+			}
+			batches = append(batches, engine.OfficeBatch{Office: id, Ticks: sliceTicks(trace, tn.streams, lo, hi)})
+			total += hi - lo
 		}
 
-		acts, err := deliver(sub, evs)
+		acts, err := deliver(batches, evs)
 		if err != nil {
 			return total, err
 		}
 		for _, a := range acts {
-			o := a.Office
-			dayT := a.Action.Time - dayBase[o]
-			if a.Action.Type == core.ActionScreensaverOn && seatedAt(dss[o].Days[day], a.Action.Workstation, dayT) {
+			tn := byID[a.Office]
+			if tn == nil {
+				if onAction != nil {
+					onAction(a) // churn joiner action
+				}
+				continue
+			}
+			dayT := a.Action.Time - dayBase[a.Office]
+			if a.Action.Type == core.ActionScreensaverOn && seatedAt(tn.ds.Days[day], a.Action.Workstation, dayT) {
 				// Day-relative tick index of the screensaver action
 				// (rounded against float drift), due reactionTicks later —
 				// the same tick feed() would deliver the reaction at.
 				ssTick := int(dayT/dt+0.5) - 1
-				pending[o] = append(pending[o], engine.InputEvent{
-					Office:      o,
+				pending[a.Office] = append(pending[a.Office], engine.InputEvent{
+					Office:      a.Office,
 					Workstation: a.Action.Workstation,
 					Tick:        ssTick + reactionTicks,
 				})

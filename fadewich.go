@@ -17,14 +17,18 @@
 //     paper's evaluation from a dataset.
 //   - Fleet (internal/engine) — the concurrent fleet layer: shards many
 //     independent office Systems across a worker pool with batched tick
-//     delivery and a merged, time-ordered action stream. The same pool
-//     parallelises dataset generation and the harness's experiment
-//     sweeps, deterministically in the seed.
+//     delivery and a merged, time-ordered action stream. The fleet is an
+//     elastic multi-tenant registry: offices carry per-tenant
+//     configurations (FleetConfig.PerOffice) and stable IDs, and
+//     AddOffice/RemoveOffice change the membership at batch boundaries
+//     while ticks flow. The same pool parallelises dataset generation
+//     and the harness's experiment sweeps, deterministically in the seed.
 //   - Streaming (internal/stream) — the asynchronous pipeline on top of
 //     the Fleet: an Ingestor with bounded per-office tick queues
-//     (block / drop-oldest / error backpressure) and pluggable action
-//     Sinks (JSONL log file, length-prefixed TCP frames, in-memory ring,
-//     multi-sink fan-out) fed by a dedicated pump goroutine.
+//     (block / drop-oldest / error backpressure, created and retired on
+//     membership change) and pluggable action Sinks (JSONL log file,
+//     length-prefixed TCP frames, in-memory ring, multi-sink fan-out)
+//     fed by a dedicated pump goroutine.
 //
 // Quick start:
 //
@@ -81,26 +85,42 @@ func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
 
 // Fleet shards many independent office Systems across a worker pool with
 // batched tick delivery and a merged time-ordered action stream.
+// Membership is elastic: Fleet.AddOffice and Fleet.RemoveOffice join and
+// retire tenants (by stable office ID) while batches are flowing, with
+// changes landing at batch boundaries.
 type Fleet = engine.Fleet
 
-// FleetConfig parameterises a Fleet.
+// FleetConfig parameterises a Fleet: the initial office count, the shared
+// default per-office System configuration, optional PerOffice overrides
+// for heterogeneous tenants, and the worker-pool width.
 type FleetConfig = engine.FleetConfig
 
-// OfficeAction is one action emitted by one office of a Fleet.
+// OfficeAction is one action emitted by one office of a Fleet, tagged
+// with the office's stable ID.
 type OfficeAction = engine.OfficeAction
+
+// OfficeBatch is one office's tick payload for Fleet.Run, addressed by
+// stable office ID — the elastic alternative to the dense RunBatch.
+type OfficeBatch = engine.OfficeBatch
 
 // InputEvent routes a keyboard/mouse notification to one office within a
 // Fleet batch.
 type InputEvent = engine.InputEvent
 
 // NewFleet builds a multi-office fleet with every office System in the
-// training phase. Deterministic: the merged action stream is identical
-// for every worker count.
+// training phase. Offices with a FleetConfig.PerOffice entry use that
+// configuration; the rest share the FleetConfig.System default.
+// Deterministic: the merged action stream is identical for every worker
+// count.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return engine.NewFleet(cfg) }
 
 // Ingestor is the asynchronous front door of a Fleet: bounded per-office
 // tick queues feeding a dispatcher goroutine, with the merged action
-// stream pumped to a pluggable Sink.
+// stream pumped to a pluggable Sink. Ingestor.AddOffice and
+// Ingestor.RemoveOffice change the fleet membership while ticks flow —
+// joiners get a fresh queue and participate from the next dispatch on;
+// removed offices drain their queued ticks as a final flush before the
+// queue is retired.
 type Ingestor = stream.Ingestor
 
 // IngestorConfig parameterises an Ingestor (queue capacity, backpressure
@@ -108,8 +128,12 @@ type Ingestor = stream.Ingestor
 type IngestorConfig = stream.Config
 
 // IngestorStats is a snapshot of an Ingestor's per-office queue
-// depth/drop counters and dispatch totals.
+// depth/drop counters (ascending by office ID, with retired-office
+// aggregates) and dispatch totals.
 type IngestorStats = stream.Stats
+
+// OfficeQueueStats are one office's ingestion queue counters.
+type OfficeQueueStats = stream.OfficeStats
 
 // BackpressurePolicy selects what Ingestor.Push does when an office's
 // tick queue is full.

@@ -1,30 +1,46 @@
-// Fleet: a sharded multi-office deployment of core.System instances.
+// Fleet: an elastic, sharded multi-tenant deployment of core.System
+// instances.
 //
 // The paper evaluates one 6 m × 3 m office; a production deployment
-// monitors thousands. Each office is an independent core.System — the
+// monitors thousands of heterogeneous tenants that onboard and churn
+// while the system runs. Each office is an independent core.System — the
 // System itself stays single-goroutine and unaware of the fleet — and the
 // Fleet owns all routing: it delivers batched RSSI ticks and input
 // notifications to every office, shards the offices across pool workers,
 // and merges the per-office action streams into one globally time-ordered
-// stream tagged with the office index.
+// stream tagged with the office's stable ID.
+//
+// Membership is elastic: AddOffice and RemoveOffice are safe to call
+// while batches are flowing from another goroutine. A batch in flight
+// holds the membership lock for its whole duration, so a membership
+// change never lands mid-batch — joining offices start clean (training
+// phase, zero clock) at the next batch boundary, and a removed office's
+// in-flight batch completes before the removal applies.
 
 package engine
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"fadewich/internal/core"
 )
 
 // FleetConfig parameterises a Fleet.
 type FleetConfig struct {
-	// Offices is the number of independent office Systems to run.
+	// Offices is the number of office Systems the fleet starts with; they
+	// receive the stable IDs 0..Offices-1.
 	Offices int
-	// System is the per-office configuration. Every office currently
-	// shares the same configuration; per-office layouts differ only in
-	// the tick data fed to them.
+	// System is the shared default per-office configuration, used by every
+	// initial office without a PerOffice override and by AddOffice calls
+	// that pass a zero configuration.
 	System core.Config
+	// PerOffice optionally overrides the full System configuration for
+	// individual initial offices, keyed by office ID in [0, Offices).
+	// Heterogeneous tenants differ here: stream count (sensor layout),
+	// workstation count, MD thresholds, control timings.
+	PerOffice map[int]core.Config
 	// Workers caps the worker-pool width (0 selects one per CPU, 1 forces
 	// sequential delivery). Output is identical for every value.
 	Workers int
@@ -32,136 +48,319 @@ type FleetConfig struct {
 
 // OfficeAction is one action emitted by one office of the fleet.
 type OfficeAction struct {
-	// Office is the index of the emitting System.
+	// Office is the stable ID of the emitting System.
 	Office int
 	// Action is the System output (Action.Time is that office's clock).
 	Action core.Action
 }
 
-// InputEvent routes a keyboard/mouse notification to one office. Tick is
-// the index within the current batch before which the notification is
-// delivered; events at the same tick are delivered in slice order.
+// InputEvent routes a keyboard/mouse notification to one office, named by
+// its stable ID. Tick is the index within that office's current batch
+// before which the notification is delivered; events at the same tick are
+// delivered in slice order.
 type InputEvent struct {
 	Office      int
 	Workstation int
 	Tick        int
 }
 
-// Fleet shards N office Systems across a worker pool. Methods must be
-// called from one goroutine; the fleet fans work out internally.
-type Fleet struct {
-	cfg     FleetConfig
-	pool    *Pool
-	systems []*core.System
-	// perOffice[i] accumulates office i's actions during a batch; the
-	// slices are reused between batches.
-	perOffice [][]OfficeAction
+// OfficeBatch is one office's tick payload for a Run call, addressed by
+// stable office ID. Each tick is one sample per stream of that office's
+// configuration (offices may have different stream counts).
+type OfficeBatch struct {
+	Office int
+	Ticks  [][]float64
 }
 
-// NewFleet builds the fleet with every office System in the training
-// phase.
+// officeState is one tenant: its stable ID, resolved configuration, the
+// System, and the per-batch action buffer reused between batches.
+type officeState struct {
+	id  int
+	cfg core.Config
+	sys *core.System
+	buf []OfficeAction
+}
+
+// Fleet shards its member office Systems across a worker pool. All
+// methods are safe for concurrent use: batch delivery (Run, RunBatch,
+// Tick) serialises on an internal lock held for the whole batch, so
+// AddOffice/RemoveOffice calls from other goroutines always land at a
+// batch boundary.
+type Fleet struct {
+	pool *Pool
+	def  core.Config // shared default office configuration
+
+	mu sync.Mutex
+	// active holds the member offices in ascending ID order (IDs are
+	// allocated monotonically and never reused, so append keeps order).
+	active []*officeState
+	byID   map[int]*officeState
+	nextID int
+}
+
+// NewFleet builds the fleet with every initial office System in the
+// training phase. Offices with a PerOffice entry use that configuration
+// verbatim; the rest share cfg.System.
 func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.Offices < 1 {
 		return nil, fmt.Errorf("engine: fleet needs at least one office, got %d", cfg.Offices)
 	}
-	f := &Fleet{
-		cfg:       cfg,
-		pool:      NewPool(cfg.Workers),
-		systems:   make([]*core.System, cfg.Offices),
-		perOffice: make([][]OfficeAction, cfg.Offices),
-	}
-	for i := range f.systems {
-		sys, err := core.NewSystem(cfg.System)
-		if err != nil {
-			return nil, fmt.Errorf("engine: office %d: %w", i, err)
+	for id := range cfg.PerOffice {
+		if id < 0 || id >= cfg.Offices {
+			return nil, fmt.Errorf("engine: per-office config for office %d outside initial fleet of %d", id, cfg.Offices)
 		}
-		f.systems[i] = sys
+	}
+	f := &Fleet{
+		pool: NewPool(cfg.Workers),
+		def:  cfg.System,
+		byID: make(map[int]*officeState, cfg.Offices),
+	}
+	for i := 0; i < cfg.Offices; i++ {
+		oc := cfg.System
+		if c, ok := cfg.PerOffice[i]; ok {
+			oc = c
+		}
+		if _, err := f.addLocked(oc); err != nil {
+			return nil, err
+		}
 	}
 	return f, nil
 }
 
-// Offices returns the fleet size.
-func (f *Fleet) Offices() int { return len(f.systems) }
-
-// System returns office i's System for direct inspection (training
-// sample counts, phase, authentication state). The System must not be
-// ticked directly while the fleet is also delivering batches.
-func (f *Fleet) System(i int) *core.System { return f.systems[i] }
-
-// NotifyInput routes a single input notification to one office between
-// batches. For inputs interleaved with a batch's ticks, pass InputEvents
-// to RunBatch instead.
-func (f *Fleet) NotifyInput(office, workstation int) {
-	if office < 0 || office >= len(f.systems) {
-		return
+// addLocked creates one office System and registers it under the next ID.
+func (f *Fleet) addLocked(cfg core.Config) (int, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("engine: office %d: %w", f.nextID, err)
 	}
-	f.systems[office].NotifyInput(workstation)
+	st := &officeState{id: f.nextID, cfg: cfg, sys: sys}
+	f.nextID++
+	f.active = append(f.active, st)
+	f.byID[st.id] = st
+	return st.id, nil
 }
 
-// RunBatch delivers a batch of ticks to every office and returns the
-// merged action stream. ticks[i] holds office i's RSSI ticks (each one
-// sample per stream); offices may supply different tick counts — each
-// system advances its own clock by its own count. inputs are routed to
-// their office and delivered, in slice order, before the tick they name;
-// events whose tick exceeds the office's batch length are delivered after
-// the last tick.
+// AddOffice joins a new tenant to the fleet and returns its stable ID.
+// The office starts clean — a fresh System in the training phase with a
+// zero clock — and participates from the next batch on. A completely
+// zero-valued cfg inherits the fleet's shared default configuration;
+// a partial cfg is used as given and rejected loudly if invalid (it is
+// never silently merged with the default). Safe to call concurrently
+// with batch delivery: the join lands at the next batch boundary.
+func (f *Fleet) AddOffice(cfg core.Config) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cfg == (core.Config{}) {
+		cfg = f.def
+	}
+	return f.addLocked(cfg)
+}
+
+// RemoveOffice retires a tenant from the fleet and returns its System for
+// final inspection (training samples, authentication state). Any batch in
+// flight completes first — the removed office's actions from that batch
+// still appear in the merged stream — and the ID is never reused. Layers
+// that queue ticks (stream.Ingestor) drain the office's queue before
+// calling this.
+func (f *Fleet) RemoveOffice(id int) (*core.System, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.byID[id]
+	if st == nil {
+		return nil, fmt.Errorf("engine: office %d is not a member of the fleet", id)
+	}
+	delete(f.byID, id)
+	for i, o := range f.active {
+		if o == st {
+			f.active = append(f.active[:i], f.active[i+1:]...)
+			break
+		}
+	}
+	return st.sys, nil
+}
+
+// Offices returns the current fleet size.
+func (f *Fleet) Offices() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.active)
+}
+
+// IDs returns the stable IDs of the member offices in ascending order —
+// the order dense RunBatch/Tick payloads are interpreted in.
+func (f *Fleet) IDs() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]int, len(f.active))
+	for i, st := range f.active {
+		ids[i] = st.id
+	}
+	return ids
+}
+
+// System returns office id's System for direct inspection (training
+// sample counts, phase, authentication state), or nil for a non-member.
+// The System must not be ticked directly while the fleet is also
+// delivering batches.
+func (f *Fleet) System(id int) *core.System {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if st := f.byID[id]; st != nil {
+		return st.sys
+	}
+	return nil
+}
+
+// Config returns office id's resolved configuration and whether the
+// office is a member.
+func (f *Fleet) Config(id int) (core.Config, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if st := f.byID[id]; st != nil {
+		return st.cfg, true
+	}
+	return core.Config{}, false
+}
+
+// DefaultConfig returns the fleet's shared default office configuration.
+func (f *Fleet) DefaultConfig() core.Config { return f.def }
+
+// NotifyInput routes a single input notification to one office (by ID)
+// between batches. Unknown offices are ignored. For inputs interleaved
+// with a batch's ticks, pass InputEvents to Run/RunBatch instead.
+func (f *Fleet) NotifyInput(office, workstation int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if st := f.byID[office]; st != nil {
+		st.sys.NotifyInput(workstation)
+	}
+}
+
+// Run delivers one batch to the named offices and returns the merged
+// action stream. Each OfficeBatch addresses a member office by stable ID
+// (at most one entry per office); offices without an entry do not advance
+// this batch. inputs are routed to their office (by ID) and delivered, in
+// slice order, before the tick they name; events whose tick exceeds the
+// office's batch length — or whose office has no batch entry — are
+// delivered after the office's last tick of the batch.
 //
-// The merged stream is ordered by action time, ties broken by office
-// index, then by each office's own emission order — a total order that is
-// byte-identical for every worker count.
+// The merged stream is ordered by action time, ties broken by office ID,
+// then by each office's own emission order — a total order that is
+// byte-identical for every worker count and independent of the order of
+// the batch entries.
 //
 // The returned slice is freshly allocated on every call and never touched
 // by the fleet afterwards: callers (and action sinks) may retain previous
 // batches indefinitely. Only the internal per-office buffers are reused
 // between batches.
-func (f *Fleet) RunBatch(ticks [][][]float64, inputs []InputEvent) ([]OfficeAction, error) {
-	if len(ticks) != len(f.systems) {
-		return nil, fmt.Errorf("engine: batch has %d offices, fleet has %d", len(ticks), len(f.systems))
-	}
-	// Bucket inputs per office, preserving slice order within a bucket.
-	var byOffice map[int][]InputEvent
-	if len(inputs) > 0 {
-		byOffice = make(map[int][]InputEvent)
-		for _, ev := range inputs {
-			if ev.Office < 0 || ev.Office >= len(f.systems) {
-				return nil, fmt.Errorf("engine: input event for office %d outside fleet of %d", ev.Office, len(f.systems))
-			}
-			byOffice[ev.Office] = append(byOffice[ev.Office], ev)
-		}
-	}
+//
+// Run holds the membership lock for the whole batch, so concurrent
+// AddOffice/RemoveOffice calls take effect at the next batch boundary.
+func (f *Fleet) Run(batches []OfficeBatch, inputs []InputEvent) ([]OfficeAction, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.runLocked(batches, inputs)
+}
 
-	err := f.pool.Map(len(f.systems), func(i int) error {
-		sys := f.systems[i]
-		out := f.perOffice[i][:0]
-		evs := byOffice[i]
+// work is one office's share of a batch: its ticks plus its input events.
+type work struct {
+	st    *officeState
+	ticks [][]float64
+	evs   []InputEvent
+	seen  bool // an OfficeBatch entry named this office
+}
+
+func (f *Fleet) runLocked(batches []OfficeBatch, inputs []InputEvent) ([]OfficeAction, error) {
+	byID := make(map[int]*work, len(batches))
+	worklist := make([]*work, 0, len(batches))
+	lookup := func(id int) (*work, error) {
+		if w := byID[id]; w != nil {
+			return w, nil
+		}
+		st := f.byID[id]
+		if st == nil {
+			return nil, fmt.Errorf("engine: office %d is not a member of the fleet", id)
+		}
+		w := &work{st: st}
+		byID[id] = w
+		worklist = append(worklist, w)
+		return w, nil
+	}
+	for _, ob := range batches {
+		w, err := lookup(ob.Office)
+		if err != nil {
+			return nil, err
+		}
+		if w.seen {
+			return nil, fmt.Errorf("engine: duplicate batch entry for office %d", ob.Office)
+		}
+		w.seen = true
+		w.ticks = ob.Ticks
+	}
+	for _, ev := range inputs {
+		w, err := lookup(ev.Office)
+		if err != nil {
+			return nil, fmt.Errorf("engine: input event: %w", err)
+		}
+		w.evs = append(w.evs, ev)
+	}
+	// Ascending-ID order makes the merge concatenation — and with it the
+	// emission-order tie-break — independent of the caller's entry order.
+	sort.Slice(worklist, func(a, b int) bool { return worklist[a].st.id < worklist[b].st.id })
+
+	err := f.pool.Map(len(worklist), func(i int) error {
+		w := worklist[i]
+		sys := w.st.sys
+		out := w.st.buf[:0]
 		// evs is ordered by slice position; deliver all events with
 		// Tick <= t before tick t. Sort stably by tick so out-of-order
 		// caller input still lands deterministically.
-		sort.SliceStable(evs, func(a, b int) bool { return evs[a].Tick < evs[b].Tick })
+		sort.SliceStable(w.evs, func(a, b int) bool { return w.evs[a].Tick < w.evs[b].Tick })
 		next := 0
-		for t, rssi := range ticks[i] {
-			for next < len(evs) && evs[next].Tick <= t {
-				sys.NotifyInput(evs[next].Workstation)
+		for t, rssi := range w.ticks {
+			for next < len(w.evs) && w.evs[next].Tick <= t {
+				sys.NotifyInput(w.evs[next].Workstation)
 				next++
 			}
 			for _, a := range sys.Tick(rssi) {
-				out = append(out, OfficeAction{Office: i, Action: a})
+				out = append(out, OfficeAction{Office: w.st.id, Action: a})
 			}
 		}
-		for ; next < len(evs); next++ {
-			sys.NotifyInput(evs[next].Workstation)
+		for ; next < len(w.evs); next++ {
+			sys.NotifyInput(w.evs[next].Workstation)
 		}
-		f.perOffice[i] = out
+		w.st.buf = out
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return f.merge(), nil
+	return mergeWork(worklist), nil
 }
 
-// Tick delivers one tick to every office (rssi[i] is office i's sample
-// vector) and returns the merged actions of that tick.
+// RunBatch delivers a dense batch: ticks[i] holds the RSSI ticks of the
+// i-th member office in ascending-ID order (for a fleet that has seen no
+// churn, office IDs equal positions 0..N-1), and len(ticks) must equal
+// the current fleet size. Offices may supply different tick counts — each
+// System advances its own clock by its own count. See Run for the input
+// delivery and ordering contract; elastic callers that add and remove
+// offices mid-run should prefer the ID-addressed Run.
+func (f *Fleet) RunBatch(ticks [][][]float64, inputs []InputEvent) ([]OfficeAction, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(ticks) != len(f.active) {
+		return nil, fmt.Errorf("engine: batch has %d offices, fleet has %d", len(ticks), len(f.active))
+	}
+	batches := make([]OfficeBatch, len(ticks))
+	for i, st := range f.active {
+		batches[i] = OfficeBatch{Office: st.id, Ticks: ticks[i]}
+	}
+	return f.runLocked(batches, inputs)
+}
+
+// Tick delivers one tick to every member office (rssi[i] is the sample
+// vector of the i-th office in ascending-ID order) and returns the merged
+// actions of that tick.
 func (f *Fleet) Tick(rssi [][]float64) ([]OfficeAction, error) {
 	batch := make([][][]float64, len(rssi))
 	for i := range rssi {
@@ -170,22 +369,22 @@ func (f *Fleet) Tick(rssi [][]float64) ([]OfficeAction, error) {
 	return f.RunBatch(batch, nil)
 }
 
-// merge concatenates the per-office buffers and sorts them into the
-// global order (time, then office, then per-office emission order). It
-// must copy into a fresh slice — the per-office buffers are reused by the
-// next batch, and RunBatch promises callers the returned stream is theirs
-// to keep.
-func (f *Fleet) merge() []OfficeAction {
+// mergeWork concatenates the per-office buffers in ascending-ID order and
+// sorts them into the global order (time, then office ID, then per-office
+// emission order). It must copy into a fresh slice — the per-office
+// buffers are reused by the next batch, and Run promises callers the
+// returned stream is theirs to keep.
+func mergeWork(worklist []*work) []OfficeAction {
 	total := 0
-	for _, acts := range f.perOffice {
-		total += len(acts)
+	for _, w := range worklist {
+		total += len(w.st.buf)
 	}
 	if total == 0 {
 		return nil
 	}
 	merged := make([]OfficeAction, 0, total)
-	for _, acts := range f.perOffice {
-		merged = append(merged, acts...)
+	for _, w := range worklist {
+		merged = append(merged, w.st.buf...)
 	}
 	sort.SliceStable(merged, func(a, b int) bool {
 		if merged[a].Action.Time != merged[b].Action.Time {
@@ -196,24 +395,29 @@ func (f *Fleet) merge() []OfficeAction {
 	return merged
 }
 
-// FinishTraining moves every office to the online phase, fanning the SVM
-// training out across the pool. It fails on the first office (in index
-// order) whose training fails, wrapping the office index.
+// FinishTraining moves every member office to the online phase, fanning
+// the SVM training out across the pool. It fails on the first office (in
+// ascending-ID order) whose training fails, wrapping the office ID.
 func (f *Fleet) FinishTraining() error {
-	return f.pool.Map(len(f.systems), func(i int) error {
-		if err := f.systems[i].FinishTraining(); err != nil {
-			return fmt.Errorf("engine: office %d: %w", i, err)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	active := f.active
+	return f.pool.Map(len(active), func(i int) error {
+		if err := active[i].sys.FinishTraining(); err != nil {
+			return fmt.Errorf("engine: office %d: %w", active[i].id, err)
 		}
 		return nil
 	})
 }
 
 // TrainingSamples returns the total labelled training samples collected
-// across the fleet.
+// across the member offices.
 func (f *Fleet) TrainingSamples() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	total := 0
-	for _, sys := range f.systems {
-		total += sys.TrainingSamples()
+	for _, st := range f.active {
+		total += st.sys.TrainingSamples()
 	}
 	return total
 }

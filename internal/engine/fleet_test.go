@@ -269,6 +269,319 @@ func TestFleetFinishTrainingReportsFirstFailingOffice(t *testing.T) {
 	}
 }
 
+// standaloneActions drives a fresh System through the given ticks (one
+// login at inputTick) and returns its actions tagged with the office ID.
+func standaloneActions(t *testing.T, cfg core.Config, office int, ticks [][]float64, inputTick int) []OfficeAction {
+	t.Helper()
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []OfficeAction
+	for tk := range ticks {
+		if tk == inputTick {
+			sys.NotifyInput(0)
+		}
+		for _, a := range sys.Tick(ticks[tk]) {
+			out = append(out, OfficeAction{Office: office, Action: a})
+		}
+	}
+	return out
+}
+
+// TestFleetPerOfficeConfigsHeterogeneous builds a fleet whose offices
+// differ in stream count, workstation count and control timings, and
+// checks that office 0 — configured exactly like a standalone deployment
+// — reproduces the standalone System's action stream byte for byte.
+func TestFleetPerOfficeConfigsHeterogeneous(t *testing.T) {
+	const ticks = 260
+	def := fleetCfg(3, 2).System
+	cfgWide := core.Config{Streams: 4, Workstations: 2, Params: control.Params{TimeoutSec: 20}}
+	cfgSlow := core.Config{Streams: 2, Workstations: 1, Params: control.Params{TimeoutSec: 45}}
+	f, err := NewFleet(FleetConfig{
+		Offices: 3,
+		Workers: 4,
+		System:  def,
+		PerOffice: map[int]core.Config{
+			1: cfgWide,
+			2: cfgSlow,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range map[int]int{0: 2, 1: 4, 2: 2} {
+		cfg, ok := f.Config(id)
+		if !ok || cfg.Streams != want {
+			t.Fatalf("office %d config: streams %d (member %v), want %d", id, cfg.Streams, ok, want)
+		}
+	}
+
+	// Per-office tick rows sized to each office's stream count.
+	rows := func(office, streams int) [][]float64 {
+		src := rng.New(uint64(office) + 1)
+		out := make([][]float64, ticks)
+		for t := range out {
+			row := make([]float64, streams)
+			for k := range row {
+				row[k] = -60 + src.Normal(0, 0.4)
+			}
+			out[t] = row
+		}
+		return out
+	}
+	tick0, tick1, tick2 := rows(0, 2), rows(1, 4), rows(2, 2)
+
+	var merged []OfficeAction
+	const batchTicks = 77
+	for start := 0; start < ticks; start += batchTicks {
+		end := start + batchTicks
+		if end > ticks {
+			end = ticks
+		}
+		var evs []InputEvent
+		for o := 0; o < 3; o++ {
+			if tk := o * 3; tk >= start && tk < end {
+				evs = append(evs, InputEvent{Office: o, Workstation: 0, Tick: tk - start})
+			}
+		}
+		acts, err := f.Run([]OfficeBatch{
+			{Office: 0, Ticks: tick0[start:end]},
+			{Office: 1, Ticks: tick1[start:end]},
+			{Office: 2, Ticks: tick2[start:end]},
+		}, evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged = append(merged, acts...)
+	}
+
+	var office0 []OfficeAction
+	for _, a := range merged {
+		if a.Office == 0 {
+			office0 = append(office0, a)
+		}
+	}
+	want := standaloneActions(t, def, 0, tick0, 0)
+	if len(want) == 0 {
+		t.Fatal("standalone run produced no actions; the comparison is vacuous")
+	}
+	if !reflect.DeepEqual(office0, want) {
+		t.Fatalf("office 0 of the heterogeneous fleet diverged from the standalone run: %d vs %d actions",
+			len(office0), len(want))
+	}
+}
+
+// TestFleetMembershipLifecycle checks the sequential add/remove contract:
+// monotonic never-reused IDs, joiners starting clean, removal returning
+// the final System, and batch delivery across non-contiguous IDs.
+func TestFleetMembershipLifecycle(t *testing.T) {
+	f, err := NewFleet(fleetCfg(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{-60, -58}
+	if _, err := f.Run([]OfficeBatch{{Office: 0, Ticks: [][]float64{row}}, {Office: 1, Ticks: [][]float64{row}}}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Join with the default config (zero Streams inherits).
+	id, err := f.AddOffice(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Fatalf("joiner ID %d, want 2", id)
+	}
+	if sys := f.System(id); sys == nil || sys.Phase() != core.PhaseTraining || sys.Now() != 0 {
+		t.Fatal("joiner did not start clean in the training phase")
+	}
+	if got := f.Offices(); got != 3 {
+		t.Fatalf("fleet size %d after join, want 3", got)
+	}
+
+	// Remove the middle office; the fleet keeps serving 0 and 2.
+	sys, err := f.RemoveOffice(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == nil || sys.Now() != 0.2 {
+		t.Fatal("removal did not hand back the final System")
+	}
+	if got := f.IDs(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("IDs after removal: %v, want [0 2]", got)
+	}
+	if _, err := f.RemoveOffice(1); err == nil {
+		t.Fatal("double removal accepted")
+	}
+	if f.System(1) != nil {
+		t.Fatal("removed office still reachable")
+	}
+
+	// Dense delivery maps positions onto the surviving ascending IDs.
+	if _, err := f.RunBatch([][][]float64{{row}, {row}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.System(2).Now(); got != 0.2 {
+		t.Fatalf("joiner clock %.1f after one dense batch, want 0.2", got)
+	}
+
+	// A later join must not reuse the retired ID.
+	id2, err := f.AddOffice(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != 3 {
+		t.Fatalf("second joiner ID %d, want 3 (ID 1 must never be reused)", id2)
+	}
+}
+
+func TestFleetRunValidation(t *testing.T) {
+	f, err := NewFleet(fleetCfg(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := [][]float64{{-60, -58}}
+	if _, err := f.Run([]OfficeBatch{{Office: 7, Ticks: row}}, nil); err == nil {
+		t.Fatal("unknown office accepted")
+	}
+	if _, err := f.Run([]OfficeBatch{{Office: 0, Ticks: row}, {Office: 0, Ticks: row}}, nil); err == nil {
+		t.Fatal("duplicate batch entry accepted")
+	}
+	if _, err := f.Run(nil, []InputEvent{{Office: 9}}); err == nil {
+		t.Fatal("input event for unknown office accepted")
+	}
+	// An input event for an office without a batch entry is delivered.
+	if _, err := f.Run([]OfficeBatch{{Office: 0, Ticks: row}}, []InputEvent{{Office: 1, Workstation: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.System(1).Authenticated(0) {
+		t.Fatal("batch-less input event was not delivered")
+	}
+}
+
+// TestFleetChurnUnderLoad drives a 64-office fleet through a stream of
+// batches while a concurrent churner performs 16 membership events
+// (adding heterogeneous joiners, then removing them). Every batch's
+// merged stream must stay totally ordered by (time, office), and the
+// fleet must end exactly where it started. CI repeats this package under
+// -race, which is the real assertion on the membership locking.
+func TestFleetChurnUnderLoad(t *testing.T) {
+	const (
+		offices   = 64
+		batches   = 80
+		perBatch  = 5
+		churnEach = 5 // one membership event every 5 batches -> 16 events
+	)
+	// Heterogeneous base fleet: every fourth office runs a wider config.
+	cfg := fleetCfg(offices, 4)
+	cfg.PerOffice = map[int]core.Config{}
+	for o := 0; o < offices; o += 4 {
+		cfg.PerOffice[o] = core.Config{Streams: 4, Workstations: 2, Params: control.Params{TimeoutSec: 25}}
+	}
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batchDone := make(chan struct{}, batches)
+	churnDone := make(chan error, 1)
+	go func() {
+		joinCfg := core.Config{Streams: 3, Workstations: 2, Params: control.Params{TimeoutSec: 15}}
+		var joined []int
+		for ev := 0; ev < 16; ev++ {
+			for i := 0; i < churnEach; i++ {
+				if _, ok := <-batchDone; !ok {
+					churnDone <- nil
+					return
+				}
+			}
+			if ev%2 == 0 {
+				id, err := f.AddOffice(joinCfg)
+				if err != nil {
+					churnDone <- err
+					return
+				}
+				joined = append(joined, id)
+			} else {
+				id := joined[0]
+				joined = joined[1:]
+				if _, err := f.RemoveOffice(id); err != nil {
+					churnDone <- err
+					return
+				}
+			}
+		}
+		// Drain the remaining joiners so the fleet ends where it started.
+		for _, id := range joined {
+			if _, err := f.RemoveOffice(id); err != nil {
+				churnDone <- err
+				return
+			}
+		}
+		churnDone <- nil
+	}()
+
+	src := rng.New(99)
+	for b := 0; b < batches; b++ {
+		// Snapshot-and-retry: a joiner seen by IDs() may be removed before
+		// Run acquires the membership lock; membership errors are detected
+		// before any office advances, so retrying with a fresh snapshot is
+		// safe.
+		for {
+			ids := f.IDs()
+			obs := make([]OfficeBatch, 0, len(ids))
+			var evs []InputEvent
+			for _, id := range ids {
+				cfg, ok := f.Config(id)
+				if !ok {
+					continue
+				}
+				ticks := make([][]float64, perBatch)
+				for i := range ticks {
+					row := make([]float64, cfg.Streams)
+					for k := range row {
+						row[k] = -60 + src.Normal(0, 0.4)
+					}
+					ticks[i] = row
+				}
+				obs = append(obs, OfficeBatch{Office: id, Ticks: ticks})
+				if b == 0 {
+					evs = append(evs, InputEvent{Office: id, Workstation: 0, Tick: 0})
+				}
+			}
+			acts, err := f.Run(obs, evs)
+			if err != nil {
+				if strings.Contains(err.Error(), "not a member") {
+					continue
+				}
+				t.Fatal(err)
+			}
+			for i := 1; i < len(acts); i++ {
+				a, bb := acts[i-1], acts[i]
+				if bb.Action.Time < a.Action.Time ||
+					(bb.Action.Time == a.Action.Time && bb.Office < a.Office) {
+					t.Fatalf("batch %d: merged stream out of order at %d", b, i)
+				}
+			}
+			break
+		}
+		batchDone <- struct{}{}
+	}
+	close(batchDone)
+	if err := <-churnDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Offices(); got != offices {
+		t.Fatalf("fleet size %d after churn, want %d", got, offices)
+	}
+	for i, id := range f.IDs() {
+		if id != i {
+			t.Fatalf("original office IDs disturbed by churn: %v", f.IDs())
+		}
+	}
+}
+
 func TestNewFleetValidation(t *testing.T) {
 	if _, err := NewFleet(FleetConfig{Offices: 0}); err == nil {
 		t.Fatal("zero offices accepted")

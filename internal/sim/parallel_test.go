@@ -52,6 +52,55 @@ func TestGenerateParallelBitIdentical(t *testing.T) {
 	}
 }
 
+// TestGenerationWorkersClampsToDays is the regression test for the idle
+// worker pool: a Workers setting (or CPU count) wider than the day count
+// must be clamped, since a day is the unit of parallel work and the
+// surplus workers could only idle.
+func TestGenerationWorkersClampsToDays(t *testing.T) {
+	cases := []struct {
+		workers, days, want int
+	}{
+		{workers: 16, days: 3, want: 3},
+		{workers: 2, days: 8, want: 2},
+		{workers: 5, days: 5, want: 5},
+		{workers: 1, days: 4, want: 1},
+	}
+	for _, c := range cases {
+		if got := generationWorkers(c.workers, c.days); got != c.want {
+			t.Errorf("generationWorkers(%d, %d) = %d, want %d", c.workers, c.days, got, c.want)
+		}
+	}
+	// 0 selects one worker per CPU, still clamped to the day count.
+	if got := generationWorkers(0, 1); got != 1 {
+		t.Errorf("generationWorkers(0, 1) = %d, want 1", got)
+	}
+}
+
+// TestGenerateOverwideWorkersBitIdentical pins the clamp's observable
+// contract: a worker pool far wider than the day count still reproduces
+// the sequential dataset bit for bit.
+func TestGenerateOverwideWorkersBitIdentical(t *testing.T) {
+	cfg := parallelConfig(1)
+	cfg.Days = 2
+	seq, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 64 // 32x more workers than days
+	wide, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := range seq.Days {
+		if !reflect.DeepEqual(seq.Days[day].Streams, wide.Days[day].Streams) {
+			t.Fatalf("day %d RSSI streams differ under an over-wide pool", day)
+		}
+		if !reflect.DeepEqual(seq.Days[day].Events, wide.Days[day].Events) {
+			t.Fatalf("day %d event log differs under an over-wide pool", day)
+		}
+	}
+}
+
 // TestGenerateParallelPropagatesError checks that an invalid
 // configuration fails identically under parallel generation.
 func TestGenerateParallelPropagatesError(t *testing.T) {

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"fadewich/internal/agent"
 	"fadewich/internal/engine"
@@ -27,9 +28,10 @@ type Config struct {
 	// dataset bit for bit, regardless of Workers.
 	Seed uint64
 	// Workers caps the worker pool generating days in parallel: 0 uses
-	// one worker per CPU, 1 forces sequential generation. The output is
-	// bit-identical for every value — each day's generator is split from
-	// the root source in day order before any worker starts.
+	// one worker per CPU, 1 forces sequential generation, and any width
+	// is clamped to Days (extra workers would only sit idle). The output
+	// is bit-identical for every value — each day's generator is split
+	// from the root source in day order before any worker starts.
 	Workers int
 	// Layout is the office; nil selects office.Paper().
 	Layout *office.Layout
@@ -130,7 +132,7 @@ func Generate(cfg Config) (*Dataset, error) {
 		trace *Trace
 		links []rf.Link
 	}
-	pool := engine.NewPool(cfg.Workers)
+	pool := engine.NewPool(generationWorkers(cfg.Workers, cfg.Days))
 	results, err := engine.Gather(pool, cfg.Days, func(day int) (dayResult, error) {
 		trace, links, err := generateDay(cfg, srcs[day])
 		return dayResult{trace, links}, err
@@ -147,6 +149,20 @@ func Generate(cfg Config) (*Dataset, error) {
 		}
 	}
 	return ds, nil
+}
+
+// generationWorkers resolves the day-generation pool width: 0 selects one
+// worker per CPU, and the result is clamped to the day count — a pool
+// wider than the number of days would only hold idle workers (and an
+// oversized token budget that nested Map calls could over-draw).
+func generationWorkers(workers, days int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if days >= 1 && workers > days {
+		workers = days
+	}
+	return workers
 }
 
 // generateDay simulates a single day.

@@ -325,6 +325,234 @@ func TestIngestorBatchTicksAutoDispatch(t *testing.T) {
 	}
 }
 
+// TestIngestorAddOfficeJoinsClean checks that a tenant added through the
+// ingestor gets a fresh queue and a clean System, and participates from
+// the next dispatch on.
+func TestIngestorAddOfficeJoinsClean(t *testing.T) {
+	f := testFleet(t, 1, 2)
+	in, err := NewIngestor(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	id, err := in.AddOffice(core.Config{
+		Streams:      3,
+		Workstations: 1,
+		Params:       control.Params{TimeoutSec: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("joiner ID %d, want 1", id)
+	}
+	if sys := f.System(id); sys == nil || sys.Now() != 0 || sys.Phase() != core.PhaseTraining {
+		t.Fatal("joiner did not start clean")
+	}
+	if err := in.PushInput(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := in.Push(id, []float64{-60, -58, -61}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.System(id).Now(); got != 2.0 {
+		t.Fatalf("joiner clock %.1f after 10 ticks, want 2.0", got)
+	}
+	st := in.Stats()
+	if len(st.Offices) != 2 || st.Offices[1].Office != id || st.Offices[1].Dispatched != 10 {
+		t.Fatalf("joiner missing from stats: %+v", st.Offices)
+	}
+}
+
+// TestIngestorRemoveOfficeDrainsQueuedTicks is the drain contract: the
+// removed office's already-queued ticks are dispatched as its final
+// flush, and the actions they produce are exactly the actions the same
+// ticks produce on a standalone System — nothing lost, nothing extra.
+func TestIngestorRemoveOfficeDrainsQueuedTicks(t *testing.T) {
+	const offices, ticks = 2, 170 // timeout backstop fires at tick 150
+	batch, _ := scenario(offices, ticks)
+
+	var tapped []engine.OfficeAction
+	f := testFleet(t, offices, 2)
+	in, err := NewIngestor(f, Config{
+		Queue:   ticks + 8,
+		OnBatch: func(acts []engine.OfficeAction) { tapped = append(tapped, acts...) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	// Queue a login plus the whole day for office 1 WITHOUT flushing, then
+	// remove it: the drain must dispatch every queued tick.
+	if err := in.PushInput(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range batch[1] {
+		if err := in.Push(1, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys, err := in.RemoveOffice(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == nil || sys.Now() != float64(ticks)*0.2 {
+		t.Fatal("removal did not drain the queued ticks into the System")
+	}
+
+	// Reference: the same ticks on a standalone System.
+	refSys, err := core.NewSystem(core.Config{
+		Streams:      2,
+		Workstations: 1,
+		Params:       control.Params{TimeoutSec: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSys.NotifyInput(0)
+	var want []engine.OfficeAction
+	for _, row := range batch[1] {
+		for _, a := range refSys.Tick(row) {
+			want = append(want, engine.OfficeAction{Office: 1, Action: a})
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("reference run produced no actions; the drain check is vacuous")
+	}
+	if !reflect.DeepEqual(tapped, want) {
+		t.Fatalf("final flush emitted %d actions, reference has %d (or contents differ)", len(tapped), len(want))
+	}
+
+	// The office is gone: pushes fail, stats moved to the retired totals.
+	if err := in.Push(1, batch[1][0]); !errors.Is(err, ErrUnknownOffice) {
+		t.Fatalf("push to removed office returned %v, want ErrUnknownOffice", err)
+	}
+	if _, err := in.RemoveOffice(1); !errors.Is(err, ErrUnknownOffice) {
+		t.Fatalf("double removal returned %v, want ErrUnknownOffice", err)
+	}
+	st := in.Stats()
+	if len(st.Offices) != 1 || st.Offices[0].Office != 0 {
+		t.Fatalf("stats still list the removed office: %+v", st.Offices)
+	}
+	if st.Retired.Pushed != ticks || st.Retired.Dispatched != ticks || st.Retired.Dropped != 0 {
+		t.Fatalf("retired totals: %+v", st.Retired)
+	}
+	if f.Offices() != 1 {
+		t.Fatalf("fleet still has %d offices", f.Offices())
+	}
+}
+
+// TestIngestorChurnUnderLoad is the elastic acceptance test: 64 offices
+// stream ticks from concurrent producers while 16 membership events
+// (8 joins, 8 removals) land mid-run, and every dispatched batch of the
+// merged stream must stay totally ordered by (time, office). CI repeats
+// this package under -race.
+func TestIngestorChurnUnderLoad(t *testing.T) {
+	const (
+		offices   = 64
+		perOffice = 150
+		events    = 16
+	)
+	var (
+		orderMu  sync.Mutex
+		orderErr error
+	)
+	checkOrder := func(acts []engine.OfficeAction) {
+		for i := 1; i < len(acts); i++ {
+			a, b := acts[i-1], acts[i]
+			if b.Action.Time < a.Action.Time ||
+				(b.Action.Time == a.Action.Time && b.Office < a.Office) {
+				orderMu.Lock()
+				if orderErr == nil {
+					orderErr = errors.New("merged batch out of order across churn")
+				}
+				orderMu.Unlock()
+				return
+			}
+		}
+	}
+	in, err := NewIngestor(testFleet(t, offices, 4), Config{
+		Queue:   32,
+		OnFull:  Block,
+		OnBatch: checkOrder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for o := 0; o < offices; o++ {
+		wg.Add(1)
+		go func(o int) {
+			defer wg.Done()
+			src := rng.New(uint64(o) + 9)
+			if err := in.PushInput(o, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < perOffice; i++ {
+				if err := in.Push(o, []float64{-60 + src.Normal(0, 0.4), -58}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(o)
+	}
+
+	// Churner: joins a heterogeneous tenant, streams a short burst into
+	// it, then removes it — 8 times, concurrently with the producers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		joinCfg := core.Config{Streams: 3, Workstations: 2, Params: control.Params{TimeoutSec: 15}}
+		for ev := 0; ev < events/2; ev++ {
+			id, err := in.AddOffice(joinCfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 20; i++ {
+				if err := in.Push(id, []float64{-61, -59, -60}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if _, err := in.RemoveOffice(id); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	orderMu.Lock()
+	defer orderMu.Unlock()
+	if orderErr != nil {
+		t.Fatal(orderErr)
+	}
+	st := in.Stats()
+	if len(st.Offices) != offices {
+		t.Fatalf("%d offices left after churn, want %d", len(st.Offices), offices)
+	}
+	for _, os := range st.Offices {
+		if os.Dispatched != perOffice || os.Dropped != 0 {
+			t.Fatalf("office %d lost ticks across churn: %+v", os.Office, os)
+		}
+	}
+	if st.Retired.Pushed != events/2*20 || st.Retired.Dispatched != st.Retired.Pushed {
+		t.Fatalf("retired totals after churn: %+v", st.Retired)
+	}
+}
+
 // TestIngestorConcurrentProducers exercises the queues under -race: one
 // producer per office plus a concurrent flusher.
 func TestIngestorConcurrentProducers(t *testing.T) {

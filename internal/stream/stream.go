@@ -1,21 +1,23 @@
 // Package stream is the asynchronous ingestion-and-delivery layer on top
-// of engine.Fleet. The fleet's synchronous API (RunBatch in, merged
-// actions out) couples tick arrival to fleet dispatch: every producer
-// must assemble a full batch and wait for it to run. Package stream
-// decouples the two ends with an Ingestor — bounded per-office tick
-// queues feeding a dispatcher goroutine — and streams the merged action
-// output to pluggable Sink backends (JSONL log files, length-prefixed TCP
-// frames, an in-memory ring, fan-out to several at once) on a dedicated
-// pump goroutine.
+// of engine.Fleet. The fleet's synchronous API (Run in, merged actions
+// out) couples tick arrival to fleet dispatch: every producer must
+// assemble a full batch and wait for it to run. Package stream decouples
+// the two ends with an Ingestor — bounded per-office tick queues feeding
+// a dispatcher goroutine — and streams the merged action output to
+// pluggable Sink backends (JSONL log files, length-prefixed TCP frames,
+// an in-memory ring, fan-out to several at once) on a dedicated pump
+// goroutine.
 //
 // Data flow:
 //
-//	Push / PushInput
-//	      │  (bounded per-office queues; Block / DropOldest /
-//	      │   ErrorOnFull backpressure, depth and drop counters)
-//	      ▼
-//	dispatcher goroutine ──► engine.Fleet.RunBatch ──► merged, time-
-//	      │                                            ordered actions
+//	Push / PushInput            AddOffice / RemoveOffice
+//	      │  (bounded per-office queues;      │ (queues created clean /
+//	      │   Block / DropOldest /            │  drained then retired,
+//	      │   ErrorOnFull backpressure,       │  at a batch boundary)
+//	      │   depth and drop counters)        │
+//	      ▼                                   ▼
+//	dispatcher goroutine ──► engine.Fleet.Run ──► merged, time-
+//	      │                                       ordered actions
 //	      ├──► Config.OnBatch (synchronous tap)
 //	      ▼
 //	pump goroutine ──► Sink.Write (LogSink / TCPSink / RingSink / Multi)
@@ -30,13 +32,21 @@
 // surface it) and drains subsequent batches so the dispatcher and
 // producers cannot deadlock.
 //
+// Elastic membership: offices are addressed by the fleet's stable IDs.
+// AddOffice registers the office with the fleet and creates its queue in
+// one step, so the tenant starts clean at the next dispatch. RemoveOffice
+// first forces a full flush — the office's already-queued ticks are
+// dispatched and their actions emitted through the sink as the office's
+// final flush — then retires the queue and removes the office from the
+// fleet, folding its counters into the retired totals of Stats.
+//
 // Ordering and determinism: a dispatch cycle snapshots everything queued
 // and runs it as one fleet batch, so the sink observes the concatenation
-// of RunBatch outputs — each batch internally ordered by (time, office),
+// of Run outputs — each batch internally ordered by (time, office),
 // exactly the total order the synchronous API returns. A single producer
 // that pushes the same ticks and calls Flush at the same boundaries as
-// its synchronous RunBatch calls therefore obtains a byte-identical
-// stream (this is tested against a 64-office fleet).
+// its synchronous Run calls therefore obtains a byte-identical stream
+// (this is tested against a 64-office fleet).
 package stream
 
 import (
@@ -45,6 +55,7 @@ import (
 	"sort"
 	"sync"
 
+	"fadewich/internal/core"
 	"fadewich/internal/engine"
 )
 
@@ -103,8 +114,12 @@ var (
 	// ErrQueueFull is returned by Push under the ErrorOnFull policy when
 	// the office's queue has no room.
 	ErrQueueFull = errors.New("stream: office tick queue full")
-	// ErrClosed is returned by Push, PushInput and Flush after Close.
+	// ErrClosed is returned by Push, PushInput, Flush and the membership
+	// methods after Close.
 	ErrClosed = errors.New("stream: ingestor closed")
+	// ErrUnknownOffice is returned when an office ID does not name a
+	// member of the fleet (never registered, or already removed).
+	ErrUnknownOffice = errors.New("stream: office is not a member of the fleet")
 )
 
 // Config parameterises an Ingestor.
@@ -154,11 +169,13 @@ type pendingInput struct {
 // Ingestor is the asynchronous front door of an engine.Fleet: producers
 // Push per-office RSSI ticks (and PushInput notifications) into bounded
 // queues; a dispatcher goroutine batches whatever is queued through
-// Fleet.RunBatch and forwards the merged action stream to the configured
-// Sink via the pump goroutine.
+// Fleet.Run and forwards the merged action stream to the configured Sink
+// via the pump goroutine. Offices are addressed by the fleet's stable
+// IDs; AddOffice and RemoveOffice change the membership while ticks flow.
 //
-// Push, PushInput, Flush and Stats are safe for concurrent use. The
-// wrapped Fleet must not be driven directly while the Ingestor is open.
+// All methods are safe for concurrent use. The wrapped Fleet's membership
+// must only be changed through the Ingestor while it is open, and the
+// Fleet must not be driven directly.
 type Ingestor struct {
 	fleet      *engine.Fleet
 	queue      int
@@ -171,8 +188,12 @@ type Ingestor struct {
 	work  sync.Cond // dispatcher waits for work
 	space sync.Cond // Block-policy pushers wait for queue space
 	done  sync.Cond // Flush waiters wait for their dispatch cycle
-	q     []officeQueue
+	q     map[int]*officeQueue
+	ids   []int // member office IDs, ascending
 	pend  []pendingInput
+	// retired accumulates the counters of offices removed from the
+	// fleet, so fleet-wide Stats totals survive churn.
+	retired OfficeStats
 	// flushSeq counts flush requests; doneSeq is the highest request
 	// fully served (dispatch ran over a queue snapshot taken at or after
 	// the request). Close issues a final flush request of its own.
@@ -212,8 +233,12 @@ func NewIngestor(fleet *engine.Fleet, cfg Config) (*Ingestor, error) {
 		batchTicks:     cfg.BatchTicks,
 		sink:           cfg.Sink,
 		onBatch:        cfg.OnBatch,
-		q:              make([]officeQueue, fleet.Offices()),
+		q:              make(map[int]*officeQueue),
 		dispatcherDone: make(chan struct{}),
+	}
+	for _, id := range fleet.IDs() {
+		in.q[id] = &officeQueue{}
+		in.ids = append(in.ids, id)
 	}
 	in.work.L = &in.mu
 	in.space.L = &in.mu
@@ -227,18 +252,109 @@ func NewIngestor(fleet *engine.Fleet, cfg Config) (*Ingestor, error) {
 	return in, nil
 }
 
-// Push queues one RSSI tick (one sample per stream) for an office. The
-// sample slice is copied, so the caller may reuse its buffer. When the
-// office's queue is full the configured Policy decides: Block waits for
-// the dispatcher, DropOldest evicts, ErrorOnFull returns ErrQueueFull.
-func (in *Ingestor) Push(office int, rssi []float64) error {
-	if office < 0 || office >= len(in.q) {
-		return fmt.Errorf("stream: office %d outside fleet of %d", office, len(in.q))
+// AddOffice joins a new tenant: it registers the office with the fleet
+// (a zero-valued cfg inherits the fleet's default configuration, see
+// engine.Fleet.AddOffice) and creates its empty tick queue in one step,
+// returning the office's stable ID. The office participates from the
+// next dispatch on. Safe to call while ticks are flowing.
+func (in *Ingestor) AddOffice(cfg core.Config) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return 0, ErrClosed
 	}
+	id, err := in.fleet.AddOffice(cfg)
+	if err != nil {
+		return 0, err
+	}
+	in.q[id] = &officeQueue{}
+	in.ids = insertID(in.ids, id)
+	return id, nil
+}
+
+// RemoveOffice retires a tenant: it drains the office's already-queued
+// ticks — forcing a dispatch cycle whose merged actions (the office's
+// final flush) flow through the OnBatch tap and the sink like any other
+// batch — then deletes the queue, removes the office from the fleet, and
+// folds its counters into Stats' retired totals. Ticks pushed
+// concurrently with the removal may be discarded and counted as dropped.
+// It returns the office's final System for inspection.
+func (in *Ingestor) RemoveOffice(id int) (*core.System, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return nil, ErrClosed
+	}
+	if in.q[id] == nil {
+		return nil, fmt.Errorf("%w (office %d)", ErrUnknownOffice, id)
+	}
+	// Final flush: dispatch everything queued, this office included.
+	in.flushSeq++
+	ticket := in.flushSeq
+	in.work.Signal()
+	for in.doneSeq < ticket && !in.closed {
+		in.done.Wait()
+	}
+	if in.closed {
+		return nil, ErrClosed
+	}
+	q := in.q[id]
+	if q == nil {
+		// A concurrent RemoveOffice for the same ID won the race while we
+		// waited for the flush.
+		return nil, fmt.Errorf("%w (office %d)", ErrUnknownOffice, id)
+	}
+	in.retired.Pushed += q.pushed
+	in.retired.Dispatched += q.dispatched
+	// Anything still queued arrived during the drain; it is lost.
+	in.retired.Dropped += q.dropped + uint64(len(q.ticks))
+	delete(in.q, id)
+	in.ids = deleteID(in.ids, id)
+	kept := in.pend[:0]
+	for _, pi := range in.pend {
+		if pi.office != id {
+			kept = append(kept, pi)
+		}
+	}
+	in.pend = kept
+	return in.fleet.RemoveOffice(id)
+}
+
+// insertID inserts id into the ascending slice ids.
+func insertID(ids []int, id int) []int {
+	i := sort.SearchInts(ids, id)
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// deleteID removes id from the ascending slice ids.
+func deleteID(ids []int, id int) []int {
+	i := sort.SearchInts(ids, id)
+	if i < len(ids) && ids[i] == id {
+		ids = append(ids[:i], ids[i+1:]...)
+	}
+	return ids
+}
+
+// Push queues one RSSI tick (one sample per stream) for an office, named
+// by its stable ID. The sample slice is copied, so the caller may reuse
+// its buffer. When the office's queue is full the configured Policy
+// decides: Block waits for the dispatcher, DropOldest evicts, ErrorOnFull
+// returns ErrQueueFull. A Block-policy Push whose office is removed while
+// it waits returns ErrUnknownOffice.
+func (in *Ingestor) Push(office int, rssi []float64) error {
 	tick := append([]float64(nil), rssi...)
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	q := &in.q[office]
+	q := in.q[office]
+	if q == nil {
+		if in.closed {
+			return ErrClosed
+		}
+		return fmt.Errorf("%w (office %d)", ErrUnknownOffice, office)
+	}
 	for !in.closed && len(q.ticks) >= in.queue {
 		switch in.onFull {
 		case DropOldest:
@@ -253,6 +369,9 @@ func (in *Ingestor) Push(office int, rssi []float64) error {
 			in.work.Signal()
 			in.space.Wait()
 			in.needSpace--
+			if in.q[office] != q {
+				return fmt.Errorf("%w (office %d removed while push blocked)", ErrUnknownOffice, office)
+			}
 		}
 	}
 	if in.closed {
@@ -266,67 +385,119 @@ func (in *Ingestor) Push(office int, rssi []float64) error {
 	return nil
 }
 
-// PushInput queues a keyboard/mouse notification for one office. It is
-// delivered before the office's next pushed tick — i.e. after every tick
-// queued so far — matching System.NotifyInput between Tick calls.
+// PushInput queues a keyboard/mouse notification for one office (by
+// stable ID). It is delivered before the office's next pushed tick —
+// i.e. after every tick queued so far — matching System.NotifyInput
+// between Tick calls.
 func (in *Ingestor) PushInput(office, workstation int) error {
-	if office < 0 || office >= len(in.q) {
-		return fmt.Errorf("stream: office %d outside fleet of %d", office, len(in.q))
-	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.closed {
 		return ErrClosed
 	}
-	q := &in.q[office]
+	q := in.q[office]
+	if q == nil {
+		return fmt.Errorf("%w (office %d)", ErrUnknownOffice, office)
+	}
 	in.pend = append(in.pend, pendingInput{office: office, ws: workstation, seq: q.base + uint64(len(q.ticks))})
 	return nil
 }
 
-// PushBatch feeds one pre-assembled fleet batch through the queues
-// exactly as Fleet.RunBatch would consume it: per office, every input
-// event with Tick <= t is delivered before tick t (ties in slice
-// order), trailing events after the office's last tick. It is the
-// bridge for callers porting synchronous RunBatch call sites — pushing
-// the same batches and calling Flush at the same boundaries yields a
-// byte-identical action stream. The per-office backpressure policy
-// applies to every tick pushed.
-func (in *Ingestor) PushBatch(sub [][][]float64, evs []engine.InputEvent) error {
-	if len(sub) != len(in.q) {
-		return fmt.Errorf("stream: batch has %d offices, fleet has %d", len(sub), len(in.q))
+// PushOffices feeds one pre-assembled, ID-addressed fleet batch through
+// the queues exactly as Fleet.Run would consume it: per office, every
+// input event with Tick <= t is delivered before tick t (ties in slice
+// order), trailing events after the office's last tick; events whose
+// office has no batch entry are delivered after that office's queued
+// ticks. The per-office backpressure policy applies to every tick
+// pushed. Pushing the same batches and calling Flush at the same
+// boundaries as synchronous Run calls yields a byte-identical action
+// stream.
+func (in *Ingestor) PushOffices(batches []engine.OfficeBatch, evs []engine.InputEvent) error {
+	// Validate membership upfront so a bad batch or event office rejects
+	// the call before any tick is queued, rather than failing mid-push
+	// with half the batch already ingested.
+	seen := make(map[int]bool, len(batches))
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return ErrClosed
+	}
+	for _, ob := range batches {
+		if in.q[ob.Office] == nil {
+			in.mu.Unlock()
+			return fmt.Errorf("%w (office %d)", ErrUnknownOffice, ob.Office)
+		}
+		if seen[ob.Office] {
+			in.mu.Unlock()
+			return fmt.Errorf("stream: duplicate batch entry for office %d", ob.Office)
+		}
+		seen[ob.Office] = true
 	}
 	for _, ev := range evs {
-		if ev.Office < 0 || ev.Office >= len(in.q) {
-			return fmt.Errorf("stream: input event for office %d outside fleet of %d", ev.Office, len(in.q))
+		if in.q[ev.Office] == nil {
+			in.mu.Unlock()
+			return fmt.Errorf("stream: input event: %w (office %d)", ErrUnknownOffice, ev.Office)
 		}
 	}
-	for o := range sub {
+	in.mu.Unlock()
+
+	for _, ob := range batches {
 		var evsO []engine.InputEvent
 		for _, ev := range evs {
-			if ev.Office == o {
+			if ev.Office == ob.Office {
 				evsO = append(evsO, ev)
 			}
 		}
 		sort.SliceStable(evsO, func(a, b int) bool { return evsO[a].Tick < evsO[b].Tick })
 		next := 0
-		for t, row := range sub[o] {
+		for t, row := range ob.Ticks {
 			for next < len(evsO) && evsO[next].Tick <= t {
-				if err := in.PushInput(o, evsO[next].Workstation); err != nil {
+				if err := in.PushInput(ob.Office, evsO[next].Workstation); err != nil {
 					return err
 				}
 				next++
 			}
-			if err := in.Push(o, row); err != nil {
+			if err := in.Push(ob.Office, row); err != nil {
 				return err
 			}
 		}
 		for ; next < len(evsO); next++ {
-			if err := in.PushInput(o, evsO[next].Workstation); err != nil {
+			if err := in.PushInput(ob.Office, evsO[next].Workstation); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ev := range evs {
+		if !seen[ev.Office] {
+			if err := in.PushInput(ev.Office, ev.Workstation); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// PushBatch feeds one dense fleet batch: sub[i] holds the ticks of the
+// i-th member office in ascending-ID order (for a fleet that has seen no
+// churn, office IDs equal positions 0..N-1), and len(sub) must equal the
+// current fleet size. It is the bridge for callers porting synchronous
+// dense RunBatch call sites; elastic callers should prefer PushOffices.
+func (in *Ingestor) PushBatch(sub [][][]float64, evs []engine.InputEvent) error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return ErrClosed
+	}
+	ids := append([]int(nil), in.ids...)
+	in.mu.Unlock()
+	if len(sub) != len(ids) {
+		return fmt.Errorf("stream: batch has %d offices, fleet has %d", len(sub), len(ids))
+	}
+	batches := make([]engine.OfficeBatch, len(sub))
+	for i := range sub {
+		batches[i] = engine.OfficeBatch{Office: ids[i], Ticks: sub[i]}
+	}
+	return in.PushOffices(batches, evs)
 }
 
 // Flush dispatches everything queued at the time of the call as one
@@ -393,6 +564,8 @@ func (in *Ingestor) Close() error {
 
 // OfficeStats are one office's queue counters.
 type OfficeStats struct {
+	// Office is the office's stable fleet ID (-1 in Stats.Retired).
+	Office int
 	// Depth is the number of ticks currently queued.
 	Depth int
 	// Pushed counts ticks accepted into the queue.
@@ -406,12 +579,16 @@ type OfficeStats struct {
 
 // Stats is a snapshot of the Ingestor's instrumentation.
 type Stats struct {
-	// Offices holds the per-office queue counters.
+	// Offices holds the member offices' queue counters, ascending by ID.
 	Offices []OfficeStats
+	// Retired aggregates the counters of offices removed from the fleet,
+	// so fleet-wide totals survive churn (Office is -1, Depth 0).
+	Retired OfficeStats
 	// Batches counts dispatch cycles that delivered at least one tick or
 	// input event; Actions counts the merged actions they produced.
 	Batches, Actions uint64
-	// Dropped is the fleet-wide total of dropped/rejected ticks.
+	// Dropped is the fleet-wide total of dropped/rejected ticks,
+	// including those of retired offices.
 	Dropped uint64
 }
 
@@ -421,18 +598,22 @@ func (in *Ingestor) Stats() Stats {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	st := Stats{
-		Offices: make([]OfficeStats, len(in.q)),
+		Offices: make([]OfficeStats, 0, len(in.ids)),
+		Retired: in.retired,
 		Batches: in.nBatches,
 		Actions: in.nActions,
+		Dropped: in.retired.Dropped,
 	}
-	for i := range in.q {
-		q := &in.q[i]
-		st.Offices[i] = OfficeStats{
+	st.Retired.Office = -1
+	for _, id := range in.ids {
+		q := in.q[id]
+		st.Offices = append(st.Offices, OfficeStats{
+			Office:     id,
 			Depth:      len(q.ticks),
 			Pushed:     q.pushed,
 			Dispatched: q.dispatched,
 			Dropped:    q.dropped,
-		}
+		})
 		st.Dropped += q.dropped
 	}
 	return st
@@ -460,7 +641,7 @@ func (in *Ingestor) dispatch() {
 		var acts []engine.OfficeAction
 		var err error
 		if n > 0 || len(evs) > 0 {
-			acts, err = in.fleet.RunBatch(batch, evs)
+			acts, err = in.fleet.Run(batch, evs)
 		}
 		if err == nil && len(acts) > 0 {
 			if in.onBatch != nil {
@@ -492,8 +673,8 @@ func (in *Ingestor) thresholdLocked() bool {
 	if in.batchTicks <= 0 {
 		return false
 	}
-	for i := range in.q {
-		if len(in.q[i].ticks) >= in.batchTicks {
+	for _, q := range in.q {
+		if len(q.ticks) >= in.batchTicks {
 			return true
 		}
 	}
@@ -505,8 +686,8 @@ func (in *Ingestor) queuedLocked() bool {
 	if len(in.pend) > 0 {
 		return true
 	}
-	for i := range in.q {
-		if len(in.q[i].ticks) > 0 {
+	for _, q := range in.q {
+		if len(q.ticks) > 0 {
 			return true
 		}
 	}
@@ -514,26 +695,28 @@ func (in *Ingestor) queuedLocked() bool {
 }
 
 // takeLocked snapshots every office queue and all pending inputs into one
-// fleet batch, advancing the queue bases. Input sequence numbers are
-// translated to batch-relative tick indices; events whose tick was
-// dropped clamp to the start of the batch (RunBatch delivers them before
-// the first surviving tick).
-func (in *Ingestor) takeLocked() (batch [][][]float64, evs []engine.InputEvent, n int) {
-	batch = make([][][]float64, len(in.q))
+// ID-addressed fleet batch, advancing the queue bases. Input sequence
+// numbers are translated to batch-relative tick indices; events whose
+// tick was dropped clamp to the start of the batch (the fleet delivers
+// them before the first surviving tick).
+func (in *Ingestor) takeLocked() (batch []engine.OfficeBatch, evs []engine.InputEvent, n int) {
 	if len(in.pend) > 0 {
 		evs = make([]engine.InputEvent, 0, len(in.pend))
 		for _, pi := range in.pend {
 			tick := 0
-			if pi.seq > in.q[pi.office].base {
-				tick = int(pi.seq - in.q[pi.office].base)
+			if q := in.q[pi.office]; q != nil && pi.seq > q.base {
+				tick = int(pi.seq - q.base)
 			}
 			evs = append(evs, engine.InputEvent{Office: pi.office, Workstation: pi.ws, Tick: tick})
 		}
 		in.pend = in.pend[:0]
 	}
-	for i := range in.q {
-		q := &in.q[i]
-		batch[i] = q.ticks
+	for _, id := range in.ids {
+		q := in.q[id]
+		if len(q.ticks) == 0 {
+			continue
+		}
+		batch = append(batch, engine.OfficeBatch{Office: id, Ticks: q.ticks})
 		n += len(q.ticks)
 		q.base += uint64(len(q.ticks))
 		q.dispatched += uint64(len(q.ticks))
