@@ -402,6 +402,45 @@ func BenchmarkRFSampleTick(b *testing.B) {
 	}
 }
 
+// BenchmarkSampleBlock measures the columnar RF hot path at CSI-grade
+// stream counts: one 64-tick SampleBlock per iteration with three bodies
+// (two seated, one walking), at 1, 4 and 16 subcarriers per link. The
+// per-link body effects are computed once per tick and shared across
+// subcarriers, so ns/tick should grow far slower than the stream count.
+func BenchmarkSampleBlock(b *testing.B) {
+	sensors := []geom.Point{
+		{X: 6, Y: 1.5}, {X: 0.9, Y: 3}, {X: 2.4, Y: 3}, {X: 3.9, Y: 3}, {X: 5.4, Y: 3},
+		{X: 0, Y: 1.5}, {X: 4.6, Y: 0}, {X: 3, Y: 0}, {X: 1.4, Y: 0},
+	}
+	bodies := []rf.Body{
+		{Pos: geom.Point{X: 2, Y: 2}, Speed: 0.02},
+		{Pos: geom.Point{X: 4, Y: 1}, Speed: 1.4},
+		{Pos: geom.Point{X: 1, Y: 1}, Speed: 0.02},
+	}
+	const ticks = 64
+	for _, subc := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("subc-%d", subc), func(b *testing.B) {
+			n, err := rf.NewNetwork(rf.Config{Subcarriers: subc}, sensors, 0.2, rng.New(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tickBodies := make([][]rf.Body, ticks)
+			for t := range tickBodies {
+				tickBodies[t] = bodies
+			}
+			var blk rf.Block
+			n.SampleBlock(tickBodies, &blk) // warm the buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.SampleBlock(tickBodies, &blk)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/ticks, "ns/tick")
+		})
+	}
+}
+
 func BenchmarkMDDetectorTick(b *testing.B) {
 	det, err := md.NewDetector(md.Config{}, 72, 0.2)
 	if err != nil {

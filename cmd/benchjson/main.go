@@ -8,11 +8,18 @@
 //
 //	go test -bench . -benchmem -count=5 ./... | benchjson -out BENCH_2026-07-29.json
 //	benchjson -in bench.txt -out BENCH.json -baseline BENCH_baseline.json -tolerance 0.15
+//	benchjson -to-bench -in BENCH_baseline.json -out baseline.txt
 //
 // With -count=N the N samples of each benchmark are collapsed to their
 // median, which is robust against the occasional scheduler hiccup that
 // would make a min or mean gate flaky. Custom metrics (ticks/sec,
 // fmeasure, ...) are carried through informationally; only ns/op gates.
+//
+// With -to-bench the input is a snapshot JSON instead of bench output:
+// the medians are rendered back into `go test -bench` text, one line per
+// benchmark, so tools that consume that format — benchstat in the CI
+// job's old-vs-new comparison — can diff a run against the committed
+// baseline.
 //
 // Exit status: 0 on success, 1 on parse/IO errors or when the regression
 // gate trips.
@@ -80,12 +87,69 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.15, "allowed ns/op slowdown fraction before the gate trips")
 	date := flag.String("date", "", "date stamped into the snapshot (default today, UTC)")
 	provenance := flag.String("provenance", "local", "where this run's numbers come from (ci|local); the gate only fails hard when it matches the baseline's")
+	toBench := flag.Bool("to-bench", false, "treat -in as a snapshot JSON and render it back into `go test -bench` text (for benchstat)")
 	flag.Parse()
 
-	if err := run(*in, *out, *baseline, *tolerance, *date, *provenance); err != nil {
+	var err error
+	if *toBench {
+		err = runToBench(*in, *out)
+	} else {
+		err = run(*in, *out, *baseline, *tolerance, *date, *provenance)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runToBench renders a snapshot JSON back into bench-output text.
+func runToBench(in, out string) error {
+	var data []byte
+	var err error
+	if in == "" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(in)
+	}
+	if err != nil {
+		return err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("snapshot %s: %w", in, err)
+	}
+	text := ToBench(snap.Benchmarks)
+	if out == "" {
+		_, err = os.Stdout.WriteString(text)
+		return err
+	}
+	return os.WriteFile(out, []byte(text), 0o644)
+}
+
+// ToBench renders benchmarks as `go test -bench` output lines, one line
+// per benchmark carrying its medians. The iteration count is rendered as
+// 1 — benchstat only reads the (value, unit) pairs.
+func ToBench(benches []Benchmark) string {
+	var sb strings.Builder
+	for _, b := range benches {
+		fmt.Fprintf(&sb, "%s 1 %v ns/op", b.Name, b.NsPerOp)
+		if b.BytesPerOp != nil {
+			fmt.Fprintf(&sb, " %v B/op", *b.BytesPerOp)
+		}
+		if b.AllocsPerOp != nil {
+			fmt.Fprintf(&sb, " %v allocs/op", *b.AllocsPerOp)
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			fmt.Fprintf(&sb, " %v %s", b.Metrics[unit], unit)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
 }
 
 func run(in, out, baseline string, tolerance float64, date, provenance string) error {

@@ -147,3 +147,32 @@ BenchmarkFleetThroughput/offices-64 	      50	  22000000 ns/op	    510000 ticks/
 		t.Fatalf("parsed names %v, want %v", names, want)
 	}
 }
+
+func TestToBenchRoundTrips(t *testing.T) {
+	bytesV, allocsV := 128.0, 3.0
+	in := []Benchmark{
+		{Name: "BenchmarkAlpha", Runs: 5, NsPerOp: 1234.5, BytesPerOp: &bytesV, AllocsPerOp: &allocsV,
+			Metrics: map[string]float64{"ticks/sec": 99000, "ns/action": 62.5}},
+		{Name: "BenchmarkBeta/sub-16", Runs: 5, NsPerOp: 42},
+	}
+	text := ToBench(in)
+	got, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	if got[0].Name != "BenchmarkAlpha" || got[0].NsPerOp != 1234.5 {
+		t.Fatalf("alpha mangled: %+v", got[0])
+	}
+	if got[0].BytesPerOp == nil || *got[0].BytesPerOp != 128 || got[0].AllocsPerOp == nil || *got[0].AllocsPerOp != 3 {
+		t.Fatalf("benchmem medians mangled: %+v", got[0])
+	}
+	if got[0].Metrics["ticks/sec"] != 99000 || got[0].Metrics["ns/action"] != 62.5 {
+		t.Fatalf("custom metrics mangled: %+v", got[0].Metrics)
+	}
+	if got[1].Name != "BenchmarkBeta/sub-16" || got[1].NsPerOp != 42 {
+		t.Fatalf("beta mangled: %+v", got[1])
+	}
+}

@@ -27,15 +27,17 @@
 // (stream.Ingestor) and the merged action stream is delivered to the
 // named backends: a JSONL log file, a TCP peer (length-prefixed frames),
 // or an in-memory ring. -queue and -on-full tune the per-office tick
-// queue and its backpressure policy. -sink implies fleet mode even with
-// a single office, as do -office-config and -churn.
+// queue and its backpressure policy; -max-latency bounds how long queued
+// ticks may wait before the dispatcher flushes them on its own. -sink
+// implies fleet mode even with a single office, as do -office-config and
+// -churn.
 //
 // Usage:
 //
 //	fadewich-sim [-days N] [-seed S] [-sensors M] [-offices K] [-parallel P]
 //	             [-office-config FILE] [-churn N]
 //	             [-sink log:PATH|tcp:ADDR|ring[:N][,...]] [-queue Q]
-//	             [-on-full block|drop-oldest|error] [-v]
+//	             [-on-full block|drop-oldest|error] [-max-latency D] [-v]
 package main
 
 import (
@@ -54,6 +56,7 @@ import (
 	"fadewich/internal/kma"
 	"fadewich/internal/md"
 	"fadewich/internal/office"
+	"fadewich/internal/rf"
 	"fadewich/internal/rng"
 	"fadewich/internal/sim"
 	"fadewich/internal/stream"
@@ -70,6 +73,7 @@ func main() {
 	sinkSpec := flag.String("sink", "", "action sinks: log:PATH, tcp:ADDR, ring[:N], comma-separated for fan-out")
 	queue := flag.Int("queue", 0, "per-office tick queue capacity (0 = default 256)")
 	onFull := flag.String("on-full", "block", "backpressure policy when a queue is full: block, drop-oldest or error")
+	maxLatency := flag.Duration("max-latency", 0, "dispatch queued ticks at most this long after they arrive, without waiting for a flush (0 = flush-driven; needs -sink)")
 	verbose := flag.Bool("v", false, "print every action")
 	flag.Parse()
 	officesSet := false
@@ -88,7 +92,7 @@ func main() {
 	case *churn < 0:
 		err = fmt.Errorf("churn count must be non-negative, got %d", *churn)
 	case *offices > 1 || *sinkSpec != "" || *officeConfig != "" || *churn > 0:
-		err = runFleet(*days, *seed, *sensors, *offices, *parallel, *officeConfig, *churn, *sinkSpec, *queue, *onFull, *verbose)
+		err = runFleet(*days, *seed, *sensors, *offices, *parallel, *officeConfig, *churn, *sinkSpec, *queue, *onFull, *maxLatency, *verbose)
 	default:
 		err = run(*days, *seed, *sensors, *parallel, *verbose)
 	}
@@ -411,7 +415,7 @@ func buildSink(spec string) (stream.Sink, *stream.RingSink, error) {
 // sink spec the fleet is driven through a stream.Ingestor and the merged
 // action stream is also delivered to the named backends; with -churn the
 // membership changes mid-run.
-func runFleet(days int, seed uint64, sensors, offices, parallel int, officeConfig string, churn int, sinkSpec string, queue int, onFull string, verbose bool) error {
+func runFleet(days int, seed uint64, sensors, offices, parallel int, officeConfig string, churn int, sinkSpec string, queue int, onFull string, maxLatency time.Duration, verbose bool) error {
 	if days < 2 {
 		return fmt.Errorf("need at least 2 days (training + online), got %d", days)
 	}
@@ -486,9 +490,10 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, officeConfi
 		ring = r
 		var collected []engine.OfficeAction
 		ing, err = stream.NewIngestor(fleet, stream.Config{
-			Queue:  queue,
-			OnFull: policy,
-			Sink:   snk,
+			Queue:           queue,
+			OnFull:          policy,
+			MaxBatchLatency: maxLatency,
+			Sink:            snk,
 			OnBatch: func(acts []engine.OfficeAction) {
 				collected = append(collected, acts...)
 			},
@@ -703,18 +708,18 @@ func (p *churnPlan) joinerTrace(id int) (*tenant, bool) {
 	return nil, false
 }
 
-// sliceTicks copies ticks [lo, hi) of the trace's deployed stream subset
-// into per-tick rows, the payload of one OfficeBatch.
-func sliceTicks(trace *sim.Trace, streams []int, lo, hi int) [][]float64 {
-	m := make([][]float64, hi-lo)
+// sliceBlock fills blk with ticks [lo, hi) of the trace's deployed
+// stream subset — the columnar payload of one OfficeBatch. The block is
+// reused across batch windows; both delivery paths (Fleet.Run and
+// Ingestor.PushOffices) finish reading it before returning.
+func sliceBlock(trace *sim.Trace, streams []int, lo, hi int, blk *rf.Block) {
+	blk.Reset(hi-lo, len(streams))
 	for i := lo; i < hi; i++ {
-		row := make([]float64, len(streams))
+		row := blk.Row(i - lo)
 		for j, k := range streams {
 			row[j] = float64(trace.Streams[k][i])
 		}
-		m[i-lo] = row
 	}
-	return m
 }
 
 // fleetDay drives every tenant through one day in batches, handling input
@@ -738,6 +743,7 @@ func fleetDay(fleet *engine.Fleet, deliver func([]engine.OfficeBatch, []engine.I
 	cursor := make(map[int][]int, len(tenants))
 	pending := make(map[int][]engine.InputEvent, len(tenants)) // reactions, Tick day-absolute
 	byID := make(map[int]*tenant, len(tenants))
+	blocks := make(map[int]*rf.Block, len(tenants)) // per-office columnar payloads, reused per window
 	maxTicks := 0
 	for _, tn := range tenants {
 		byID[tn.id] = tn
@@ -746,6 +752,14 @@ func fleetDay(fleet *engine.Fleet, deliver func([]engine.OfficeBatch, []engine.I
 		if t := tn.ds.Days[day].Ticks; t > maxTicks {
 			maxTicks = t
 		}
+	}
+	blockFor := func(id int) *rf.Block {
+		b := blocks[id]
+		if b == nil {
+			b = new(rf.Block)
+			blocks[id] = b
+		}
+		return b
 	}
 	// Churn joiners streaming this day, keyed by office ID.
 	joiners := make(map[int]*tenant)
@@ -781,7 +795,9 @@ func fleetDay(fleet *engine.Fleet, deliver func([]engine.OfficeBatch, []engine.I
 			if startTick >= end {
 				continue // this office's day is already over
 			}
-			batches = append(batches, engine.OfficeBatch{Office: tn.id, Ticks: sliceTicks(trace, tn.streams, startTick, end)})
+			blk := blockFor(tn.id)
+			sliceBlock(trace, tn.streams, startTick, end, blk)
+			batches = append(batches, engine.OfficeBatch{Office: tn.id, Block: blk})
 			total += end - startTick
 
 			// Scheduled keyboard/mouse inputs falling in this range.
@@ -825,7 +841,9 @@ func fleetDay(fleet *engine.Fleet, deliver func([]engine.OfficeBatch, []engine.I
 			if lo >= hi {
 				continue
 			}
-			batches = append(batches, engine.OfficeBatch{Office: id, Ticks: sliceTicks(trace, tn.streams, lo, hi)})
+			blk := blockFor(id)
+			sliceBlock(trace, tn.streams, lo, hi, blk)
+			batches = append(batches, engine.OfficeBatch{Office: id, Block: blk})
 			total += hi - lo
 		}
 

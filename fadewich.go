@@ -209,6 +209,20 @@ func GenerateDataset(cfg SimConfig) (*Dataset, error) { return sim.Generate(cfg)
 // RFConfig parameterises the radio propagation model.
 type RFConfig = rf.Config
 
+// RFDisable is the sentinel for RFConfig fields whose zero value would
+// otherwise select a default: e.g. QuantStepDB: RFDisable turns receiver
+// quantisation off and InterferencePerHour: RFDisable disables bursts,
+// where a literal 0 means "use the default". See rf.Disable for the full
+// field list.
+const RFDisable = rf.Disable
+
+// Block is the columnar RSSI buffer of the block-based hot path: one
+// contiguous [ticks×streams] tick-major float64 buffer.
+// rf.Network.SampleBlock fills one, System.TickBlock ingests one, and
+// OfficeBatch.Block carries one through a Fleet — byte-identical to the
+// per-tick APIs, without the per-tick slice traffic.
+type Block = rf.Block
+
 // AgentConfig parameterises simulated user behaviour.
 type AgentConfig = agent.Config
 

@@ -1,0 +1,49 @@
+// Package block provides the columnar sample buffer shared by every
+// layer of the block-based hot path. It is a leaf package with no
+// domain content, so the deployed detection layers (core, engine) can
+// consume blocks without importing the simulator's propagation model —
+// rf aliases the type as rf.Block for its SampleBlock API.
+package block
+
+// Block is a columnar buffer of samples: Ticks rows of Streams float64
+// values in one contiguous tick-major allocation. It is the payload of
+// the block-based hot path — rf.Network.SampleBlock fills one,
+// core.System ingests it row by row without per-tick slice allocation,
+// and engine.OfficeBatch carries one through the fleet.
+//
+// The zero value is an empty block ready for Reset.
+type Block struct {
+	ticks, streams int
+	data           []float64
+}
+
+// Reset shapes the block to ticks×streams, reusing the backing array
+// when it is large enough and allocating once otherwise. The contents
+// after Reset are unspecified; callers overwrite every row.
+func (b *Block) Reset(ticks, streams int) {
+	n := ticks * streams
+	if cap(b.data) < n {
+		b.data = make([]float64, n)
+	}
+	b.data = b.data[:n]
+	b.ticks, b.streams = ticks, streams
+}
+
+// Ticks returns the number of rows.
+func (b *Block) Ticks() int { return b.ticks }
+
+// Streams returns the number of values per row.
+func (b *Block) Streams() int { return b.streams }
+
+// Row returns tick t's samples as a view into the backing array: one
+// value per stream, contiguous, valid until the next Reset.
+func (b *Block) Row(t int) []float64 {
+	return b.data[t*b.streams : (t+1)*b.streams]
+}
+
+// At returns stream k's sample at tick t.
+func (b *Block) At(t, k int) float64 { return b.data[t*b.streams+k] }
+
+// Data returns the whole tick-major backing slice (row t occupies
+// [t*Streams, (t+1)*Streams)).
+func (b *Block) Data() []float64 { return b.data }

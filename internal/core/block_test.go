@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"testing"
+
+	"fadewich/internal/core"
+	"fadewich/internal/rf"
+	"fadewich/internal/rng"
+)
+
+// TestTickBlockMatchesTick checks the block ingestion path is
+// bit-identical to per-tick delivery: same actions, same clock, same
+// training samples, with input notifications at block boundaries
+// behaving like notifications between Tick calls.
+func TestTickBlockMatchesTick(t *testing.T) {
+	const (
+		streams = 6
+		ticks   = 600
+		blockSz = 75
+	)
+	cfg := core.Config{Streams: streams, Workstations: 2}
+
+	// Synthetic day: quiet with two anomalous stretches.
+	src := rng.New(321)
+	rows := make([][]float64, ticks)
+	for i := range rows {
+		std := 0.5
+		if (i >= 200 && i < 280) || (i >= 400 && i < 520) {
+			std = 6
+		}
+		row := make([]float64, streams)
+		for k := range row {
+			row[k] = -60 + src.Normal(0, std)
+		}
+		rows[i] = row
+	}
+	notifyAt := map[int]int{0: 0, 150: 1, 450: 0} // tick -> workstation
+
+	perTick := func() (*core.System, []core.Action) {
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []core.Action
+		for i, row := range rows {
+			if ws, ok := notifyAt[i]; ok {
+				sys.NotifyInput(ws)
+			}
+			all = append(all, sys.Tick(row)...)
+		}
+		return sys, all
+	}
+	perBlock := func() (*core.System, []core.Action) {
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []core.Action
+		var blk rf.Block
+		for lo := 0; lo < ticks; lo += blockSz {
+			hi := lo + blockSz
+			if hi > ticks {
+				hi = ticks
+			}
+			// notifyAt ticks are aligned to block boundaries above, so the
+			// notification lands between blocks exactly as it landed
+			// between Ticks.
+			if ws, ok := notifyAt[lo]; ok {
+				sys.NotifyInput(ws)
+			}
+			blk.Reset(hi-lo, streams)
+			for i := lo; i < hi; i++ {
+				copy(blk.Row(i-lo), rows[i])
+			}
+			all = append(all, sys.TickBlock(&blk)...)
+		}
+		return sys, all
+	}
+
+	sysA, actsA := perTick()
+	sysB, actsB := perBlock()
+	if len(actsA) == 0 {
+		t.Fatal("synthetic day emitted no actions; the equivalence test is vacuous")
+	}
+	if len(actsA) != len(actsB) {
+		t.Fatalf("per-tick emitted %d actions, block path %d", len(actsA), len(actsB))
+	}
+	for i := range actsA {
+		if actsA[i] != actsB[i] {
+			t.Fatalf("action %d: per-tick %+v, block %+v", i, actsA[i], actsB[i])
+		}
+	}
+	if sysA.Now() != sysB.Now() || sysA.TrainingSamples() != sysB.TrainingSamples() {
+		t.Fatalf("state diverged: now %v vs %v, samples %d vs %d",
+			sysA.Now(), sysB.Now(), sysA.TrainingSamples(), sysB.TrainingSamples())
+	}
+}

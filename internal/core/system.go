@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fadewich/internal/block"
 	"fadewich/internal/control"
 	"fadewich/internal/kma"
 	"fadewich/internal/md"
@@ -128,8 +129,11 @@ type System struct {
 	now  float64
 	tick int
 
-	// Ring buffer of recent samples per stream for signature extraction.
-	ring     [][]float64
+	// Ring buffer of recent samples for signature extraction, laid out
+	// columnar (tick-major): row i occupies ring[i*Streams:(i+1)*Streams],
+	// so recording a tick is one contiguous copy instead of one strided
+	// write per stream.
+	ring     []float64
 	ringCap  int
 	ringHead int
 	ringLen  int
@@ -159,6 +163,8 @@ type System struct {
 	// notifications cancelling alerts); they are delivered with the next
 	// Tick's result instead of being lost when the buffer resets.
 	interTick []Action
+	// blockActions accumulates the actions of one TickBlock call.
+	blockActions []Action
 }
 
 // pendingSample is a training window awaiting label resolution.
@@ -199,10 +205,7 @@ func NewSystem(cfg Config) (*System, error) {
 	// window closes, and windows can run tens of seconds (overlapping
 	// movements, long walks); 30 s of slack costs only tens of kilobytes.
 	ringCap := tDeltaTicks + int(30/cfg.DT) + 4
-	ring := make([][]float64, cfg.Streams)
-	for i := range ring {
-		ring[i] = make([]float64, ringCap)
-	}
+	ring := make([]float64, ringCap*cfg.Streams)
 	gapSec := cfg.MD.MergeGapSec
 	if gapSec == 0 {
 		gapSec = md.DefaultConfig().MergeGapSec
@@ -222,6 +225,11 @@ func NewSystem(cfg Config) (*System, error) {
 
 // Phase returns the current lifecycle phase.
 func (s *System) Phase() Phase { return s.phase }
+
+// DT returns the effective RSSI sampling period in seconds (the
+// configured Config.DT, or the 0.2 s default). Action times are always
+// whole multiples of it: Tick stamps float64(tick)·DT.
+func (s *System) DT() float64 { return s.cfg.DT }
 
 // Now returns the system clock (seconds since start).
 func (s *System) Now() float64 { return s.now }
@@ -272,15 +280,16 @@ func (s *System) idle(ws int) float64 {
 // actions emitted during this tick. The returned slice is reused by the
 // next call — copy it to retain.
 func (s *System) Tick(rssi []float64) []Action {
+	if len(rssi) != s.cfg.Streams {
+		panic(fmt.Sprintf("core: Tick got %d samples, want %d", len(rssi), s.cfg.Streams))
+	}
 	s.actions = append(s.actions[:0], s.interTick...)
 	s.interTick = s.interTick[:0]
 	s.tick++
 	s.now = float64(s.tick) * s.cfg.DT
 
-	// Record into the ring buffer.
-	for k, v := range rssi {
-		s.ring[k][s.ringHead] = v
-	}
+	// Record into the ring buffer: one contiguous row copy.
+	copy(s.ring[s.ringHead*s.cfg.Streams:], rssi)
 	s.ringHead = (s.ringHead + 1) % s.ringCap
 	if s.ringLen < s.ringCap {
 		s.ringLen++
@@ -349,6 +358,24 @@ func (s *System) Tick(rssi []float64) []Action {
 	return s.actions
 }
 
+// TickBlock consumes every row of the block as consecutive ticks —
+// bit-identical to calling Tick once per row — and returns all actions
+// emitted across them in emission order. The block is the columnar
+// buffer filled by rf.Network.SampleBlock; each row is ingested straight
+// from the contiguous backing array, with no per-tick slice allocation
+// on either side. The returned slice is reused by the next TickBlock
+// call — copy it to retain. Input notifications follow the same rule as
+// with Tick: NotifyInput between TickBlock calls is delivered before the
+// next block's first row.
+func (s *System) TickBlock(b *block.Block) []Action {
+	out := s.blockActions[:0]
+	for t := 0; t < b.Ticks(); t++ {
+		out = append(out, s.Tick(b.Row(t))...)
+	}
+	s.blockActions = out
+	return out
+}
+
 // endWindow closes the current variation window: dismiss alerts that never
 // reached the screensaver, and in the training phase try to label the
 // window. The window's effective end is the last anomalous tick, not the
@@ -401,18 +428,19 @@ func (s *System) onWindowReachedTDelta() {
 // computes the feature vector.
 func (s *System) extractSignature() []float64 {
 	n := s.tDeltaTicks
-	window := make([][]float64, len(s.ring))
+	streams := s.cfg.Streams
+	window := make([][]float64, streams)
 	// The window starts at winStart; the ring's most recent sample is at
 	// tick s.tick. Offset of winStart from now, in ticks:
 	back := s.tick - s.winStart
 	if back >= s.ringLen {
 		back = s.ringLen - 1
 	}
-	for k := range s.ring {
+	for k := 0; k < streams; k++ {
 		w := make([]float64, 0, n)
 		for i := 0; i < n && i <= back; i++ {
 			idx := (s.ringHead - 1 - back + i + 2*s.ringCap) % s.ringCap
-			w = append(w, s.ring[k][idx])
+			w = append(w, s.ring[idx*streams+k])
 		}
 		window[k] = w
 	}

@@ -21,9 +21,11 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
+	"fadewich/internal/block"
 	"fadewich/internal/core"
 )
 
@@ -67,17 +69,45 @@ type InputEvent struct {
 // OfficeBatch is one office's tick payload for a Run call, addressed by
 // stable office ID. Each tick is one sample per stream of that office's
 // configuration (offices may have different stream counts).
+//
+// The payload comes in one of two forms: Ticks (one float64 slice per
+// tick) or Block (the contiguous columnar buffer filled by
+// rf.Network.SampleBlock, which takes precedence when both are set).
+// The two are interchangeable — a Block with the same values produces a
+// byte-identical action stream — but the Block form avoids the per-tick
+// slice headers and keeps delivery cache-friendly. The fleet only reads
+// the payload during the Run call; the caller may reuse the Block
+// afterwards.
 type OfficeBatch struct {
 	Office int
 	Ticks  [][]float64
+	Block  *block.Block
+}
+
+// NumTicks returns the number of ticks the batch carries.
+func (ob *OfficeBatch) NumTicks() int {
+	if ob.Block != nil {
+		return ob.Block.Ticks()
+	}
+	return len(ob.Ticks)
+}
+
+// Row returns tick t's samples (one value per stream).
+func (ob *OfficeBatch) Row(t int) []float64 {
+	if ob.Block != nil {
+		return ob.Block.Row(t)
+	}
+	return ob.Ticks[t]
 }
 
 // officeState is one tenant: its stable ID, resolved configuration, the
-// System, and the per-batch action buffer reused between batches.
+// System (dt caches its effective tick period), and the per-batch
+// action buffer reused between batches.
 type officeState struct {
 	id  int
 	cfg core.Config
 	sys *core.System
+	dt  float64
 	buf []OfficeAction
 }
 
@@ -133,7 +163,7 @@ func (f *Fleet) addLocked(cfg core.Config) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("engine: office %d: %w", f.nextID, err)
 	}
-	st := &officeState{id: f.nextID, cfg: cfg, sys: sys}
+	st := &officeState{id: f.nextID, cfg: cfg, sys: sys, dt: sys.DT()}
 	f.nextID++
 	f.active = append(f.active, st)
 	f.byID[st.id] = st
@@ -262,10 +292,11 @@ func (f *Fleet) Run(batches []OfficeBatch, inputs []InputEvent) ([]OfficeAction,
 	return f.runLocked(batches, inputs)
 }
 
-// work is one office's share of a batch: its ticks plus its input events.
+// work is one office's share of a batch: its payload plus its input
+// events.
 type work struct {
 	st    *officeState
-	ticks [][]float64
+	batch OfficeBatch
 	evs   []InputEvent
 	seen  bool // an OfficeBatch entry named this office
 }
@@ -295,7 +326,7 @@ func (f *Fleet) runLocked(batches []OfficeBatch, inputs []InputEvent) ([]OfficeA
 			return nil, fmt.Errorf("engine: duplicate batch entry for office %d", ob.Office)
 		}
 		w.seen = true
-		w.ticks = ob.Ticks
+		w.batch = ob
 	}
 	for _, ev := range inputs {
 		w, err := lookup(ev.Office)
@@ -304,38 +335,189 @@ func (f *Fleet) runLocked(batches []OfficeBatch, inputs []InputEvent) ([]OfficeA
 		}
 		w.evs = append(w.evs, ev)
 	}
-	// Ascending-ID order makes the merge concatenation — and with it the
-	// emission-order tie-break — independent of the caller's entry order.
+	if len(worklist) == 0 {
+		return nil, nil // empty batch: nothing to deliver or merge
+	}
+	// Ascending-ID order makes the shard partition — and with it the
+	// merge's office-ID tie-break — independent of the caller's entry
+	// order.
 	sort.Slice(worklist, func(a, b int) bool { return worklist[a].st.id < worklist[b].st.id })
 
-	err := f.pool.Map(len(worklist), func(i int) error {
-		w := worklist[i]
-		sys := w.st.sys
-		out := w.st.buf[:0]
-		// evs is ordered by slice position; deliver all events with
-		// Tick <= t before tick t. Sort stably by tick so out-of-order
-		// caller input still lands deterministically.
-		sort.SliceStable(w.evs, func(a, b int) bool { return w.evs[a].Tick < w.evs[b].Tick })
-		next := 0
-		for t, rssi := range w.ticks {
-			for next < len(w.evs) && w.evs[next].Tick <= t {
+	// Shard-local batching: one pool task runs a contiguous ascending-ID
+	// range of offices and merges their action runs locally, so the final
+	// merge fans in over at most ~4·workers runs however large the fleet
+	// grows.
+	size := shardSize(len(worklist), f.pool.Workers())
+	numShards := 0
+	if len(worklist) > 0 {
+		numShards = (len(worklist) + size - 1) / size
+	}
+	runs := make([][]OfficeAction, numShards)
+	err := f.pool.Map(numShards, func(si int) error {
+		lo := si * size
+		hi := lo + size
+		if hi > len(worklist) {
+			hi = len(worklist)
+		}
+		shard := worklist[lo:hi]
+		for _, w := range shard {
+			sys := w.st.sys
+			out := w.st.buf[:0]
+			if w.batch.Block != nil && len(w.evs) == 0 {
+				// Columnar fast path: no events to interleave, so the
+				// whole block ingests in one TickBlock call
+				// (bit-identical to the per-tick loop below).
+				for _, a := range sys.TickBlock(w.batch.Block) {
+					out = append(out, OfficeAction{Office: w.st.id, Action: a})
+				}
+				w.st.buf = out
+				continue
+			}
+			// evs is ordered by slice position; deliver all events with
+			// Tick <= t before tick t. Sort stably by tick so out-of-order
+			// caller input still lands deterministically.
+			sort.SliceStable(w.evs, func(a, b int) bool { return w.evs[a].Tick < w.evs[b].Tick })
+			next := 0
+			for t, n := 0, w.batch.NumTicks(); t < n; t++ {
+				for next < len(w.evs) && w.evs[next].Tick <= t {
+					sys.NotifyInput(w.evs[next].Workstation)
+					next++
+				}
+				for _, a := range sys.Tick(w.batch.Row(t)) {
+					out = append(out, OfficeAction{Office: w.st.id, Action: a})
+				}
+			}
+			for ; next < len(w.evs); next++ {
 				sys.NotifyInput(w.evs[next].Workstation)
-				next++
 			}
-			for _, a := range sys.Tick(rssi) {
-				out = append(out, OfficeAction{Office: w.st.id, Action: a})
+			w.st.buf = out
+		}
+		officeRuns := make([][]OfficeAction, len(shard))
+		shardDT := shard[0].st.dt
+		for i, w := range shard {
+			officeRuns[i] = w.st.buf
+			if w.st.dt != shardDT {
+				shardDT = 0 // mixed tick periods: no shared grid
 			}
 		}
-		for ; next < len(w.evs); next++ {
-			sys.NotifyInput(w.evs[next].Workstation)
-		}
-		w.st.buf = out
+		runs[si] = mergeRuns(officeRuns, shardDT)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return mergeWork(worklist), nil
+	if numShards == 1 {
+		return runs[0], nil // already a fresh, fully merged slice
+	}
+	fleetDT := worklist[0].st.dt
+	for _, w := range worklist {
+		if w.st.dt != fleetDT {
+			fleetDT = 0 // mixed tick periods: no shared grid
+		}
+	}
+	return mergeRuns(runs, fleetDT), nil
+}
+
+// bucketMergeRuns merges by counting sort over the batch's tick span.
+// dt is the tick period shared by every participating office; action
+// times are float64(tick)·dt exactly (System.Tick stamps them that
+// way), so the integer tick is recovered exactly by rounding t/dt and
+// verifying the product round-trips — any action that fails the
+// round-trip (clock drift, foreign times) aborts the fast path. Ranking
+// is then a dense [minTick, maxTick] counting sort: count, prefix-sum,
+// scatter each run in input order. Within one tick bucket the scatter
+// writes run 0's actions before run 1's and preserves each run's
+// internal order, which equals the (time, office, emission) total order
+// exactly when the runs' office ranges are ascending and disjoint — the
+// shape both merge passes produce (per-office runs in ascending ID
+// order; shard runs over ascending ID ranges). It returns nil — fall
+// back to the heap merge — when dt is 0 (no shared grid), the
+// precondition fails, or the tick span is too sparse for a dense count
+// array to pay off (e.g. a fresh joiner's near-zero clock merged with
+// multi-day clocks).
+func bucketMergeRuns(runs [][]OfficeAction, total int, dt float64) []OfficeAction {
+	if dt <= 0 || total < 32 {
+		return nil
+	}
+	// Verify ascending, disjoint office ranges and recover every
+	// action's tick in one pass.
+	order := make([]int64, total)
+	minTick, maxTick := int64(1<<62), int64(-1<<62)
+	prevMax, n := -1, 0
+	for _, r := range runs {
+		if len(r) == 0 {
+			continue
+		}
+		lo, hi := r[0].Office, r[0].Office
+		for i := range r {
+			if o := r[i].Office; o < lo {
+				lo = o
+			} else if o > hi {
+				hi = o
+			}
+			t := r[i].Action.Time
+			k := int64(math.Round(t / dt))
+			if float64(k)*dt != t {
+				return nil // not on this grid
+			}
+			if k < minTick {
+				minTick = k
+			}
+			if k > maxTick {
+				maxTick = k
+			}
+			order[n] = k
+			n++
+		}
+		if lo <= prevMax {
+			return nil
+		}
+		prevMax = hi
+	}
+	span := maxTick - minTick + 1
+	if span > 4*int64(total)+64 {
+		return nil // sparse: the count array would dwarf the data
+	}
+
+	// Counting sort: bucket sizes, prefix sums, scatter.
+	starts := make([]int32, span+1)
+	for _, k := range order[:n] {
+		starts[k-minTick+1]++
+	}
+	for i := int64(1); i <= span; i++ {
+		starts[i] += starts[i-1]
+	}
+	out := make([]OfficeAction, total)
+	n = 0
+	for _, r := range runs {
+		for i := range r {
+			b := order[n] - minTick
+			n++
+			out[starts[b]] = r[i]
+			starts[b]++
+		}
+	}
+	return out
+}
+
+// shardSize returns how many offices one pool task processes per batch —
+// the shard-local batching heuristic. Small fleets get one office per
+// task (maximum tick-delivery parallelism); once the fleet outgrows
+// ~4 tasks per worker, shards grow with the office count instead, so the
+// per-batch task count and the final merge fan-in stay bounded at
+// ~4·workers however many offices join. Per merged action that costs
+// O(log officesPerShard) on the parallel shard pass plus O(log shards)
+// on the final pass — flat to falling as offices scale.
+func shardSize(offices, workers int) int {
+	maxShards := 4 * workers
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	size := (offices + maxShards - 1) / maxShards
+	if size < 1 {
+		size = 1
+	}
+	return size
 }
 
 // RunBatch delivers a dense batch: ticks[i] holds the RSSI ticks of the
@@ -369,30 +551,126 @@ func (f *Fleet) Tick(rssi [][]float64) ([]OfficeAction, error) {
 	return f.RunBatch(batch, nil)
 }
 
-// mergeWork concatenates the per-office buffers in ascending-ID order and
-// sorts them into the global order (time, then office ID, then per-office
-// emission order). It must copy into a fresh slice — the per-office
-// buffers are reused by the next batch, and Run promises callers the
-// returned stream is theirs to keep.
-func mergeWork(worklist []*work) []OfficeAction {
-	total := 0
-	for _, w := range worklist {
-		total += len(w.st.buf)
+// mergeRuns k-way-merges action runs into one fresh slice. Every input
+// run must already be internally ordered by (time, office ID, emission
+// order) — which holds both for a single office's buffer (System clocks
+// are non-decreasing and emission order breaks ties) and for the output
+// of a previous mergeRuns pass — and the runs' office-ID sets must be
+// disjoint. The result is the global total order (time, then office ID,
+// then per-office emission order): popping FIFO from each run preserves
+// emission order, and the (time, office) comparator settles every
+// cross-run tie because equal (time, office) pairs can only sit in the
+// same run. It always copies into a fresh slice — office buffers are
+// reused by the next batch, and Run promises callers the returned
+// stream is theirs to keep.
+//
+// Two strategies implement the same order. Action times are tick-grid
+// values (System.Tick stamps tick·DT), so a fleet batch usually has few
+// distinct times shared by many actions; bucketMergeRuns counting-sorts
+// over the distinct times at O(1) comparisons per action, independent
+// of the merge fan-in. When the precondition it needs is absent —
+// ascending run office ranges — or times are mostly unique
+// (heterogeneous DT drift), the index-heap merge takes over.
+func mergeRuns(runs [][]OfficeAction, dt float64) []OfficeAction {
+	total, nonEmpty := 0, 0
+	for _, r := range runs {
+		total += len(r)
+		if len(r) > 0 {
+			nonEmpty++
+		}
 	}
 	if total == 0 {
 		return nil
 	}
-	merged := make([]OfficeAction, 0, total)
-	for _, w := range worklist {
-		merged = append(merged, w.st.buf...)
-	}
-	sort.SliceStable(merged, func(a, b int) bool {
-		if merged[a].Action.Time != merged[b].Action.Time {
-			return merged[a].Action.Time < merged[b].Action.Time
+	out := make([]OfficeAction, 0, total)
+	if nonEmpty == 1 {
+		for _, r := range runs {
+			out = append(out, r...)
 		}
-		return merged[a].Office < merged[b].Office
-	})
-	return merged
+		return out
+	}
+	if merged := bucketMergeRuns(runs, total, dt); merged != nil {
+		return merged
+	}
+
+	// Index heap over the non-empty runs, keyed by each run's head.
+	pos := make([]int, len(runs))
+	less := func(a, b int) bool {
+		x, y := &runs[a][pos[a]], &runs[b][pos[b]]
+		if x.Action.Time != y.Action.Time {
+			return x.Action.Time < y.Action.Time
+		}
+		return x.Office < y.Office
+	}
+	heap := make([]int, 0, nonEmpty)
+	for ri, r := range runs {
+		if len(r) > 0 {
+			heap = append(heap, ri)
+		}
+	}
+	siftDown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(heap) {
+				return
+			}
+			m := l
+			if r := l + 1; r < len(heap) && less(heap[r], heap[l]) {
+				m = r
+			}
+			if !less(heap[m], heap[i]) {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(heap) > 0 {
+		ri := heap[0]
+		run := runs[ri]
+		p := pos[ri]
+		// Segment galloping: the winner keeps winning while its next
+		// actions stay strictly below the second-best head (strict is
+		// exact — a cross-run tie on (time, office) cannot exist, the
+		// runs' office sets are disjoint), so the whole stretch is
+		// copied in one append instead of one heap cycle per action.
+		// Bursty streams (per-office alert cascades) merge at ~one
+		// comparison per action this way, independent of fan-in.
+		limit := p + 1
+		if len(heap) > 1 {
+			si := heap[1]
+			if len(heap) > 2 && less(heap[2], heap[1]) {
+				si = heap[2]
+			}
+			s := &runs[si][pos[si]]
+			for limit < len(run) {
+				x := &run[limit]
+				if x.Action.Time != s.Action.Time {
+					if x.Action.Time > s.Action.Time {
+						break
+					}
+				} else if x.Office > s.Office {
+					break
+				}
+				limit++
+			}
+		} else {
+			limit = len(run)
+		}
+		out = append(out, run[p:limit]...)
+		pos[ri] = limit
+		if limit < len(run) {
+			siftDown(0)
+			continue
+		}
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		siftDown(0)
+	}
+	return out
 }
 
 // FinishTraining moves every member office to the online phase, fanning

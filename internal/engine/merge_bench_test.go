@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"fadewich/internal/core"
+)
+
+// syntheticRuns builds per-office action runs with realistic timing:
+// each office emits its actions in short alert cascades (eight actions
+// one tick apart) separated by quiet stretches, phase-shifted per
+// office in twelve groups. Times are stamped exactly as core.System
+// does — float64(tick)·DT on the shared tick grid — so many actions
+// across offices carry bit-equal times, the structure the bucket merge
+// exploits; same-group offices tie constantly, exercising the office-ID
+// tie-break.
+func syntheticRuns(offices, perOffice int) [][]OfficeAction {
+	const dt = 0.2
+	runs := make([][]OfficeAction, offices)
+	for o := range runs {
+		r := make([]OfficeAction, 0, perOffice)
+		tick := (o % 12) * 8 // phase group
+		for len(r) < perOffice {
+			for j := 0; j < 8 && len(r) < perOffice; j++ { // one cascade
+				r = append(r, OfficeAction{Office: o, Action: core.Action{
+					Time:        float64(tick) * dt,
+					Type:        core.ActionAlertEnter,
+					Workstation: len(r) % 3,
+				}})
+				tick++
+			}
+			tick += 750 // quiet until the next cascade
+		}
+		runs[o] = r
+	}
+	return runs
+}
+
+// BenchmarkFleetMerge measures the two-level shard merge that Fleet.Run
+// performs per batch — the shard-local k-way pass over per-office runs
+// fanned across the pool, then the final pass over the shard runs — at
+// 64, 256 and 1024 offices over a fixed fleet-wide action volume
+// (32k actions per batch, so the metric isolates merge fan-in from data
+// volume). ns/action is the tracked metric: segment galloping merges
+// bursty runs at ~one comparison per action and the shard count is
+// capped at ~4·workers, so per-action cost stays flat-to-falling as the
+// fleet scales (the old concat-and-sort merge paid O(log total)
+// comparator calls per action, growing with fleet size).
+func BenchmarkFleetMerge(b *testing.B) {
+	const totalActions = 32768
+	for _, offices := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("offices-%d", offices), func(b *testing.B) {
+			pool := NewPool(0)
+			runs := syntheticRuns(offices, totalActions/offices)
+			size := shardSize(offices, pool.Workers())
+			numShards := (offices + size - 1) / size
+			total := totalActions
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				shardRuns := make([][]OfficeAction, numShards)
+				if err := pool.Map(numShards, func(si int) error {
+					lo := si * size
+					hi := lo + size
+					if hi > offices {
+						hi = offices
+					}
+					shardRuns[si] = mergeRuns(runs[lo:hi], 0.2)
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if merged := mergeRuns(shardRuns, 0.2); len(merged) != total {
+					b.Fatalf("merged %d actions, want %d", len(merged), total)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(total), "ns/action")
+		})
+	}
+}

@@ -1,0 +1,10 @@
+package rf
+
+import "fadewich/internal/block"
+
+// Block is the columnar sample buffer SampleBlock fills: one contiguous
+// [ticks×streams] tick-major float64 allocation. It is an alias of the
+// shared internal/block.Block, so the detection layers (core.System.
+// TickBlock, engine.OfficeBatch.Block) exchange the same type without
+// depending on this package.
+type Block = block.Block

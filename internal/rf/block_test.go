@@ -1,0 +1,185 @@
+package rf
+
+import (
+	"fmt"
+	"testing"
+
+	"fadewich/internal/geom"
+	"fadewich/internal/rng"
+)
+
+// TestSampleBlockMatchesSample is the core contract of the columnar hot
+// path: SampleBlock must be bit-identical to the same number of
+// consecutive Sample calls, for plain RSSI and for multi-subcarrier
+// streams, across empty/seated/walking body sets.
+func TestSampleBlockMatchesSample(t *testing.T) {
+	for _, subc := range []int{1, 3} {
+		t.Run(fmt.Sprintf("subc-%d", subc), func(t *testing.T) {
+			cfg := Config{Subcarriers: subc, InterferencePerHour: 3600}
+			const ticks = 150
+			bodies := make([][]Body, ticks)
+			for i := range bodies {
+				bodies[i] = goldenBodies(i)
+			}
+
+			scalar, err := NewNetwork(cfg, goldenSensors(), 0.2, rng.New(99))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([][]float64, ticks)
+			row := make([]float64, scalar.NumStreams())
+			for i := range want {
+				scalar.Sample(bodies[i], row)
+				want[i] = append([]float64(nil), row...)
+			}
+
+			block, err := NewNetwork(cfg, goldenSensors(), 0.2, rng.New(99))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var blk Block
+			block.SampleBlock(bodies, &blk)
+			if blk.Ticks() != ticks || blk.Streams() != scalar.NumStreams() {
+				t.Fatalf("block shape %dx%d, want %dx%d", blk.Ticks(), blk.Streams(), ticks, scalar.NumStreams())
+			}
+			for i := range want {
+				for k, v := range want[i] {
+					if got := blk.At(i, k); got != v {
+						t.Fatalf("tick %d stream %d: block %v, scalar %v", i, k, got, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSampleBlockNoPerTickAllocs pins the zero-allocation guarantee of
+// the block path once the block buffer is warm.
+func TestSampleBlockNoPerTickAllocs(t *testing.T) {
+	n, err := NewNetwork(Config{}, goldenSensors(), 0.2, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 64
+	bodies := make([][]Body, ticks)
+	for i := range bodies {
+		bodies[i] = goldenBodies(i + 50)
+	}
+	var blk Block
+	n.SampleBlock(bodies, &blk) // warm the buffer
+	allocs := testing.AllocsPerRun(20, func() {
+		n.SampleBlock(bodies, &blk)
+	})
+	if allocs != 0 {
+		t.Fatalf("SampleBlock allocated %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestBlockReuse checks Reset keeps the backing array across shrinks and
+// regrows it on demand.
+func TestBlockReuse(t *testing.T) {
+	var b Block
+	b.Reset(4, 6)
+	if b.Ticks() != 4 || b.Streams() != 6 || len(b.Data()) != 24 {
+		t.Fatalf("shape after Reset: %d x %d, data %d", b.Ticks(), b.Streams(), len(b.Data()))
+	}
+	b.Row(2)[5] = -42
+	if b.At(2, 5) != -42 {
+		t.Fatal("Row and At disagree")
+	}
+	b.Reset(2, 3)
+	if len(b.Data()) != 6 {
+		t.Fatalf("data length %d after shrink, want 6", len(b.Data()))
+	}
+	b.Reset(8, 8)
+	if len(b.Data()) != 64 {
+		t.Fatalf("data length %d after grow, want 64", len(b.Data()))
+	}
+}
+
+// TestLinksCached pins the Links() fix: the subcarrier expansion is
+// computed once at construction, so a call costs exactly one allocation
+// (the defensive copy) and returns equal contents every time.
+func TestLinksCached(t *testing.T) {
+	n := newTestNetwork(t, Config{Subcarriers: 4}, 3)
+	a, b := n.Links(), n.Links()
+	if len(a) != n.NumStreams() {
+		t.Fatalf("links %d, want %d", len(a), n.NumStreams())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Links() not stable at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	a[0] = Link{TX: 99, RX: 98} // the copy must shield the cache
+	if got := n.Links()[0]; got == a[0] {
+		t.Fatal("mutating the returned slice corrupted the cached expansion")
+	}
+	allocs := testing.AllocsPerRun(20, func() { n.Links() })
+	if allocs > 1 {
+		t.Fatalf("Links() allocated %.1f objects per call, want at most 1 (the copy)", allocs)
+	}
+}
+
+// TestDisableSentinels pins the withDefaults zero-value fix: explicit
+// negatives switch an effect off where 0 selects the default.
+func TestDisableSentinels(t *testing.T) {
+	n := newTestNetwork(t, Config{
+		QuantStepDB:         Disable,
+		InterferencePerHour: Disable,
+		MotionNoiseStdDB:    Disable,
+		NoiseAR:             Disable,
+	}, 7)
+	cfg := n.Config()
+	if cfg.QuantStepDB != 0 || cfg.InterferencePerHour != 0 || cfg.MotionNoiseStdDB != 0 || cfg.NoiseAR != 0 {
+		t.Fatalf("sentinels not resolved to 0: %+v", cfg)
+	}
+	// Defaults still apply to untouched fields.
+	if cfg.NoiseStdDB != DefaultConfig().NoiseStdDB {
+		t.Fatalf("unrelated default lost: %+v", cfg)
+	}
+}
+
+// TestDisableQuantisation checks Disable actually changes behaviour:
+// unquantised output contains non-integer readings.
+func TestDisableQuantisation(t *testing.T) {
+	n := newTestNetwork(t, Config{QuantStepDB: Disable}, 11)
+	out := make([]float64, n.NumStreams())
+	nonInteger := false
+	for i := 0; i < 50 && !nonInteger; i++ {
+		n.Sample(nil, out)
+		for _, v := range out {
+			if v != float64(int(v)) {
+				nonInteger = true
+				break
+			}
+		}
+	}
+	if !nonInteger {
+		t.Fatal("QuantStepDB: Disable still produced integer-quantised output")
+	}
+}
+
+// TestDisableMotionNoise checks a walking body raises no extra noise
+// once MotionNoiseStdDB is disabled (the MD module's signal vanishes).
+func TestDisableMotionNoise(t *testing.T) {
+	std := func(cfg Config) float64 {
+		n := newTestNetwork(t, cfg, 13)
+		out := make([]float64, n.NumStreams())
+		walker := []Body{{Pos: geom.Point{X: 3, Y: 0.2}, Speed: 1.4}}
+		var sum, sumSq float64
+		const ticks = 300
+		for i := 0; i < ticks; i++ {
+			n.Sample(walker, out)
+			sum += out[0]
+			sumSq += out[0] * out[0]
+		}
+		mean := sum / ticks
+		return sumSq/ticks - mean*mean
+	}
+	on := std(Config{})
+	off := std(Config{MotionNoiseStdDB: Disable})
+	if off >= on/2 {
+		t.Fatalf("disabled motion noise variance %v not clearly below enabled %v", off, on)
+	}
+}

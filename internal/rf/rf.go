@@ -31,6 +31,14 @@
 // statistics (standard deviations, variances, entropies, autocorrelations)
 // of the streams, and those are exactly the quantities this model is
 // calibrated to produce.
+//
+// The implementation is columnar: link geometry lives in flat
+// struct-of-arrays columns, per-tick body effects are computed once per
+// link (once per sensor pair where bitwise-symmetric) and shared across
+// subcarrier streams, and SampleBlock fills a contiguous Block buffer
+// for many ticks with zero per-tick allocation. Sample remains as the
+// per-tick wrapper; both paths are byte-identical and golden-tested
+// (see docs/PERFORMANCE.md).
 package rf
 
 import (
@@ -41,8 +49,19 @@ import (
 	"fadewich/internal/rng"
 )
 
+// Disable is the sentinel for Config fields whose zero value would
+// otherwise be replaced by a default. Setting one of ShadowStdDB,
+// NoiseStdDB, NoiseAR, BodyAttenDB, MotionNoiseStdDB,
+// InterferencePerHour, InterferenceStdDB or QuantStepDB to Disable (or
+// any negative value) switches that effect off explicitly — something a
+// literal 0 cannot express, since 0 means "use the default". For
+// QuantStepDB the receiver then reports unquantised floats; for the
+// noise and interference fields the corresponding term vanishes.
+const Disable = -1
+
 // Config parameterises the propagation model. Zero fields are replaced by
-// the defaults from DefaultConfig.
+// the defaults from DefaultConfig; the fields listed at Disable accept a
+// negative sentinel to turn the effect off entirely.
 type Config struct {
 	// TxPowerDBm is the sensors' transmit power.
 	TxPowerDBm float64
@@ -124,7 +143,22 @@ func DefaultConfig() Config {
 	}
 }
 
-// withDefaults fills zero fields from DefaultConfig.
+// defaultOrDisable resolves one sentinel-aware field: 0 selects the
+// default, a negative value (the Disable sentinel) resolves to an
+// effective 0 that switches the effect off.
+func defaultOrDisable(v, def float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return def
+	default:
+		return v
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig and resolves Disable
+// sentinels on the fields that accept them.
 func (c Config) withDefaults() Config {
 	d := DefaultConfig()
 	if c.TxPowerDBm == 0 {
@@ -136,42 +170,26 @@ func (c Config) withDefaults() Config {
 	if c.PathLossExp == 0 {
 		c.PathLossExp = d.PathLossExp
 	}
-	if c.ShadowStdDB == 0 {
-		c.ShadowStdDB = d.ShadowStdDB
-	}
-	if c.NoiseStdDB == 0 {
-		c.NoiseStdDB = d.NoiseStdDB
-	}
-	if c.NoiseAR == 0 {
-		c.NoiseAR = d.NoiseAR
-	}
-	if c.BodyAttenDB == 0 {
-		c.BodyAttenDB = d.BodyAttenDB
-	}
+	c.ShadowStdDB = defaultOrDisable(c.ShadowStdDB, d.ShadowStdDB)
+	c.NoiseStdDB = defaultOrDisable(c.NoiseStdDB, d.NoiseStdDB)
+	c.NoiseAR = defaultOrDisable(c.NoiseAR, d.NoiseAR)
+	c.BodyAttenDB = defaultOrDisable(c.BodyAttenDB, d.BodyAttenDB)
 	if c.BodyEllipseM == 0 {
 		c.BodyEllipseM = d.BodyEllipseM
 	}
-	if c.MotionNoiseStdDB == 0 {
-		c.MotionNoiseStdDB = d.MotionNoiseStdDB
-	}
+	c.MotionNoiseStdDB = defaultOrDisable(c.MotionNoiseStdDB, d.MotionNoiseStdDB)
 	if c.MotionRangeM == 0 {
 		c.MotionRangeM = d.MotionRangeM
 	}
-	if c.QuantStepDB == 0 {
-		c.QuantStepDB = d.QuantStepDB
-	}
+	c.QuantStepDB = defaultOrDisable(c.QuantStepDB, d.QuantStepDB)
 	if c.MinRSSIDBm == 0 {
 		c.MinRSSIDBm = d.MinRSSIDBm
 	}
 	if c.MaxRSSIDBm == 0 {
 		c.MaxRSSIDBm = d.MaxRSSIDBm
 	}
-	if c.InterferencePerHour == 0 {
-		c.InterferencePerHour = d.InterferencePerHour
-	}
-	if c.InterferenceStdDB == 0 {
-		c.InterferenceStdDB = d.InterferenceStdDB
-	}
+	c.InterferencePerHour = defaultOrDisable(c.InterferencePerHour, d.InterferencePerHour)
+	c.InterferenceStdDB = defaultOrDisable(c.InterferenceStdDB, d.InterferenceStdDB)
 	if c.InterferenceMeanSec == 0 {
 		c.InterferenceMeanSec = d.InterferenceMeanSec
 	}
@@ -201,14 +219,44 @@ func (l Link) String() string { return fmt.Sprintf("d%d-d%d", l.TX+1, l.RX+1) }
 // Network evaluates the propagation model for a fixed sensor deployment.
 // It is not safe for concurrent use; the simulator drives it from a single
 // goroutine.
+//
+// The hot state is laid out struct-of-arrays: link geometry is
+// precomputed once at construction into flat per-link columns, and the
+// per-tick body effects (shadowing attenuation, motion-noise standard
+// deviation) are computed once per directed link into reusable scratch
+// columns and shared across that link's subcarrier streams. The
+// per-stream loop then touches only contiguous float64 slices.
 type Network struct {
 	cfg     Config
 	sensors []geom.Point
-	links   []Link
-	segs    []geom.Segment // per-link TX→RX segment
-	base    []float64      // per-stream static RSSI (path loss + shadowing)
-	ar      []float64      // per-stream AR(1) noise state
-	src     *rng.Source
+
+	// Per-directed-link geometry columns (index: link, not stream),
+	// precomputed at construction. d = B − A is the segment direction;
+	// l2 = d·d its squared length; the values replicate bit for bit what
+	// geom.Segment.DistToPoint and ExcessPathLength would recompute.
+	linkAX, linkAY []float64
+	linkBX, linkBY []float64
+	linkDX, linkDY []float64
+	linkL2         []float64
+	linkLen        []float64
+	// pairRev[li] is the directed link with the same sensor pair and the
+	// opposite direction. Body shadowing is bitwise-symmetric in the
+	// direction (IEEE addition commutes and Hypot is sign-symmetric), so
+	// each pair computes it once and the reverse link copies it.
+	pairRev []int
+
+	// Per-tick scratch columns, one value per directed link: the body
+	// shadowing attenuation and motion-noise std of the current tick
+	// (the per-tick body→link cache). Reused by every tick with zero
+	// allocation.
+	attenScratch  []float64
+	motionScratch []float64
+
+	streamLink  []int  // stream index → directed link index
+	streamLinks []Link // Links() expansion, computed once
+	base        []float64
+	ar          []float64
+	src         *rng.Source
 
 	// Interference burst state: remaining ticks and per-stream
 	// participation mask for the current burst.
@@ -241,27 +289,58 @@ func NewNetwork(cfg Config, sensors []geom.Point, dt float64, src *rng.Source) (
 			}
 		}
 	}
+	nl := len(links)
+	streams := nl * cfg.Subcarriers
 	n := &Network{
-		cfg:       cfg,
-		sensors:   pts,
-		links:     links,
-		segs:      make([]geom.Segment, 0, len(links)*cfg.Subcarriers),
-		base:      make([]float64, 0, len(links)*cfg.Subcarriers),
-		ar:        make([]float64, len(links)*cfg.Subcarriers),
-		src:       src,
-		burstMask: make([]bool, len(links)*cfg.Subcarriers),
-		dt:        dt,
+		cfg:           cfg,
+		sensors:       pts,
+		linkAX:        make([]float64, nl),
+		linkAY:        make([]float64, nl),
+		linkBX:        make([]float64, nl),
+		linkBY:        make([]float64, nl),
+		linkDX:        make([]float64, nl),
+		linkDY:        make([]float64, nl),
+		linkL2:        make([]float64, nl),
+		linkLen:       make([]float64, nl),
+		pairRev:       make([]int, nl),
+		attenScratch:  make([]float64, nl),
+		motionScratch: make([]float64, nl),
+		streamLink:    make([]int, 0, streams),
+		streamLinks:   make([]Link, 0, streams),
+		base:          make([]float64, 0, streams),
+		ar:            make([]float64, streams),
+		src:           src,
+		burstMask:     make([]bool, streams),
+		dt:            dt,
 	}
-	for _, l := range links {
+	// linkIndex maps a directed pair to its position in the tx-major,
+	// rx-ascending link order built above.
+	linkIndex := func(tx, rx int) int {
+		i := tx*(m-1) + rx
+		if rx > tx {
+			i--
+		}
+		return i
+	}
+	for li, l := range links {
 		seg := geom.Segment{A: pts[l.TX], B: pts[l.RX]}
-		d := seg.Length()
+		n.linkAX[li], n.linkAY[li] = seg.A.X, seg.A.Y
+		n.linkBX[li], n.linkBY[li] = seg.B.X, seg.B.Y
+		dvec := seg.B.Sub(seg.A)
+		n.linkDX[li], n.linkDY[li] = dvec.X, dvec.Y
+		n.linkL2[li] = dvec.Dot(dvec)
+		n.linkLen[li] = seg.Length()
+		n.pairRev[li] = linkIndex(l.RX, l.TX)
+
+		d := n.linkLen[li]
 		if d < 0.1 {
 			d = 0.1 // sensors essentially co-located; avoid log blow-up
 		}
 		pl := cfg.RefLossDB + 10*cfg.PathLossExp*math.Log10(d)
 		for s := 0; s < cfg.Subcarriers; s++ {
 			shadow := src.Normal(0, cfg.ShadowStdDB)
-			n.segs = append(n.segs, seg)
+			n.streamLink = append(n.streamLink, li)
+			n.streamLinks = append(n.streamLinks, l)
 			n.base = append(n.base, cfg.TxPowerDBm-pl+shadow)
 		}
 	}
@@ -272,14 +351,11 @@ func NewNetwork(cfg Config, sensors []geom.Point, dt float64, src *rng.Source) (
 func (n *Network) NumStreams() int { return len(n.base) }
 
 // Links returns the directed links in stream order. With Subcarriers > 1
-// each link repeats Subcarriers times consecutively.
+// each link repeats Subcarriers times consecutively. The expansion is
+// computed once at construction; each call returns a fresh copy.
 func (n *Network) Links() []Link {
-	out := make([]Link, 0, n.NumStreams())
-	for _, l := range n.links {
-		for s := 0; s < n.cfg.Subcarriers; s++ {
-			out = append(out, l)
-		}
-	}
+	out := make([]Link, len(n.streamLinks))
+	copy(out, n.streamLinks)
 	return out
 }
 
@@ -294,7 +370,9 @@ func (n *Network) Sensors() []geom.Point {
 func (n *Network) Config() Config { return n.cfg }
 
 // bodyAttenuation returns the deterministic shadowing loss (dB) the bodies
-// inflict on the given link segment.
+// inflict on the given link segment. It is the scalar reference
+// implementation of the model; the hot path computes the same quantity
+// per link in tickEffects.
 func (n *Network) bodyAttenuation(seg geom.Segment, bodies []Body) float64 {
 	var atten float64
 	for i := range bodies {
@@ -311,7 +389,8 @@ func (n *Network) bodyAttenuation(seg geom.Segment, bodies []Body) float64 {
 }
 
 // motionNoiseStd returns the standard deviation of the motion-induced
-// perturbation on the link for the given bodies.
+// perturbation on the link for the given bodies. Like bodyAttenuation it
+// is the scalar reference implementation mirrored by tickEffects.
 func (n *Network) motionNoiseStd(seg geom.Segment, bodies []Body) float64 {
 	var variance float64
 	for i := range bodies {
@@ -350,28 +429,103 @@ func (n *Network) stepBursts() bool {
 	return true
 }
 
-// Sample advances the model one tick and writes the RSSI of every stream
-// into out, which must have length NumStreams. The same bodies slice may
-// be reused across calls.
-func (n *Network) Sample(bodies []Body, out []float64) {
-	if len(out) != n.NumStreams() {
-		panic(fmt.Sprintf("rf: Sample output length %d, want %d", len(out), n.NumStreams()))
+// tickEffects fills the per-link scratch columns for one tick: the
+// shadowing attenuation and motion-noise standard deviation every
+// directed link sees from the current body set. This is the per-tick
+// body→link cache — each value is computed once per link (once per
+// *pair* for the attenuation, which is bitwise-symmetric in the link
+// direction) and shared across the link's subcarrier streams.
+//
+// The arithmetic replicates bodyAttenuation and motionNoiseStd
+// operation for operation, so the outputs are bit-identical to the
+// per-stream scalar path: sums accumulate in body order, the
+// closest-point projection evaluates exactly like
+// geom.Segment.DistToPoint, and the saturation cap applies after the
+// sum.
+func (n *Network) tickEffects(bodies []Body) {
+	atten, motion := n.attenScratch, n.motionScratch
+	if len(bodies) == 0 {
+		for li := range atten {
+			atten[li] = 0
+			motion[li] = 0
+		}
+		return
 	}
+	attenDB, ellipse := n.cfg.BodyAttenDB, n.cfg.BodyEllipseM
+	motionStd, motionRange := n.cfg.MotionNoiseStdDB, n.cfg.MotionRangeM
+	limit := 1.5 * attenDB
+	for li := range atten {
+		rev := n.pairRev[li]
+		shareAtten := rev < li // reverse direction already computed it
+		ax, ay := n.linkAX[li], n.linkAY[li]
+		bx, by := n.linkBX[li], n.linkBY[li]
+		dx, dy := n.linkDX[li], n.linkDY[li]
+		l2, length := n.linkL2[li], n.linkLen[li]
+
+		var attenSum, variance float64
+		for i := range bodies {
+			p := bodies[i].Pos
+			if !shareAtten {
+				// Excess path length of A→body→B over A→B, exactly as
+				// geom.Segment.ExcessPathLength computes it.
+				excess := math.Hypot(ax-p.X, ay-p.Y) + math.Hypot(p.X-bx, p.Y-by) - length
+				attenSum += attenDB * math.Exp(-excess/ellipse)
+			}
+			if bodies[i].Speed > 0 {
+				// Distance to the segment, exactly as
+				// geom.Segment.DistToPoint computes it.
+				var dist float64
+				if l2 == 0 {
+					dist = math.Hypot(ax-p.X, ay-p.Y)
+				} else {
+					t := ((p.X-ax)*dx + (p.Y-ay)*dy) / l2
+					t = math.Max(0, math.Min(1, t))
+					dist = math.Hypot(ax+dx*t-p.X, ay+dy*t-p.Y)
+				}
+				sd := motionStd * bodies[i].Speed * math.Exp(-dist/motionRange)
+				variance += sd * sd
+			}
+		}
+		if shareAtten {
+			atten[li] = atten[rev]
+		} else {
+			// Two bodies on the same link shadow it more, but the effect
+			// saturates; cap at 1.5× the single-body maximum.
+			if attenSum > limit {
+				attenSum = limit
+			}
+			atten[li] = attenSum
+		}
+		motion[li] = math.Sqrt(variance)
+	}
+}
+
+// sampleTick advances the model one tick, writing one RSSI value per
+// stream into out (length NumStreams). The RNG draw order is identical
+// to the historical per-stream scalar loop: the burst process first,
+// then per stream the AR innovation, the conditional motion draw, and
+// the conditional burst draw.
+func (n *Network) sampleTick(bodies []Body, out []float64) {
 	burst := n.stepBursts()
+	n.tickEffects(bodies)
+
 	arCoef := n.cfg.NoiseAR
 	innovation := n.cfg.NoiseStdDB * math.Sqrt(1-arCoef*arCoef)
+	quant := n.cfg.QuantStepDB
+	minR, maxR := n.cfg.MinRSSIDBm, n.cfg.MaxRSSIDBm
+	atten, motion := n.attenScratch, n.motionScratch
+	streamLink, ar, base := n.streamLink, n.ar, n.base
 
-	for k := range n.base {
-		seg := n.segs[k]
-		rssi := n.base[k]
-		rssi -= n.bodyAttenuation(seg, bodies)
+	for k := range base {
+		li := streamLink[k]
+		rssi := base[k] - atten[li]
 
 		// Stationary correlated measurement noise.
-		n.ar[k] = arCoef*n.ar[k] + n.src.Normal(0, innovation)
-		rssi += n.ar[k]
+		ar[k] = arCoef*ar[k] + n.src.Normal(0, innovation)
+		rssi += ar[k]
 
 		// Motion-induced perturbation (white, per-tick).
-		if sd := n.motionNoiseStd(seg, bodies); sd > 0 {
+		if sd := motion[li]; sd > 0 {
 			rssi += n.src.Normal(0, sd)
 		}
 
@@ -380,14 +534,45 @@ func (n *Network) Sample(bodies []Body, out []float64) {
 			rssi += n.src.Normal(0, n.cfg.InterferenceStdDB)
 		}
 
-		// Receiver quantisation and clamping.
-		rssi = math.Round(rssi/n.cfg.QuantStepDB) * n.cfg.QuantStepDB
-		if rssi < n.cfg.MinRSSIDBm {
-			rssi = n.cfg.MinRSSIDBm
+		// Receiver quantisation (with a fast path for the 1 dB default,
+		// where dividing and multiplying by the step is an exact no-op)
+		// and clamping. quant == 0 means quantisation was explicitly
+		// disabled (Config.QuantStepDB = Disable).
+		switch {
+		case quant == 1:
+			rssi = math.Round(rssi)
+		case quant > 0:
+			rssi = math.Round(rssi/quant) * quant
 		}
-		if rssi > n.cfg.MaxRSSIDBm {
-			rssi = n.cfg.MaxRSSIDBm
+		if rssi < minR {
+			rssi = minR
+		}
+		if rssi > maxR {
+			rssi = maxR
 		}
 		out[k] = rssi
+	}
+}
+
+// Sample advances the model one tick and writes the RSSI of every stream
+// into out, which must have length NumStreams. The same bodies slice may
+// be reused across calls. For many ticks at once, SampleBlock amortises
+// the per-tick overhead into a columnar buffer.
+func (n *Network) Sample(bodies []Body, out []float64) {
+	if len(out) != n.NumStreams() {
+		panic(fmt.Sprintf("rf: Sample output length %d, want %d", len(out), n.NumStreams()))
+	}
+	n.sampleTick(bodies, out)
+}
+
+// SampleBlock advances the model len(bodies) ticks, with bodies[t]
+// holding the body set of tick t, and fills out with one row per tick.
+// The output is bit-identical to len(bodies) consecutive Sample calls —
+// the RNG draw order is preserved exactly — but the inner loops run over
+// the block's contiguous columnar buffer with zero per-tick allocation.
+func (n *Network) SampleBlock(bodies [][]Body, out *Block) {
+	out.Reset(len(bodies), n.NumStreams())
+	for t := range bodies {
+		n.sampleTick(bodies[t], out.Row(t))
 	}
 }

@@ -165,7 +165,17 @@ func generationWorkers(workers, days int) int {
 	return workers
 }
 
-// generateDay simulates a single day.
+// generationBlockTicks is the number of ticks generateDay samples per
+// SampleBlock call: large enough to amortise per-call overhead, small
+// enough that the block buffer (blockTicks × streams float64) stays
+// cache-friendly.
+const generationBlockTicks = 256
+
+// generateDay simulates a single day. The tick loop is block-based: the
+// agent sampler fills a body-set arena for a window of ticks, one
+// SampleBlock call fills the columnar RSSI buffer, and the int8 traces
+// are transposed out of it stream by stream. The output is bit-identical
+// to the historical one-Sample-per-tick loop.
 func generateDay(cfg Config, src *rng.Source) (*Trace, []rf.Link, error) {
 	sched, err := agent.NewSchedule(cfg.Layout, cfg.Agent, src.Split())
 	if err != nil {
@@ -186,22 +196,38 @@ func generateDay(cfg Config, src *rng.Source) (*Trace, []rf.Link, error) {
 		streams[k] = make([]int8, ticks)
 	}
 
-	states := make([]agent.BodyState, sched.NumUsers())
-	bodies := make([]rf.Body, 0, sched.NumUsers())
-	rssi := make([]float64, numStreams)
+	users := sched.NumUsers()
+	states := make([]agent.BodyState, users)
+	// Body-set arena for one block: the per-tick body slices are views
+	// into one backing array sized for full occupancy, so a block incurs
+	// no per-tick allocation.
+	arena := make([]rf.Body, 0, generationBlockTicks*users)
+	tickBodies := make([][]rf.Body, generationBlockTicks)
+	var block rf.Block
 
-	for i := 0; i < ticks; i++ {
-		t := float64(i) * cfg.DT
-		sampler.At(t, states)
-		bodies = bodies[:0]
-		for u := range states {
-			if states[u].Present {
-				bodies = append(bodies, rf.Body{Pos: states[u].Pos, Speed: states[u].Speed})
-			}
+	for base := 0; base < ticks; base += generationBlockTicks {
+		n := generationBlockTicks
+		if base+n > ticks {
+			n = ticks - base
 		}
-		network.Sample(bodies, rssi)
+		arena = arena[:0]
+		for i := 0; i < n; i++ {
+			t := float64(base+i) * cfg.DT
+			sampler.At(t, states)
+			lo := len(arena)
+			for u := range states {
+				if states[u].Present {
+					arena = append(arena, rf.Body{Pos: states[u].Pos, Speed: states[u].Speed})
+				}
+			}
+			tickBodies[i] = arena[lo:len(arena):len(arena)]
+		}
+		network.SampleBlock(tickBodies[:n], &block)
 		for k := 0; k < numStreams; k++ {
-			streams[k][i] = int8(rssi[k])
+			col := streams[k][base : base+n]
+			for i := range col {
+				col[i] = int8(block.At(i, k))
+			}
 		}
 	}
 

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"fadewich/internal/core"
+	"fadewich/internal/engine"
+)
+
+func latencyFleet(t *testing.T) *engine.Fleet {
+	t.Helper()
+	f, err := engine.NewFleet(engine.FleetConfig{
+		Offices: 2,
+		System:  core.Config{Streams: 4, Workstations: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestMaxBatchLatencyFlushesIdleOffice is the free-running hardening
+// contract: a tick pushed with no subsequent Flush and no BatchTicks
+// threshold must still be dispatched within the configured bound.
+func TestMaxBatchLatencyFlushesIdleOffice(t *testing.T) {
+	in, err := NewIngestor(latencyFleet(t), Config{MaxBatchLatency: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if err := in.Push(0, []float64{-60, -60, -60, -60}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if in.Stats().Offices[0].Dispatched == 1 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("tick still queued after 5 s despite 25 ms max latency: %+v", in.Stats())
+}
+
+// TestMaxBatchLatencyRestartsPerBatch checks the clock re-arms after
+// each dispatch: several well-spaced pushes each flush on their own.
+func TestMaxBatchLatencyRestartsPerBatch(t *testing.T) {
+	in, err := NewIngestor(latencyFleet(t), Config{MaxBatchLatency: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	for round := uint64(1); round <= 3; round++ {
+		if err := in.Push(1, []float64{-60, -60, -60, -60}); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for in.Stats().Offices[1].Dispatched < round {
+			if !time.Now().Before(deadline) {
+				t.Fatalf("round %d not dispatched: %+v", round, in.Stats())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// TestZeroMaxBatchLatencyStaysCallerDriven pins the default: without the
+// trigger, queued ticks wait for a Flush indefinitely.
+func TestZeroMaxBatchLatencyStaysCallerDriven(t *testing.T) {
+	in, err := NewIngestor(latencyFleet(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if err := in.Push(0, []float64{-60, -60, -60, -60}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	if got := in.Stats().Offices[0].Dispatched; got != 0 {
+		t.Fatalf("tick dispatched without a flush: %d", got)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Stats().Offices[0].Dispatched; got != 1 {
+		t.Fatalf("flush did not dispatch the tick: %d", got)
+	}
+}
+
+// TestNegativeMaxBatchLatencyRejected pins the config validation.
+func TestNegativeMaxBatchLatencyRejected(t *testing.T) {
+	if _, err := NewIngestor(latencyFleet(t), Config{MaxBatchLatency: -time.Second}); err == nil {
+		t.Fatal("negative MaxBatchLatency accepted")
+	}
+}

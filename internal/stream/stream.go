@@ -54,6 +54,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"fadewich/internal/core"
 	"fadewich/internal/engine"
@@ -134,6 +135,14 @@ type Config struct {
 	// has that many ticks queued, without waiting for a Flush. Leave it
 	// zero for strictly Flush-driven (deterministic) cadence.
 	BatchTicks int
+	// MaxBatchLatency, when positive, bounds how long queued work may
+	// wait for a dispatch: a wall-clock trigger fires at most that long
+	// after the first tick (or input event) queued since the last
+	// dispatch, so idle or slow offices flush promptly without a
+	// caller-driven Flush or a filled BatchTicks threshold. Leave it zero
+	// for strictly caller-driven cadence. The trigger only affects *when*
+	// batches dispatch, never their content or order.
+	MaxBatchLatency time.Duration
 	// Sink, when non-nil, receives every dispatched batch of the merged
 	// action stream on the pump goroutine. The Ingestor owns the sink
 	// from this point: Close flushes and closes it.
@@ -181,6 +190,7 @@ type Ingestor struct {
 	queue      int
 	onFull     Policy
 	batchTicks int
+	maxLatency time.Duration
 	sink       Sink
 	onBatch    func([]engine.OfficeAction)
 
@@ -203,10 +213,19 @@ type Ingestor struct {
 	err               error
 	nBatches          uint64
 	nActions          uint64
+	// MaxBatchLatency state: when the first tick or input event since
+	// the last dispatch is queued, pendingSince records the wall clock
+	// and the latency goroutine is kicked; once the deadline passes it
+	// sets latencyDue, which the dispatcher treats like a flush trigger.
+	pendingSince time.Time
+	latencyDue   bool
 
 	pumpCh         chan []engine.OfficeAction
 	pumpDone       chan struct{}
 	dispatcherDone chan struct{}
+	latencyKick    chan struct{}
+	latencyStop    chan struct{}
+	latencyDone    chan struct{}
 }
 
 // NewIngestor wraps the fleet in an asynchronous ingestion layer and
@@ -226,11 +245,15 @@ func NewIngestor(fleet *engine.Fleet, cfg Config) (*Ingestor, error) {
 	if cfg.BatchTicks > queue {
 		return nil, fmt.Errorf("stream: batch ticks %d exceed queue capacity %d", cfg.BatchTicks, queue)
 	}
+	if cfg.MaxBatchLatency < 0 {
+		return nil, fmt.Errorf("stream: negative max batch latency %v", cfg.MaxBatchLatency)
+	}
 	in := &Ingestor{
 		fleet:          fleet,
 		queue:          queue,
 		onFull:         cfg.OnFull,
 		batchTicks:     cfg.BatchTicks,
+		maxLatency:     cfg.MaxBatchLatency,
 		sink:           cfg.Sink,
 		onBatch:        cfg.OnBatch,
 		q:              make(map[int]*officeQueue),
@@ -247,6 +270,12 @@ func NewIngestor(fleet *engine.Fleet, cfg Config) (*Ingestor, error) {
 		in.pumpCh = make(chan []engine.OfficeAction, 8)
 		in.pumpDone = make(chan struct{})
 		go in.pump()
+	}
+	if in.maxLatency > 0 {
+		in.latencyKick = make(chan struct{}, 1)
+		in.latencyStop = make(chan struct{})
+		in.latencyDone = make(chan struct{})
+		go in.latencyLoop()
 	}
 	go in.dispatch()
 	return in, nil
@@ -382,7 +411,63 @@ func (in *Ingestor) Push(office int, rssi []float64) error {
 	if in.batchTicks > 0 && len(q.ticks) >= in.batchTicks {
 		in.work.Signal()
 	}
+	in.markPendingLocked()
 	return nil
+}
+
+// markPendingLocked starts the MaxBatchLatency clock on the first piece
+// of work queued since the last dispatch and wakes the latency
+// goroutine to re-arm its timer.
+func (in *Ingestor) markPendingLocked() {
+	if in.maxLatency <= 0 || !in.pendingSince.IsZero() {
+		return
+	}
+	in.pendingSince = time.Now()
+	select {
+	case in.latencyKick <- struct{}{}:
+	default:
+	}
+}
+
+// latencyLoop is the MaxBatchLatency goroutine: it sleeps until the
+// oldest queued work crosses the latency bound, then flags the
+// dispatcher (latencyDue) exactly like a flush trigger. It holds no
+// state of its own beyond the timer; pendingSince under the mutex is
+// authoritative.
+func (in *Ingestor) latencyLoop() {
+	defer close(in.latencyDone)
+	timer := time.NewTimer(in.maxLatency)
+	defer timer.Stop()
+	for {
+		select {
+		case <-in.latencyStop:
+			return
+		case <-in.latencyKick:
+		case <-timer.C:
+		}
+		in.mu.Lock()
+		if in.closed {
+			in.mu.Unlock()
+			return
+		}
+		wait := in.maxLatency
+		if !in.pendingSince.IsZero() {
+			wait = time.Until(in.pendingSince.Add(in.maxLatency))
+			if wait <= 0 {
+				in.latencyDue = true
+				in.work.Signal()
+				wait = in.maxLatency
+			}
+		}
+		in.mu.Unlock()
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+	}
 }
 
 // PushInput queues a keyboard/mouse notification for one office (by
@@ -400,6 +485,7 @@ func (in *Ingestor) PushInput(office, workstation int) error {
 		return fmt.Errorf("%w (office %d)", ErrUnknownOffice, office)
 	}
 	in.pend = append(in.pend, pendingInput{office: office, ws: workstation, seq: q.base + uint64(len(q.ticks))})
+	in.markPendingLocked()
 	return nil
 }
 
@@ -450,14 +536,14 @@ func (in *Ingestor) PushOffices(batches []engine.OfficeBatch, evs []engine.Input
 		}
 		sort.SliceStable(evsO, func(a, b int) bool { return evsO[a].Tick < evsO[b].Tick })
 		next := 0
-		for t, row := range ob.Ticks {
+		for t, n := 0, ob.NumTicks(); t < n; t++ {
 			for next < len(evsO) && evsO[next].Tick <= t {
 				if err := in.PushInput(ob.Office, evsO[next].Workstation); err != nil {
 					return err
 				}
 				next++
 			}
-			if err := in.Push(ob.Office, row); err != nil {
+			if err := in.Push(ob.Office, ob.Row(t)); err != nil {
 				return err
 			}
 		}
@@ -546,6 +632,10 @@ func (in *Ingestor) Close() error {
 	in.mu.Unlock()
 
 	<-in.dispatcherDone
+	if in.latencyStop != nil {
+		close(in.latencyStop)
+		<-in.latencyDone
+	}
 	if in.pumpCh != nil {
 		close(in.pumpCh)
 		<-in.pumpDone
@@ -620,14 +710,15 @@ func (in *Ingestor) Stats() Stats {
 }
 
 // dispatch is the dispatcher goroutine: it waits for work (a flush
-// request, a Block-policy pusher out of space, a BatchTicks threshold, or
-// Close), snapshots the queues into one fleet batch, runs it, and hands
-// the merged actions to the OnBatch tap and the sink pump.
+// request, a Block-policy pusher out of space, a BatchTicks threshold, a
+// MaxBatchLatency expiry, or Close), snapshots the queues into one fleet
+// batch, runs it, and hands the merged actions to the OnBatch tap and
+// the sink pump.
 func (in *Ingestor) dispatch() {
 	defer close(in.dispatcherDone)
 	in.mu.Lock()
 	for {
-		for !in.closed && in.flushSeq == in.doneSeq && in.needSpace == 0 && !in.thresholdLocked() {
+		for !in.closed && in.flushSeq == in.doneSeq && in.needSpace == 0 && !in.latencyDue && !in.thresholdLocked() {
 			in.work.Wait()
 		}
 		if in.closed && in.flushSeq == in.doneSeq && !in.queuedLocked() {
@@ -636,6 +727,7 @@ func (in *Ingestor) dispatch() {
 		}
 		ticket := in.flushSeq
 		batch, evs, n := in.takeLocked()
+		in.latencyDue = false
 		in.mu.Unlock()
 
 		var acts []engine.OfficeAction
@@ -722,6 +814,9 @@ func (in *Ingestor) takeLocked() (batch []engine.OfficeBatch, evs []engine.Input
 		q.dispatched += uint64(len(q.ticks))
 		q.ticks = nil
 	}
+	// The snapshot empties every queue; the latency clock restarts with
+	// the next queued work.
+	in.pendingSince = time.Time{}
 	return batch, evs, n
 }
 
