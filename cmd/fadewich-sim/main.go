@@ -25,8 +25,11 @@
 //
 // With -sink the fleet is driven through the asynchronous stream layer
 // (stream.Ingestor) and the merged action stream is delivered to the
-// named backends: a JSONL log file, a TCP peer (length-prefixed frames),
-// or an in-memory ring. -queue and -on-full tune the per-office tick
+// named backends: a JSONL log file, a TCP peer (wire frames), a durable
+// segment directory (rotating wire-frame files, replayable with
+// fadewich-tail), or an in-memory ring. -codec selects the frame payload
+// codec of the framed sinks (tcp, seg) and -fsync the segment log's
+// durability policy. -queue and -on-full tune the per-office tick
 // queue and its backpressure policy; -max-latency bounds how long queued
 // ticks may wait before the dispatcher flushes them on its own. -sink
 // implies fleet mode even with a single office, as do -office-config and
@@ -36,7 +39,8 @@
 //
 //	fadewich-sim [-days N] [-seed S] [-sensors M] [-offices K] [-parallel P]
 //	             [-office-config FILE] [-churn N]
-//	             [-sink log:PATH|tcp:ADDR|ring[:N][,...]] [-queue Q]
+//	             [-sink log:PATH|tcp:ADDR|seg:DIR|ring[:N][,...]] [-queue Q]
+//	             [-codec 1|2] [-fsync never|rotate|always]
 //	             [-on-full block|drop-oldest|error] [-max-latency D] [-v]
 package main
 
@@ -58,8 +62,10 @@ import (
 	"fadewich/internal/office"
 	"fadewich/internal/rf"
 	"fadewich/internal/rng"
+	"fadewich/internal/segment"
 	"fadewich/internal/sim"
 	"fadewich/internal/stream"
+	"fadewich/internal/wire"
 )
 
 func main() {
@@ -70,7 +76,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool width (0 = one per CPU, 1 = sequential)")
 	officeConfig := flag.String("office-config", "", "JSON file with per-office overrides (layout, sensors, seed, MD thresholds); implies fleet mode")
 	churn := flag.Int("churn", 0, "membership events (add/remove offices) spread across the online day; implies fleet mode")
-	sinkSpec := flag.String("sink", "", "action sinks: log:PATH, tcp:ADDR, ring[:N], comma-separated for fan-out")
+	sinkSpec := flag.String("sink", "", "action sinks: log:PATH, tcp:ADDR, seg:DIR, ring[:N], comma-separated for fan-out")
+	codec := flag.Int("codec", 1, "wire codec of framed sinks (tcp, seg): 1 = JSONL payloads, 2 = compact binary")
+	fsync := flag.String("fsync", "rotate", "segment log durability: never, rotate (fsync sealed segments) or always (fsync every frame)")
 	queue := flag.Int("queue", 0, "per-office tick queue capacity (0 = default 256)")
 	onFull := flag.String("on-full", "block", "backpressure policy when a queue is full: block, drop-oldest or error")
 	maxLatency := flag.Duration("max-latency", 0, "dispatch queued ticks at most this long after they arrive, without waiting for a flush (0 = flush-driven; needs -sink)")
@@ -91,8 +99,12 @@ func main() {
 		err = fmt.Errorf("-offices and -office-config conflict: the config file's element count sets the fleet size")
 	case *churn < 0:
 		err = fmt.Errorf("churn count must be non-negative, got %d", *churn)
+	case *codec != 1 && *codec != 2:
+		err = fmt.Errorf("unknown wire codec %d (want 1 or 2)", *codec)
 	case *offices > 1 || *sinkSpec != "" || *officeConfig != "" || *churn > 0:
-		err = runFleet(*days, *seed, *sensors, *offices, *parallel, *officeConfig, *churn, *sinkSpec, *queue, *onFull, *maxLatency, *verbose)
+		err = runFleet(*days, *seed, *sensors, *offices, *parallel, *officeConfig, *churn,
+			sinkOptions{spec: *sinkSpec, codec: wire.Version(*codec), fsync: *fsync},
+			*queue, *onFull, *maxLatency, *verbose)
 	default:
 		err = run(*days, *seed, *sensors, *parallel, *verbose)
 	}
@@ -365,47 +377,82 @@ func scoreDay(trace *sim.Trace, deauths []core.Action, verbose bool, office int)
 	return caught, departures
 }
 
+// sinkOptions bundle the sink-shaping flags.
+type sinkOptions struct {
+	spec  string
+	codec wire.Version
+	fsync string
+}
+
+// sinkSet is the parsed -sink fan-out, with the individual sinks that
+// have end-of-run reporting kept addressable.
+type sinkSet struct {
+	sink stream.Sink
+	ring *stream.RingSink
+	seg  *stream.SegmentSink
+	tcps []*stream.TCPSink
+}
+
 // buildSink parses the -sink flag: a comma-separated list of log:PATH,
-// tcp:ADDR and ring[:N] specs, fanned out through a MultiSink when more
-// than one is named. The ring (if any) is returned separately so the
-// caller can print its summary after the run.
-func buildSink(spec string) (stream.Sink, *stream.RingSink, error) {
+// tcp:ADDR, seg:DIR and ring[:N] specs, fanned out through a MultiSink
+// when more than one is named. The codec applies to the framed sinks
+// (tcp, seg); the fsync policy to the segment log.
+func buildSink(opt sinkOptions) (*sinkSet, error) {
+	set := &sinkSet{}
 	var sinks []stream.Sink
-	var ring *stream.RingSink
-	for _, part := range strings.Split(spec, ",") {
+	for _, part := range strings.Split(opt.spec, ",") {
 		part = strings.TrimSpace(part)
 		switch {
 		case strings.HasPrefix(part, "log:"):
 			s, err := stream.NewLogSink(strings.TrimPrefix(part, "log:"))
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			sinks = append(sinks, s)
 		case strings.HasPrefix(part, "tcp:"):
 			s, err := stream.NewTCPSink(strings.TrimPrefix(part, "tcp:"))
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
+			s.Version = opt.codec
+			set.tcps = append(set.tcps, s)
+			sinks = append(sinks, s)
+		case strings.HasPrefix(part, "seg:"):
+			policy, err := segment.ParseFsyncPolicy(opt.fsync)
+			if err != nil {
+				return nil, err
+			}
+			s, err := stream.NewSegmentSink(segment.Config{
+				Dir:     strings.TrimPrefix(part, "seg:"),
+				Fsync:   policy,
+				Version: opt.codec,
+			})
+			if err != nil {
+				return nil, err
+			}
+			set.seg = s
 			sinks = append(sinks, s)
 		case part == "ring" || strings.HasPrefix(part, "ring:"):
 			capacity := 0
 			if rest := strings.TrimPrefix(part, "ring"); rest != "" {
 				n, err := strconv.Atoi(strings.TrimPrefix(rest, ":"))
 				if err != nil || n < 1 {
-					return nil, nil, fmt.Errorf("bad ring capacity in %q", part)
+					return nil, fmt.Errorf("bad ring capacity in %q", part)
 				}
 				capacity = n
 			}
-			ring = stream.NewRingSink(capacity)
-			sinks = append(sinks, ring)
+			set.ring = stream.NewRingSink(capacity)
+			sinks = append(sinks, set.ring)
 		default:
-			return nil, nil, fmt.Errorf("unknown sink %q (want log:PATH, tcp:ADDR or ring[:N])", part)
+			return nil, fmt.Errorf("unknown sink %q (want log:PATH, tcp:ADDR, seg:DIR or ring[:N])", part)
 		}
 	}
 	if len(sinks) == 1 {
-		return sinks[0], ring, nil
+		set.sink = sinks[0]
+	} else {
+		set.sink = stream.NewMultiSink(sinks...)
 	}
-	return stream.NewMultiSink(sinks...), ring, nil
+	return set, nil
 }
 
 // runFleet scales the pipeline to a multi-tenant engine.Fleet: per-office
@@ -415,7 +462,7 @@ func buildSink(spec string) (stream.Sink, *stream.RingSink, error) {
 // sink spec the fleet is driven through a stream.Ingestor and the merged
 // action stream is also delivered to the named backends; with -churn the
 // membership changes mid-run.
-func runFleet(days int, seed uint64, sensors, offices, parallel int, officeConfig string, churn int, sinkSpec string, queue int, onFull string, maxLatency time.Duration, verbose bool) error {
+func runFleet(days int, seed uint64, sensors, offices, parallel int, officeConfig string, churn int, sinkOpt sinkOptions, queue int, onFull string, maxLatency time.Duration, verbose bool) error {
 	if days < 2 {
 		return fmt.Errorf("need at least 2 days (training + online), got %d", days)
 	}
@@ -477,23 +524,22 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, officeConfi
 	// reaction scheduling and scoring see exactly the stream the sinks do.
 	deliver := fleet.Run
 	var ing *stream.Ingestor
-	var ring *stream.RingSink
-	if sinkSpec != "" {
+	var sinks *sinkSet
+	if sinkOpt.spec != "" {
 		policy, err := stream.ParsePolicy(onFull)
 		if err != nil {
 			return err
 		}
-		snk, r, err := buildSink(sinkSpec)
+		sinks, err = buildSink(sinkOpt)
 		if err != nil {
 			return err
 		}
-		ring = r
 		var collected []engine.OfficeAction
 		ing, err = stream.NewIngestor(fleet, stream.Config{
 			Queue:           queue,
 			OnFull:          policy,
 			MaxBatchLatency: maxLatency,
-			Sink:            snk,
+			Sink:            sinks.sink,
 			OnBatch: func(acts []engine.OfficeAction) {
 				collected = append(collected, acts...)
 			},
@@ -516,7 +562,8 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, officeConfi
 		if effQueue == 0 {
 			effQueue = stream.DefaultQueue
 		}
-		fmt.Printf("streaming actions to %s (queue %d, on-full %s)\n", sinkSpec, effQueue, policy)
+		fmt.Printf("streaming actions to %s (codec %s, queue %d, on-full %s)\n",
+			sinkOpt.spec, sinkOpt.codec, effQueue, policy)
 	}
 	fmt.Printf("datasets ready in %.1fs; training fleet on %d day(s)...\n",
 		time.Since(start).Seconds(), days-1)
@@ -599,9 +646,19 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, officeConfi
 		st := ing.Stats()
 		fmt.Printf("sink stream: %d actions in %d batches, %d dropped ticks\n",
 			st.Actions, st.Batches, st.Dropped)
-		if ring != nil {
+		if sinks.ring != nil {
 			fmt.Printf("ring sink retains the %d newest actions (%d overwritten)\n",
-				ring.Len(), ring.Overwritten())
+				sinks.ring.Len(), sinks.ring.Overwritten())
+		}
+		if sinks.seg != nil {
+			sst := sinks.seg.Stats()
+			fmt.Printf("segment log: %d frames (%d bytes) across %d sealed segments, %d fsyncs\n",
+				sst.Frames, sst.Bytes, sst.Sealed, sst.Syncs)
+		}
+		for _, tcp := range sinks.tcps {
+			tst := tcp.Stats()
+			fmt.Printf("tcp sink: %d frames in %d attempts, %d redials (%d dial / %d write failures)\n",
+				tst.Frames, tst.Attempts, tst.Redials, tst.DialFailures, tst.WriteFailures)
 		}
 	}
 	return nil

@@ -1,0 +1,279 @@
+// Command fadewich-tail is the consumer end of the action path: it
+// decodes the wire-framed deauthentication stream a fleet produces —
+// live over TCP, or durably from a segment directory — and renders it
+// for humans (table) or machines (JSONL, the codec-v1 payload bytes).
+//
+// Two sources, one decoder:
+//
+//   - fadewich-tail -listen :9000
+//     accepts connections from fadewich-sim -sink tcp:HOST:9000 (the
+//     TCPSink dials out) and decodes frames as they arrive, both codec
+//     versions, across reconnects. Listen mode always follows.
+//
+//   - fadewich-tail DIR
+//     replays the segment directory a fadewich-sim -sink seg:DIR run
+//     left behind, across segment files, stopping cleanly before a
+//     torn final frame (the tail a crash leaves). -follow keeps
+//     polling for frames a live writer appends; -repair truncates a
+//     torn final frame in place first (never combine with a live
+//     writer).
+//
+// Filters and rendering apply to both sources: -office N keeps one
+// office's actions (repeatable as a comma list), -from-tick/-to-tick
+// bound the office-clock time in seconds, -format picks jsonl
+// (byte-exact codec-v1 lines, suitable for diffing against a LogSink
+// file) or table.
+//
+// Usage:
+//
+//	fadewich-tail [-follow] [-repair] [-office LIST] [-from-tick T]
+//	              [-to-tick T] [-format jsonl|table] DIR
+//	fadewich-tail -listen ADDR [-office LIST] [-from-tick T]
+//	              [-to-tick T] [-format jsonl|table]
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fadewich/internal/engine"
+	"fadewich/internal/segment"
+	"fadewich/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "", "accept TCPSink connections on this address and decode the live stream")
+	follow := flag.Bool("follow", false, "segment dir: keep polling for new frames instead of stopping at the end")
+	repair := flag.Bool("repair", false, "segment dir: truncate a torn final frame in place before replaying")
+	officeList := flag.String("office", "", "only these office IDs (comma-separated; empty = all)")
+	fromTick := flag.Float64("from-tick", 0, "only actions at office-clock time >= this many seconds (0 = from the start)")
+	toTick := flag.Float64("to-tick", 0, "only actions at office-clock time <= this many seconds (0 = unbounded)")
+	format := flag.String("format", "table", "output format: jsonl (byte-exact codec-v1 lines) or table")
+	flag.Parse()
+
+	if err := run(*listen, flag.Args(), *follow, *repair, *officeList, *fromTick, *toTick, *format); err != nil {
+		fmt.Fprintf(os.Stderr, "fadewich-tail: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, args []string, follow, repair bool, officeList string, fromTick, toTick float64, format string) error {
+	render, err := newRenderer(format)
+	if err != nil {
+		return err
+	}
+	offices, err := parseOffices(officeList)
+	if err != nil {
+		return err
+	}
+	switch {
+	case listen != "" && len(args) > 0:
+		return errors.New("-listen and a segment directory are mutually exclusive")
+	case listen != "":
+		if repair {
+			return errors.New("-repair only applies to a segment directory")
+		}
+		return tailTCP(listen, filter{offices: offices, from: fromTick, to: toTick}, render)
+	case len(args) == 1:
+		if repair && follow {
+			return errors.New("-repair with -follow would truncate a frame a live writer may still be appending")
+		}
+		return tailDir(args[0], follow, segment.Options{
+			FromTime: fromTick,
+			ToTime:   toTick,
+			Offices:  offices,
+			Repair:   repair,
+		}, render)
+	default:
+		return errors.New("need exactly one segment directory, or -listen ADDR")
+	}
+}
+
+// parseOffices parses the -office comma list.
+func parseOffices(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad office ID %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// filter is the action filter applied in listen mode (the segment
+// reader filters dir-mode replays itself).
+type filter struct {
+	offices []int
+	from    float64
+	to      float64
+}
+
+func (f filter) keep(a engine.OfficeAction) bool {
+	if len(f.offices) > 0 {
+		ok := false
+		for _, o := range f.offices {
+			if a.Office == o {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.from > 0 && a.Action.Time < f.from {
+		return false
+	}
+	if f.to > 0 && a.Action.Time > f.to {
+		return false
+	}
+	return true
+}
+
+func (f filter) apply(acts []engine.OfficeAction) []engine.OfficeAction {
+	kept := acts[:0]
+	for _, a := range acts {
+		if f.keep(a) {
+			kept = append(kept, a)
+		}
+	}
+	return kept
+}
+
+// renderer writes decoded batches to stdout.
+type renderer struct {
+	out     *bufio.Writer
+	jsonl   bool
+	buf     []byte
+	header  bool
+	actions uint64
+	frames  uint64
+}
+
+func newRenderer(format string) (*renderer, error) {
+	switch format {
+	case "jsonl", "table":
+		return &renderer{out: bufio.NewWriter(os.Stdout), jsonl: format == "jsonl"}, nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want jsonl or table)", format)
+	}
+}
+
+func (r *renderer) emit(acts []engine.OfficeAction) error {
+	if len(acts) == 0 {
+		return nil
+	}
+	r.frames++
+	r.actions += uint64(len(acts))
+	if r.jsonl {
+		r.buf = wire.AppendJSONL(r.buf[:0], acts)
+		if _, err := r.out.Write(r.buf); err != nil {
+			return err
+		}
+		return r.out.Flush()
+	}
+	if !r.header {
+		r.header = true
+		fmt.Fprintf(r.out, "%10s  %6s  %-15s  %4s  %-12s  %s\n",
+			"TIME", "OFFICE", "TYPE", "WS", "CAUSE", "LABEL")
+	}
+	for _, a := range acts {
+		cause := ""
+		if a.Action.Cause != 0 {
+			cause = a.Action.Cause.String()
+		}
+		fmt.Fprintf(r.out, "%10.1f  %6d  %-15s  %4d  %-12s  %d\n",
+			a.Action.Time, a.Office, a.Action.Type, a.Action.Workstation, cause, a.Action.Label)
+	}
+	return r.out.Flush()
+}
+
+// tailDir replays (and with follow, keeps tailing) a segment directory.
+func tailDir(dir string, follow bool, opt segment.Options, render *renderer) error {
+	r, err := segment.OpenDir(dir, opt)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		acts, err := r.Next()
+		if err == io.EOF {
+			if follow {
+				time.Sleep(150 * time.Millisecond)
+				continue
+			}
+			if info, torn := r.Torn(); torn {
+				verb := "stopped before"
+				if info.Repaired {
+					verb = "truncated"
+				}
+				fmt.Fprintf(os.Stderr, "fadewich-tail: %s a torn final frame: %s (+%d bytes past offset %d)\n",
+					verb, info.Path, info.TornBytes, info.Offset)
+			}
+			fmt.Fprintf(os.Stderr, "fadewich-tail: replayed %d actions in %d frames\n", render.actions, render.frames)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := render.emit(acts); err != nil {
+			return err
+		}
+	}
+}
+
+// tailTCP accepts TCPSink connections and decodes their frames until
+// interrupted. The sink redials on reconnect, so the accept loop keeps
+// serving fresh connections; concurrent sinks are drained concurrently
+// but rendered one frame at a time.
+func tailTCP(addr string, f filter, render *renderer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintf(os.Stderr, "fadewich-tail: listening on %s\n", ln.Addr())
+	frames := make(chan []engine.OfficeAction, 64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				close(frames)
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				d := wire.NewDecoder(c)
+				for {
+					acts, err := d.Decode()
+					if err != nil {
+						if err != io.EOF && !errors.Is(err, wire.ErrTorn) {
+							fmt.Fprintf(os.Stderr, "fadewich-tail: %s: %v\n", c.RemoteAddr(), err)
+						}
+						return
+					}
+					frames <- acts
+				}
+			}(conn)
+		}
+	}()
+	for acts := range frames {
+		if err := render.emit(f.apply(acts)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

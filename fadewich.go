@@ -27,8 +27,14 @@
 //     the Fleet: an Ingestor with bounded per-office tick queues
 //     (block / drop-oldest / error backpressure, created and retired on
 //     membership change) and pluggable action Sinks (JSONL log file,
-//     length-prefixed TCP frames, in-memory ring, multi-sink fan-out)
-//     fed by a dedicated pump goroutine.
+//     wire-framed TCP stream, durable segment log, in-memory ring,
+//     multi-sink fan-out) fed by a dedicated pump goroutine.
+//   - Wire + segment log (internal/wire, internal/segment) — the
+//     versioned frame codec every sink and consumer shares (magic +
+//     version + flags header, length, CRC32C trailer; JSONL payloads as
+//     codec v1, compact binary as v2) and the crash-safe rotating
+//     segment store with manifest, torn-frame recovery and filtered
+//     replay cursors. cmd/fadewich-tail is the reference consumer.
 //
 // Quick start:
 //
@@ -50,9 +56,11 @@ import (
 	"fadewich/internal/office"
 	"fadewich/internal/re"
 	"fadewich/internal/rf"
+	"fadewich/internal/segment"
 	"fadewich/internal/sim"
 	"fadewich/internal/stream"
 	"fadewich/internal/svm"
+	"fadewich/internal/wire"
 )
 
 // System is the streaming FADEWICH instance (training phase →
@@ -158,8 +166,8 @@ type Sink = stream.Sink
 // LogSink appends the action stream to a JSONL file.
 type LogSink = stream.LogSink
 
-// TCPSink streams the action stream to a TCP peer as length-prefixed
-// frames, redialing on connection errors.
+// TCPSink streams the action stream to a TCP peer as wire frames,
+// redialing with capped exponential backoff on connection errors.
 type TCPSink = stream.TCPSink
 
 // RingSink keeps the most recent actions in a fixed in-memory ring.
@@ -168,7 +176,7 @@ type RingSink = stream.RingSink
 // NewLogSink creates (or truncates) the JSONL file at path.
 func NewLogSink(path string) (*LogSink, error) { return stream.NewLogSink(path) }
 
-// NewTCPSink dials addr and streams length-prefixed action frames to it.
+// NewTCPSink dials addr and streams wire-framed action batches to it.
 func NewTCPSink(addr string) (*TCPSink, error) { return stream.NewTCPSink(addr) }
 
 // NewRingSink returns a ring holding up to capacity actions (0 selects
@@ -177,6 +185,57 @@ func NewRingSink(capacity int) *RingSink { return stream.NewRingSink(capacity) }
 
 // NewMultiSink fans every batch out to all the given sinks.
 func NewMultiSink(sinks ...Sink) Sink { return stream.NewMultiSink(sinks...) }
+
+// WireVersion selects the payload codec of framed sinks and segment
+// logs: WireV1JSONL keeps the historical JSONL payload, WireV2Binary is
+// the compact binary codec. Frames are self-describing, so consumers
+// (fadewich-tail, SegmentReader) decode either.
+type WireVersion = wire.Version
+
+// Wire codec versions.
+const (
+	WireV1JSONL  = wire.V1JSONL
+	WireV2Binary = wire.V2Binary
+)
+
+// SegmentSink persists the action stream to a durable segment log:
+// rotating segment files of wire frames plus an atomically-updated
+// manifest, replayable after a crash up to the last complete frame.
+type SegmentSink = stream.SegmentSink
+
+// SegmentConfig parameterises a segment log: directory, rotation
+// thresholds (size and age), fsync policy and wire codec.
+type SegmentConfig = segment.Config
+
+// SegmentFsyncPolicy selects how hard the segment log pushes frames to
+// stable storage.
+type SegmentFsyncPolicy = segment.FsyncPolicy
+
+// Segment fsync policies.
+const (
+	SegmentFsyncNever  = segment.FsyncNever
+	SegmentFsyncRotate = segment.FsyncRotate
+	SegmentFsyncAlways = segment.FsyncAlways
+)
+
+// SegmentReader replays a segment directory frame by frame, recovering
+// the intact prefix after a crash (detecting — and with
+// SegmentReadOptions.Repair truncating — a torn final frame) and
+// following a live writer across polls.
+type SegmentReader = segment.Reader
+
+// SegmentReadOptions filter a segment replay (office set, office-clock
+// time range) and opt into torn-tail repair.
+type SegmentReadOptions = segment.Options
+
+// NewSegmentSink opens (creating if needed) a segment directory and
+// returns a sink appending the action stream to it as wire frames.
+func NewSegmentSink(cfg SegmentConfig) (*SegmentSink, error) { return stream.NewSegmentSink(cfg) }
+
+// OpenSegmentDir opens a segment directory for replay or tailing.
+func OpenSegmentDir(dir string, opt SegmentReadOptions) (*SegmentReader, error) {
+	return segment.OpenDir(dir, opt)
+}
 
 // Layout is an office floor plan: workstations, wall sensors, the door.
 type Layout = office.Layout

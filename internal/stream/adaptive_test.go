@@ -1,0 +1,143 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"fadewich/internal/engine"
+)
+
+func TestNextAutoBatch(t *testing.T) {
+	cases := []struct {
+		cur, floor, ceil, depth, want int
+	}{
+		{cur: 4, floor: 4, ceil: 256, depth: 8, want: 8},       // backlog: double
+		{cur: 4, floor: 4, ceil: 256, depth: 100, want: 8},     // doubling, not jumping
+		{cur: 8, floor: 4, ceil: 256, depth: 4, want: 4},       // sparse: halve
+		{cur: 8, floor: 4, ceil: 256, depth: 8, want: 8},       // in band: hold
+		{cur: 8, floor: 4, ceil: 256, depth: 15, want: 8},      // just under 2x: hold
+		{cur: 4, floor: 4, ceil: 256, depth: 0, want: 4},       // floor clamp
+		{cur: 200, floor: 4, ceil: 256, depth: 512, want: 256}, // ceiling clamp
+		{cur: 4, floor: 4, ceil: 4, depth: 100, want: 4},       // degenerate band
+	}
+	for _, c := range cases {
+		if got := nextAutoBatch(c.cur, c.floor, c.ceil, c.depth); got != c.want {
+			t.Fatalf("nextAutoBatch(%d, %d, %d, depth %d) = %d, want %d",
+				c.cur, c.floor, c.ceil, c.depth, got, c.want)
+		}
+	}
+}
+
+func TestAdaptiveBatchRequiresFloor(t *testing.T) {
+	if _, err := NewIngestor(testFleet(t, 1, 1), Config{AdaptiveBatch: true}); err == nil {
+		t.Fatal("AdaptiveBatch without BatchTicks accepted")
+	}
+}
+
+// TestAdaptiveBatchGrowsUnderBacklog slows every dispatch down with a
+// synchronous tap while a producer floods one office: the observed
+// queue depth outruns the threshold and the threshold must scale up.
+func TestAdaptiveBatchGrowsUnderBacklog(t *testing.T) {
+	in, err := NewIngestor(testFleet(t, 1, 1), Config{
+		Queue:         256,
+		BatchTicks:    2,
+		AdaptiveBatch: true,
+		OnBatch:       func([]engine.OfficeAction) { time.Sleep(2 * time.Millisecond) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if got := in.Stats().AutoBatchTicks; got != 2 {
+		t.Fatalf("threshold starts at %d, want BatchTicks (2)", got)
+	}
+	row := []float64{-60, -58}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 64; i++ {
+			if err := in.Push(0, row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if in.Stats().AutoBatchTicks > 2 {
+			return
+		}
+	}
+	t.Fatalf("threshold never grew past the floor under backlog (now %d)", in.Stats().AutoBatchTicks)
+}
+
+// TestAdaptiveBatchShrinksWhenSparse pre-inflates the threshold, then
+// trickles single ticks through flush-driven dispatches: every snapshot
+// observes depth 1, so the threshold must decay back to the floor.
+func TestAdaptiveBatchShrinksWhenSparse(t *testing.T) {
+	in, err := NewIngestor(testFleet(t, 1, 1), Config{Queue: 256, BatchTicks: 2, AdaptiveBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	in.mu.Lock()
+	in.effBatch = 64
+	in.mu.Unlock()
+	row := []float64{-60, -58}
+	for i := 0; i < 8; i++ {
+		if err := in.Push(0, row); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := in.Stats().AutoBatchTicks; got != 2 {
+		t.Fatalf("threshold decayed to %d, want the floor (2)", got)
+	}
+}
+
+// TestAdaptiveBatchContentMatchesSynchronous: adaptive thresholds move
+// dispatch boundaries, never content — a single-office stream must come
+// out identical to the synchronous fleet run however the batches fell.
+func TestAdaptiveBatchContentMatchesSynchronous(t *testing.T) {
+	const ticks = 400
+	batch, inputs := scenario(1, ticks)
+
+	syncFleet := testFleet(t, 1, 1)
+	want, err := syncFleet.RunBatch(batch, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("scenario produced no actions; the comparison is vacuous")
+	}
+
+	ring := NewRingSink(4096)
+	in, err := NewIngestor(testFleet(t, 1, 1), Config{
+		Queue:         64,
+		BatchTicks:    4,
+		AdaptiveBatch: true,
+		Sink:          ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range inputs {
+		_ = ev // events precede their tick; deliver at the right position
+	}
+	next := 0
+	for tIdx := 0; tIdx < ticks; tIdx++ {
+		for next < len(inputs) && inputs[next].Tick <= tIdx {
+			if err := in.PushInput(inputs[next].Office, inputs[next].Workstation); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		if err := in.Push(0, batch[0][tIdx]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.Actions(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("adaptive stream differs from synchronous: %d vs %d actions", len(got), len(want))
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fadewich/internal/core"
 	"fadewich/internal/engine"
 	"fadewich/internal/rng"
+	"fadewich/internal/wire"
 )
 
 // testFleet builds a small fleet whose timeout backstop guarantees
@@ -122,7 +123,7 @@ func TestIngestorMatchesSynchronousFleet(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("sink stream differs from synchronous stream: %d vs %d actions", len(got), len(want))
 	}
-	if !bytes.Equal(AppendJSONL(nil, got), AppendJSONL(nil, want)) {
+	if !bytes.Equal(wire.AppendJSONL(nil, got), wire.AppendJSONL(nil, want)) {
 		t.Fatal("sink stream wire encoding is not byte-identical to the synchronous stream")
 	}
 	st := in.Stats()

@@ -1,22 +1,24 @@
 // Sinks: the pluggable backends the merged fleet action stream is pumped
 // into. All sinks consume whole dispatched batches and share one wire
-// encoding (AppendJSONL); they are safe for use from the pump goroutine
-// plus a closing goroutine.
+// layer (package wire: versioned frames, JSONL or binary payloads);
+// they are safe for use from the pump goroutine plus a closing
+// goroutine.
 
 package stream
 
 import (
 	"bufio"
-	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"os"
 	"sync"
 	"time"
 
 	"fadewich/internal/engine"
+	"fadewich/internal/rng"
+	"fadewich/internal/wire"
 )
 
 // ErrSinkClosed is returned by Write on a closed sink.
@@ -33,47 +35,18 @@ type Sink interface {
 	Close() error
 }
 
-// wireAction is the JSON shape of one action on the wire: one line per
-// action for LogSink files and TCPSink frame payloads.
-type wireAction struct {
-	Office      int     `json:"office"`
-	Time        float64 `json:"time"`
-	Type        string  `json:"type"`
-	Workstation int     `json:"workstation"`
-	Cause       string  `json:"cause,omitempty"`
-	Label       int     `json:"label"`
-}
-
-// AppendJSONL appends the wire encoding of a batch to dst and returns
-// the extended slice: one JSON object per action, one action per line,
-// in batch order. This is the payload format of both the LogSink file
-// and the TCPSink frame.
+// AppendJSONL appends the codec-v1 JSONL wire encoding of a batch to
+// dst and returns the extended slice.
+//
+// Deprecated: the wire encoding moved to the versioned frame layer; use
+// wire.AppendJSONL. This wrapper remains for callers of the pre-frame
+// API and encodes identical bytes.
 func AppendJSONL(dst []byte, batch []engine.OfficeAction) []byte {
-	for _, a := range batch {
-		rec := wireAction{
-			Office:      a.Office,
-			Time:        a.Action.Time,
-			Type:        a.Action.Type.String(),
-			Workstation: a.Action.Workstation,
-			Label:       a.Action.Label,
-		}
-		if a.Action.Cause != 0 {
-			rec.Cause = a.Action.Cause.String()
-		}
-		b, err := json.Marshal(rec)
-		if err != nil {
-			// wireAction contains only plain scalar fields; Marshal
-			// cannot fail on it.
-			panic(err)
-		}
-		dst = append(dst, b...)
-		dst = append(dst, '\n')
-	}
-	return dst
+	return wire.AppendJSONL(dst, batch)
 }
 
 // LogSink appends the action stream to a JSONL file (one JSON object per
-// action), buffered, flushed on Close.
+// action — the unframed codec-v1 payload), buffered, flushed on Close.
 type LogSink struct {
 	mu  sync.Mutex
 	f   *os.File
@@ -99,7 +72,7 @@ func (s *LogSink) Write(batch []engine.OfficeAction) error {
 	if s.f == nil {
 		return ErrSinkClosed
 	}
-	s.buf = AppendJSONL(s.buf[:0], batch)
+	s.buf = wire.AppendJSONL(s.buf[:0], batch)
 	if _, err := s.w.Write(s.buf); err != nil {
 		return fmt.Errorf("stream: log sink: %w", err)
 	}
@@ -125,15 +98,36 @@ func (s *LogSink) Close() error {
 	return nil
 }
 
-// TCPSink streams the action stream to a TCP peer as length-prefixed
-// frames: a 4-byte big-endian payload length followed by the batch's
-// JSONL payload (AppendJSONL), one frame per dispatched batch. Frames
-// are atomic units — on a connection error the sink redials and resends
-// the whole current frame, so a consumer never observes a torn frame,
-// though it may observe a resent one after a mid-frame disconnect.
+// TCPSinkStats snapshot the delivery counters of a TCPSink.
+type TCPSinkStats struct {
+	// Frames counts frames delivered to the peer.
+	Frames uint64
+	// Attempts counts frame write attempts, including retries — with a
+	// healthy peer it equals Frames.
+	Attempts uint64
+	// Redials counts connections re-established after a loss.
+	Redials uint64
+	// DialFailures and WriteFailures count the individual failed
+	// attempts behind those redials.
+	DialFailures  uint64
+	WriteFailures uint64
+}
+
+// TCPSink streams the action stream to a TCP peer as wire frames
+// (magic + version + flags, length, payload, CRC32C — see package
+// wire), one frame per dispatched batch. Frames are atomic units — on a
+// connection error the sink redials and resends the whole current
+// frame, so a consumer never observes a torn frame, though it may
+// observe a resent one after a mid-frame disconnect.
 //
-// The timing fields may be tuned before the first Write; afterwards the
-// sink owns them.
+// Redials back off exponentially: the pause doubles with every
+// consecutive failed attempt, from Backoff up to BackoffMax, each pause
+// jittered into [d/2, d) by a deterministic generator seeded from the
+// peer address — a fleet of sinks desynchronises its redial storms
+// while every individual sink remains exactly reproducible.
+//
+// The exported fields may be tuned before the first Write; afterwards
+// the sink owns them.
 type TCPSink struct {
 	// DialTimeout bounds each (re)connection attempt. Default 5 s.
 	DialTimeout time.Duration
@@ -143,8 +137,14 @@ type TCPSink struct {
 	// Retries is how many times Write redials after a connection error
 	// before giving up. Default 3.
 	Retries int
-	// Backoff is the pause between redial attempts. Default 50 ms.
+	// Backoff is the base pause before the first redial attempt.
+	// Default 50 ms.
 	Backoff time.Duration
+	// BackoffMax caps the exponential growth of the pause. Default 2 s.
+	BackoffMax time.Duration
+	// Version selects the wire codec of the frames. Default
+	// wire.V1JSONL.
+	Version wire.Version
 
 	addr string
 
@@ -152,18 +152,28 @@ type TCPSink struct {
 	conn   net.Conn
 	frame  []byte
 	closed bool
+	// streak counts consecutive failed attempts across Writes; it sets
+	// the backoff exponent and resets on a delivered frame.
+	streak int
+	jitter *rng.Source
+	stats  TCPSinkStats
 }
 
-// NewTCPSink dials addr and returns a sink streaming length-prefixed
-// frames to it. The initial dial failing is an error here; later
-// connection failures are retried by Write.
+// NewTCPSink dials addr and returns a sink streaming wire frames to it.
+// The initial dial failing is an error here; later connection failures
+// are retried by Write.
 func NewTCPSink(addr string) (*TCPSink, error) {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
 	s := &TCPSink{
 		DialTimeout:  5 * time.Second,
 		WriteTimeout: 10 * time.Second,
 		Retries:      3,
 		Backoff:      50 * time.Millisecond,
+		BackoffMax:   2 * time.Second,
+		Version:      wire.V1JSONL,
 		addr:         addr,
+		jitter:       rng.New(h.Sum64()),
 	}
 	conn, err := net.DialTimeout("tcp", addr, s.DialTimeout)
 	if err != nil {
@@ -173,41 +183,79 @@ func NewTCPSink(addr string) (*TCPSink, error) {
 	return s, nil
 }
 
-// Write sends one batch as a single length-prefixed frame, redialing up
-// to Retries times on connection errors.
+// backoffDelay returns the jittered pause before the next redial
+// attempt, exponential in the current failure streak.
+func (s *TCPSink) backoffDelay() time.Duration {
+	base, ceil := s.Backoff, s.BackoffMax
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if ceil <= 0 {
+		ceil = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < s.streak && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	half := d / 2
+	return half + time.Duration(s.jitter.Float64()*float64(half))
+}
+
+// Write sends one batch as a single wire frame, redialing with capped
+// exponential backoff up to Retries times on connection errors.
 func (s *TCPSink) Write(batch []engine.OfficeAction) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrSinkClosed
 	}
-	s.frame = append(s.frame[:0], 0, 0, 0, 0)
-	s.frame = AppendJSONL(s.frame, batch)
-	binary.BigEndian.PutUint32(s.frame[:4], uint32(len(s.frame)-4))
+	var err error
+	s.frame, err = wire.AppendFrame(s.frame[:0], s.Version, batch)
+	if err != nil {
+		return fmt.Errorf("stream: tcp sink %s: %w", s.addr, err)
+	}
 
 	var lastErr error
 	for attempt := 0; attempt <= s.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(s.Backoff)
+			time.Sleep(s.backoffDelay())
 		}
+		s.stats.Attempts++
 		if s.conn == nil {
 			conn, err := net.DialTimeout("tcp", s.addr, s.DialTimeout)
 			if err != nil {
 				lastErr = err
+				s.streak++
+				s.stats.DialFailures++
 				continue
 			}
 			s.conn = conn
+			s.stats.Redials++
 		}
 		s.conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		if _, err := s.conn.Write(s.frame); err != nil {
 			lastErr = err
+			s.streak++
+			s.stats.WriteFailures++
 			s.conn.Close()
 			s.conn = nil
 			continue
 		}
+		s.streak = 0
+		s.stats.Frames++
 		return nil
 	}
 	return fmt.Errorf("stream: tcp sink %s: %w", s.addr, lastErr)
+}
+
+// Stats snapshots the delivery counters.
+func (s *TCPSink) Stats() TCPSinkStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
 }
 
 // Close closes the connection. Idempotent.

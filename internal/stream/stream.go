@@ -4,9 +4,10 @@
 // assemble a full batch and wait for it to run. Package stream decouples
 // the two ends with an Ingestor — bounded per-office tick queues feeding
 // a dispatcher goroutine — and streams the merged action output to
-// pluggable Sink backends (JSONL log files, length-prefixed TCP frames,
-// an in-memory ring, fan-out to several at once) on a dedicated pump
-// goroutine.
+// pluggable Sink backends (JSONL log files, wire-framed TCP streams, a
+// durable segment log, an in-memory ring, fan-out to several at once)
+// on a dedicated pump goroutine. The byte formats all live in package
+// wire; the segment log's storage layer lives in package segment.
 //
 // Data flow:
 //
@@ -20,7 +21,8 @@
 //	      │                                       ordered actions
 //	      ├──► Config.OnBatch (synchronous tap)
 //	      ▼
-//	pump goroutine ──► Sink.Write (LogSink / TCPSink / RingSink / Multi)
+//	pump goroutine ──► Sink.Write (LogSink / TCPSink / SegmentSink /
+//	                               RingSink / Multi)
 //
 // Backpressure: every office has its own queue, so one slow or bursty
 // office fills only its own queue and cannot stall ingestion for the
@@ -135,6 +137,20 @@ type Config struct {
 	// has that many ticks queued, without waiting for a Flush. Leave it
 	// zero for strictly Flush-driven (deterministic) cadence.
 	BatchTicks int
+	// AdaptiveBatch, in free-running mode (BatchTicks > 0), scales the
+	// auto-dispatch threshold from the queue depth observed at each
+	// snapshot: a backlog of at least twice the threshold doubles it
+	// (larger batches amortise dispatch overhead when producers are
+	// ahead), a depth at or below half halves it (small batches favour
+	// latency when the stream is sparse), clamped to [BatchTicks,
+	// Queue]. BatchTicks is the floor and the starting point; requires
+	// BatchTicks > 0. Thresholds steer only *when* batches dispatch,
+	// never their content or per-office order. Pair it with
+	// MaxBatchLatency in free-running deployments: the threshold only
+	// decays at a dispatch, so once a burst has raised it, a stream
+	// that turns sparse (and never Flushes) needs the latency trigger
+	// as the backstop that keeps dispatching — and decaying — at all.
+	AdaptiveBatch bool
 	// MaxBatchLatency, when positive, bounds how long queued work may
 	// wait for a dispatch: a wall-clock trigger fires at most that long
 	// after the first tick (or input event) queued since the last
@@ -190,6 +206,7 @@ type Ingestor struct {
 	queue      int
 	onFull     Policy
 	batchTicks int
+	adaptive   bool
 	maxLatency time.Duration
 	sink       Sink
 	onBatch    func([]engine.OfficeAction)
@@ -209,10 +226,13 @@ type Ingestor struct {
 	// the request). Close issues a final flush request of its own.
 	flushSeq, doneSeq uint64
 	needSpace         int
-	closed            bool
-	err               error
-	nBatches          uint64
-	nActions          uint64
+	// effBatch is the live auto-dispatch threshold: fixed at batchTicks
+	// normally, scaled within [batchTicks, queue] under AdaptiveBatch.
+	effBatch int
+	closed   bool
+	err      error
+	nBatches uint64
+	nActions uint64
 	// MaxBatchLatency state: when the first tick or input event since
 	// the last dispatch is queued, pendingSince records the wall clock
 	// and the latency goroutine is kicked; once the deadline passes it
@@ -245,6 +265,9 @@ func NewIngestor(fleet *engine.Fleet, cfg Config) (*Ingestor, error) {
 	if cfg.BatchTicks > queue {
 		return nil, fmt.Errorf("stream: batch ticks %d exceed queue capacity %d", cfg.BatchTicks, queue)
 	}
+	if cfg.AdaptiveBatch && cfg.BatchTicks <= 0 {
+		return nil, errors.New("stream: AdaptiveBatch needs BatchTicks > 0 as its floor")
+	}
 	if cfg.MaxBatchLatency < 0 {
 		return nil, fmt.Errorf("stream: negative max batch latency %v", cfg.MaxBatchLatency)
 	}
@@ -253,6 +276,8 @@ func NewIngestor(fleet *engine.Fleet, cfg Config) (*Ingestor, error) {
 		queue:          queue,
 		onFull:         cfg.OnFull,
 		batchTicks:     cfg.BatchTicks,
+		adaptive:       cfg.AdaptiveBatch,
+		effBatch:       cfg.BatchTicks,
 		maxLatency:     cfg.MaxBatchLatency,
 		sink:           cfg.Sink,
 		onBatch:        cfg.OnBatch,
@@ -408,7 +433,7 @@ func (in *Ingestor) Push(office int, rssi []float64) error {
 	}
 	q.ticks = append(q.ticks, tick)
 	q.pushed++
-	if in.batchTicks > 0 && len(q.ticks) >= in.batchTicks {
+	if in.batchTicks > 0 && len(q.ticks) >= in.effBatch {
 		in.work.Signal()
 	}
 	in.markPendingLocked()
@@ -677,6 +702,10 @@ type Stats struct {
 	// Batches counts dispatch cycles that delivered at least one tick or
 	// input event; Actions counts the merged actions they produced.
 	Batches, Actions uint64
+	// AutoBatchTicks is the live auto-dispatch threshold: Config.
+	// BatchTicks normally, its current adaptive scaling under
+	// AdaptiveBatch, 0 when auto-dispatch is off.
+	AutoBatchTicks int
 	// Dropped is the fleet-wide total of dropped/rejected ticks,
 	// including those of retired offices.
 	Dropped uint64
@@ -688,11 +717,12 @@ func (in *Ingestor) Stats() Stats {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	st := Stats{
-		Offices: make([]OfficeStats, 0, len(in.ids)),
-		Retired: in.retired,
-		Batches: in.nBatches,
-		Actions: in.nActions,
-		Dropped: in.retired.Dropped,
+		Offices:        make([]OfficeStats, 0, len(in.ids)),
+		Retired:        in.retired,
+		Batches:        in.nBatches,
+		Actions:        in.nActions,
+		AutoBatchTicks: in.effBatch,
+		Dropped:        in.retired.Dropped,
 	}
 	st.Retired.Office = -1
 	for _, id := range in.ids {
@@ -726,6 +756,12 @@ func (in *Ingestor) dispatch() {
 			return
 		}
 		ticket := in.flushSeq
+		maxDepth := 0
+		for _, q := range in.q {
+			if len(q.ticks) > maxDepth {
+				maxDepth = len(q.ticks)
+			}
+		}
 		batch, evs, n := in.takeLocked()
 		in.latencyDue = false
 		in.mu.Unlock()
@@ -752,6 +788,9 @@ func (in *Ingestor) dispatch() {
 			in.nBatches++
 			in.nActions += uint64(len(acts))
 		}
+		if in.adaptive && n > 0 {
+			in.effBatch = nextAutoBatch(in.effBatch, in.batchTicks, in.queue, maxDepth)
+		}
 		if ticket > in.doneSeq {
 			in.doneSeq = ticket
 		}
@@ -760,17 +799,39 @@ func (in *Ingestor) dispatch() {
 	}
 }
 
-// thresholdLocked reports whether BatchTicks auto-dispatch is due.
+// thresholdLocked reports whether auto-dispatch is due: some office has
+// reached the live threshold (BatchTicks, or its adaptive scaling).
 func (in *Ingestor) thresholdLocked() bool {
 	if in.batchTicks <= 0 {
 		return false
 	}
 	for _, q := range in.q {
-		if len(q.ticks) >= in.batchTicks {
+		if len(q.ticks) >= in.effBatch {
 			return true
 		}
 	}
 	return false
+}
+
+// nextAutoBatch scales the auto-dispatch threshold from the queue depth
+// observed when a batch was snapshotted: a backlog of at least twice
+// the threshold means dispatches are falling behind arrivals (double
+// it), a depth at or below half means the stream is sparse (halve it,
+// favouring latency), anything between holds. Clamped to [floor, ceil].
+func nextAutoBatch(cur, floor, ceil, depth int) int {
+	switch {
+	case depth >= 2*cur:
+		cur *= 2
+	case depth <= cur/2:
+		cur /= 2
+	}
+	if cur < floor {
+		cur = floor
+	}
+	if cur > ceil {
+		cur = ceil
+	}
+	return cur
 }
 
 // queuedLocked reports whether any ticks or input events are pending.

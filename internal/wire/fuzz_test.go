@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// equalActs compares action slices with NaN-safe time comparison (the
+// v2 codec carries raw float64 bits, so a fuzzed frame can legally hold
+// a NaN time, and NaN != NaN under ==).
+func equalActs(a, b []fuzzAct) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fuzzAct is an OfficeAction flattened to comparable fields.
+type fuzzAct struct {
+	office, ws, label int
+	typ, cause        uint64
+	timeBits          uint64
+}
+
+// FuzzDecode throws arbitrary bytes at the Decoder: every outcome must
+// be a clean decode, io.EOF, or one of the classified errors — never a
+// panic — and every successful decode must survive a re-encode under
+// the same codec version with identical actions.
+func FuzzDecode(f *testing.F) {
+	// Seed with golden frames: both codec versions of the fixture batch,
+	// an empty batch, a torn prefix, and a corrupted byte.
+	for _, v := range []Version{V1JSONL, V2Binary} {
+		frame, err := AppendFrame(nil, v, testBatch())
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)-5])
+		bad := append([]byte(nil), frame...)
+		bad[HeaderSize+1] ^= 0x10
+		f.Add(bad)
+		empty, err := AppendFrame(nil, v, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(empty)
+		f.Add(append(append([]byte(nil), frame...), empty...))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(bytes.NewReader(data))
+		for {
+			acts, err := d.Decode()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrTorn) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+					t.Fatalf("unclassified decode error: %v", err)
+				}
+				return
+			}
+			frame, err := AppendFrame(nil, d.Version(), acts)
+			if err != nil {
+				t.Fatalf("re-encode of a decoded batch failed: %v", err)
+			}
+			again, err := NewDecoder(bytes.NewReader(frame)).Decode()
+			if err != nil {
+				t.Fatalf("re-decode of a re-encoded batch failed: %v", err)
+			}
+			a, b := make([]fuzzAct, len(acts)), make([]fuzzAct, len(again))
+			for i, x := range acts {
+				a[i] = fuzzAct{x.Office, x.Action.Workstation, x.Action.Label, uint64(x.Action.Type), uint64(x.Action.Cause), math.Float64bits(x.Action.Time)}
+			}
+			for i, x := range again {
+				b[i] = fuzzAct{x.Office, x.Action.Workstation, x.Action.Label, uint64(x.Action.Type), uint64(x.Action.Cause), math.Float64bits(x.Action.Time)}
+			}
+			if !equalActs(a, b) {
+				t.Fatalf("round trip changed the batch: %+v vs %+v", acts, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,456 @@
+// Package wire is the versioned wire layer of the action path: one
+// place that knows how a batch of engine.OfficeAction turns into bytes
+// and back. Every producer (the stream sinks, the segment log) and
+// every consumer (fadewich-tail, the segment reader, tests) speaks this
+// format; nothing else in the repository hand-rolls framing.
+//
+// A frame is one dispatched batch:
+//
+//	offset  size  field
+//	0       2     magic "FW" (0x46 0x57)
+//	2       1     codec version (1 = JSONL payload, 2 = compact binary)
+//	3       1     flags (reserved, must be zero)
+//	4       4     payload length, big-endian
+//	8       n     payload
+//	8+n     4     CRC32C (Castagnoli) over bytes [0, 8+n), big-endian
+//
+// Codec v1 carries the payload as JSONL — one JSON object per action,
+// one action per line, byte-for-byte the encoding the sinks emitted
+// before the frame layer existed — so a consumer that understands the
+// historical payload still decodes v1 frames. Codec v2 carries a
+// compact binary payload (varint fields, raw float64 time bits) at
+// roughly a third of the JSONL size. Both decode to the same actions.
+//
+// The CRC trailer is what makes frames safe to persist: a reader can
+// tell a frame that was cut short by a crash (ErrTorn — the file just
+// ends mid-frame) from one whose bytes rotted (ErrCorrupt — bad magic,
+// flags, length or checksum), and the segment log uses exactly that
+// distinction to truncate a torn tail after a crash while refusing to
+// silently skip real corruption.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"fadewich/internal/control"
+	"fadewich/internal/core"
+	"fadewich/internal/engine"
+)
+
+// Version selects the payload codec of a frame.
+type Version uint8
+
+const (
+	// V1JSONL encodes the payload as JSONL, one action per line — the
+	// historical sink encoding, kept as codec v1 so pre-frame consumers
+	// still understand the payload bytes.
+	V1JSONL Version = 1
+	// V2Binary encodes the payload compactly: varint count, then per
+	// action varint office/type/workstation/cause/label around the raw
+	// little-endian float64 time bits.
+	V2Binary Version = 2
+)
+
+// String returns the CLI spelling of the version (v1, v2).
+func (v Version) String() string { return fmt.Sprintf("v%d", uint8(v)) }
+
+// valid reports whether v names a known codec.
+func (v Version) valid() bool { return v == V1JSONL || v == V2Binary }
+
+// Frame geometry.
+const (
+	// HeaderSize is the fixed frame prefix: magic, version, flags,
+	// payload length.
+	HeaderSize = 8
+	// TrailerSize is the CRC32C trailer.
+	TrailerSize = 4
+	// Overhead is the per-frame cost on top of the payload.
+	Overhead = HeaderSize + TrailerSize
+	// MaxPayloadBytes bounds a frame's payload (64 MiB). Decode rejects
+	// larger length fields as corrupt instead of trusting them with an
+	// allocation.
+	MaxPayloadBytes = 64 << 20
+)
+
+// Magic is the two-byte frame prefix.
+var Magic = [2]byte{'F', 'W'}
+
+// Errors. Decode wraps them, so test with errors.Is.
+var (
+	// ErrTorn marks a frame cut short by the end of the stream — the
+	// signature of a crash mid-write. Everything decoded before it is
+	// intact.
+	ErrTorn = errors.New("wire: torn frame")
+	// ErrCorrupt marks bytes that cannot be a frame: bad magic, reserved
+	// flags set, an oversized length, a checksum mismatch, or an
+	// undecodable payload.
+	ErrCorrupt = errors.New("wire: corrupt frame")
+	// ErrVersion marks a frame whose codec version this build does not
+	// know.
+	ErrVersion = errors.New("wire: unknown codec version")
+)
+
+// castagnoli is the CRC32C table shared by encode and decode.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// wireAction is the JSON shape of one action on a codec-v1 payload. The
+// field set, order and tags are frozen: they define the v1 byte stream.
+type wireAction struct {
+	Office      int     `json:"office"`
+	Time        float64 `json:"time"`
+	Type        string  `json:"type"`
+	Workstation int     `json:"workstation"`
+	Cause       string  `json:"cause,omitempty"`
+	Label       int     `json:"label"`
+}
+
+// AppendJSONL appends the codec-v1 payload encoding of a batch to dst
+// and returns the extended slice: one JSON object per action, one
+// action per line, in batch order. This is the LogSink file format and
+// the v1 frame payload, unchanged from the pre-frame wire encoding.
+func AppendJSONL(dst []byte, batch []engine.OfficeAction) []byte {
+	for _, a := range batch {
+		rec := wireAction{
+			Office:      a.Office,
+			Time:        a.Action.Time,
+			Type:        a.Action.Type.String(),
+			Workstation: a.Action.Workstation,
+			Label:       a.Action.Label,
+		}
+		if a.Action.Cause != 0 {
+			rec.Cause = a.Action.Cause.String()
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			// wireAction contains only plain scalar fields; Marshal
+			// cannot fail on it.
+			panic(err)
+		}
+		dst = append(dst, b...)
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// appendBinary appends the codec-v2 payload encoding of a batch to dst.
+func appendBinary(dst []byte, batch []engine.OfficeAction) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	for _, a := range batch {
+		dst = binary.AppendUvarint(dst, uint64(a.Office))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.Action.Time))
+		dst = binary.AppendUvarint(dst, uint64(a.Action.Type))
+		dst = binary.AppendUvarint(dst, uint64(a.Action.Workstation))
+		dst = binary.AppendUvarint(dst, uint64(a.Action.Cause))
+		dst = binary.AppendVarint(dst, int64(a.Action.Label))
+	}
+	return dst
+}
+
+// AppendPayload appends the payload encoding of a batch under the given
+// codec version to dst.
+func AppendPayload(dst []byte, v Version, batch []engine.OfficeAction) ([]byte, error) {
+	switch v {
+	case V1JSONL:
+		return AppendJSONL(dst, batch), nil
+	case V2Binary:
+		return appendBinary(dst, batch), nil
+	default:
+		return dst, fmt.Errorf("%w %d", ErrVersion, uint8(v))
+	}
+}
+
+// AppendFrame appends one complete frame (header, payload, CRC trailer)
+// encoding the batch under the given codec version to dst.
+func AppendFrame(dst []byte, v Version, batch []engine.OfficeAction) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, Magic[0], Magic[1], byte(v), 0, 0, 0, 0, 0)
+	dst, err := AppendPayload(dst, v, batch)
+	if err != nil {
+		return dst[:start], err
+	}
+	n := len(dst) - start - HeaderSize
+	if n > MaxPayloadBytes {
+		return dst[:start], fmt.Errorf("wire: payload %d bytes exceeds the %d-byte frame limit", n, MaxPayloadBytes)
+	}
+	binary.BigEndian.PutUint32(dst[start+4:start+HeaderSize], uint32(n))
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.BigEndian.AppendUint32(dst, crc), nil
+}
+
+// ParseActionType maps the wire spelling back to a core.ActionType.
+func ParseActionType(s string) (core.ActionType, error) {
+	switch s {
+	case "alert-enter":
+		return core.ActionAlertEnter, nil
+	case "alert-exit":
+		return core.ActionAlertExit, nil
+	case "screensaver-on":
+		return core.ActionScreensaverOn, nil
+	case "deauthenticate":
+		return core.ActionDeauthenticate, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown action type %q", s)
+	}
+}
+
+// ParseCause maps the wire spelling back to a control.Cause ("" is the
+// zero Cause of non-deauthentication actions).
+func ParseCause(s string) (control.Cause, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "rule1":
+		return control.CauseRule1, nil
+	case "alert-expiry":
+		return control.CauseAlert, nil
+	case "timeout":
+		return control.CauseTimeout, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown deauthentication cause %q", s)
+	}
+}
+
+// decodeJSONL decodes a codec-v1 payload back into actions.
+func decodeJSONL(payload []byte) ([]engine.OfficeAction, error) {
+	if len(payload) > 0 && payload[len(payload)-1] != '\n' {
+		return nil, errors.New("wire: JSONL payload does not end in a newline")
+	}
+	var out []engine.OfficeAction
+	for len(payload) > 0 {
+		nl := bytes.IndexByte(payload, '\n')
+		line := payload[:nl]
+		payload = payload[nl+1:]
+		var rec wireAction
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("wire: JSONL line %d: %w", len(out), err)
+		}
+		typ, err := ParseActionType(rec.Type)
+		if err != nil {
+			return nil, err
+		}
+		cause, err := ParseCause(rec.Cause)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, engine.OfficeAction{
+			Office: rec.Office,
+			Action: core.Action{
+				Time:        rec.Time,
+				Type:        typ,
+				Workstation: rec.Workstation,
+				Cause:       cause,
+				Label:       rec.Label,
+			},
+		})
+	}
+	return out, nil
+}
+
+// decodeBinary decodes a codec-v2 payload back into actions.
+func decodeBinary(payload []byte) ([]engine.OfficeAction, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, errors.New("wire: binary payload: bad action count")
+	}
+	payload = payload[n:]
+	// Each action occupies at least 13 bytes (five 1-byte varints around
+	// the 8 time bytes); a larger count cannot be honest.
+	if count > uint64(len(payload)/13+1) {
+		return nil, fmt.Errorf("wire: binary payload: count %d exceeds payload size", count)
+	}
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return 0, errors.New("wire: binary payload: truncated varint")
+		}
+		payload = payload[n:]
+		return v, nil
+	}
+	out := make([]engine.OfficeAction, 0, count)
+	for i := uint64(0); i < count; i++ {
+		office, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) < 8 {
+			return nil, errors.New("wire: binary payload: truncated time field")
+		}
+		timeBits := binary.LittleEndian.Uint64(payload)
+		payload = payload[8:]
+		typ, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		ws, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		cause, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		label, n := binary.Varint(payload)
+		if n <= 0 {
+			return nil, errors.New("wire: binary payload: truncated label")
+		}
+		payload = payload[n:]
+		out = append(out, engine.OfficeAction{
+			Office: int(office),
+			Action: core.Action{
+				Time:        math.Float64frombits(timeBits),
+				Type:        core.ActionType(typ),
+				Workstation: int(ws),
+				Cause:       control.Cause(cause),
+				Label:       int(label),
+			},
+		})
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("wire: binary payload: %d trailing bytes", len(payload))
+	}
+	return out, nil
+}
+
+// DecodePayload decodes a frame payload under the given codec version.
+func DecodePayload(v Version, payload []byte) ([]engine.OfficeAction, error) {
+	switch v {
+	case V1JSONL:
+		return decodeJSONL(payload)
+	case V2Binary:
+		return decodeBinary(payload)
+	default:
+		return nil, fmt.Errorf("%w %d", ErrVersion, uint8(v))
+	}
+}
+
+// Encoder writes frames to an io.Writer, one per batch, reusing one
+// internal buffer. Not safe for concurrent use.
+type Encoder struct {
+	w       io.Writer
+	version Version
+	buf     []byte
+	frames  uint64
+	bytes   uint64
+}
+
+// NewEncoder returns an Encoder emitting frames under the given codec
+// version.
+func NewEncoder(w io.Writer, v Version) (*Encoder, error) {
+	if !v.valid() {
+		return nil, fmt.Errorf("%w %d", ErrVersion, uint8(v))
+	}
+	return &Encoder{w: w, version: v}, nil
+}
+
+// Encode writes one batch as one frame.
+func (e *Encoder) Encode(batch []engine.OfficeAction) error {
+	var err error
+	e.buf, err = AppendFrame(e.buf[:0], e.version, batch)
+	if err != nil {
+		return err
+	}
+	if _, err := e.w.Write(e.buf); err != nil {
+		return err
+	}
+	e.frames++
+	e.bytes += uint64(len(e.buf))
+	return nil
+}
+
+// Frames returns the number of frames encoded.
+func (e *Encoder) Frames() uint64 { return e.frames }
+
+// Bytes returns the total framed bytes written.
+func (e *Encoder) Bytes() uint64 { return e.bytes }
+
+// Decoder reads frames from an io.Reader. Not safe for concurrent use.
+type Decoder struct {
+	r   *bufio.Reader
+	off int64
+	ver Version
+	buf []byte
+}
+
+// NewDecoder returns a Decoder over r. It buffers its reads; do not mix
+// with other readers of the same stream.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Decode reads the next frame and returns its actions. At a clean frame
+// boundary with no more data it returns io.EOF; a stream ending
+// mid-frame returns an error wrapping ErrTorn; undecodable bytes return
+// an error wrapping ErrCorrupt (or ErrVersion for an unknown codec);
+// an underlying read failure that is not end-of-data is returned as
+// itself — it is an I/O problem, not a statement about the frame.
+// Offset and Version describe the last successful decode.
+func (d *Decoder) Decode() ([]engine.OfficeAction, error) {
+	// Only running out of bytes is "torn" — a real I/O failure (disk
+	// error, reset connection) must surface as itself, or a repairing
+	// segment reader would truncate intact frames past a transient EIO.
+	readErr := func(stage string, err error) error {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: %s: %v", ErrTorn, stage, err)
+		}
+		return fmt.Errorf("wire: %s read: %w", stage, err)
+	}
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(d.r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, readErr("header", err)
+	}
+	if _, err := io.ReadFull(d.r, hdr[1:]); err != nil {
+		return nil, readErr("header", err)
+	}
+	if hdr[0] != Magic[0] || hdr[1] != Magic[1] {
+		return nil, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, hdr[0], hdr[1])
+	}
+	v := Version(hdr[2])
+	if !v.valid() {
+		return nil, fmt.Errorf("%w %d", ErrVersion, hdr[2])
+	}
+	if hdr[3] != 0 {
+		return nil, fmt.Errorf("%w: reserved flags %#02x set", ErrCorrupt, hdr[3])
+	}
+	n := binary.BigEndian.Uint32(hdr[4:])
+	if n > MaxPayloadBytes {
+		return nil, fmt.Errorf("%w: payload length %d exceeds the %d-byte limit", ErrCorrupt, n, MaxPayloadBytes)
+	}
+	if cap(d.buf) < int(n)+TrailerSize {
+		d.buf = make([]byte, int(n)+TrailerSize)
+	}
+	body := d.buf[:int(n)+TrailerSize]
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		return nil, readErr("payload", err)
+	}
+	crc := crc32.Checksum(hdr[:], castagnoli)
+	crc = crc32.Update(crc, castagnoli, body[:n])
+	if want := binary.BigEndian.Uint32(body[n:]); crc != want {
+		return nil, fmt.Errorf("%w: CRC32C %#08x, frame says %#08x", ErrCorrupt, crc, want)
+	}
+	acts, err := DecodePayload(v, body[:n])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	d.off += int64(HeaderSize + int(n) + TrailerSize)
+	d.ver = v
+	return acts, nil
+}
+
+// Offset returns the byte offset just past the last successfully
+// decoded frame — the truncation point for torn-tail recovery.
+func (d *Decoder) Offset() int64 { return d.off }
+
+// Version returns the codec version of the last successfully decoded
+// frame (0 before the first).
+func (d *Decoder) Version() Version { return d.ver }
