@@ -12,6 +12,8 @@ package rng
 
 import (
 	"math"
+
+	"fadewich/internal/vmath"
 )
 
 // Source is a deterministic xoshiro256** generator. The zero value is not
@@ -22,6 +24,10 @@ type Source struct {
 	// transform; spareOK reports whether it is valid.
 	spare   float64
 	spareOK bool
+	// batchU/batchV/batchQ hold the accepted polar pairs of a FillNormals
+	// call so the radius factors can be computed in one vmath column pass.
+	// Lazily grown; nil until FillNormals is first used.
+	batchU, batchV, batchQ []float64
 }
 
 // New returns a Source seeded from the given seed using SplitMix64 so that
@@ -131,6 +137,107 @@ func (s *Source) NormFloat64() float64 {
 // deviation.
 func (s *Source) Normal(mean, stddev float64) float64 {
 	return mean + stddev*s.NormFloat64()
+}
+
+// normBatch caps the internal FillNormals chunk (in polar pairs) so the
+// u/v/q staging arrays stay small enough to live in L1 regardless of
+// the request size. Chunking does not change the variate stream.
+const normBatch = 256
+
+// ReserveNormals pre-sizes the FillNormals scratch for batches of up to
+// n variates, so steady-state FillNormals calls never allocate. It does
+// not consume any randomness.
+func (s *Source) ReserveNormals(n int) {
+	pairs := (n + 1) / 2
+	if pairs > normBatch {
+		pairs = normBatch
+	}
+	if cap(s.batchQ) < pairs {
+		s.batchU = make([]float64, pairs)
+		s.batchV = make([]float64, pairs)
+		s.batchQ = make([]float64, pairs)
+	}
+}
+
+// FillNormals fills out with standard Gaussian variates, equivalent to
+// len(out) consecutive NormFloat64 calls: the uniform stream is
+// consumed in the same order, the polar rejection decisions are the
+// same, and a trailing half-pair is cached in spare exactly as the
+// scalar path would. The generator state after the call is therefore
+// bit-identical to the scalar sequence. The variate values themselves
+// agree with the scalar ones to ~1e-11 relative (not bitwise): the
+// speedup comes from batching the Box-Muller radius factors
+// sqrt(-2·log(q)/q) into one vmath.NormFactorFastSlice column pass,
+// which trades the fdlibm log for a table-driven one. The fast factor
+// is platform-independent, so FillNormals output is still deterministic
+// everywhere.
+func (s *Source) FillNormals(out []float64) {
+	i := 0
+	if s.spareOK && len(out) > 0 {
+		s.spareOK = false
+		out[i] = s.spare
+		i++
+	}
+	for i < len(out) {
+		pairs := (len(out) - i + 1) / 2
+		if pairs > normBatch {
+			pairs = normBatch
+		}
+		if cap(s.batchQ) < pairs {
+			s.batchU = make([]float64, pairs)
+			s.batchV = make([]float64, pairs)
+			s.batchQ = make([]float64, pairs)
+		}
+		us, vs, qs := s.batchU[:pairs], s.batchV[:pairs], s.batchQ[:pairs]
+		// Hoist the xoshiro state into locals for the rejection loop:
+		// the per-call Float64 path re-loads and re-stores all four
+		// words per draw, which dominates this loop's cost. The update
+		// below is Uint64/Float64 verbatim, so the consumed stream is
+		// unchanged.
+		s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
+		for j := 0; j < pairs; j++ {
+			for {
+				r := rotl(s1*5, 7) * 9
+				t := s1 << 17
+				s2 ^= s0
+				s3 ^= s1
+				s1 ^= s2
+				s0 ^= s3
+				s2 ^= t
+				s3 = rotl(s3, 45)
+				u := 2*(float64(r>>11)/(1<<53)) - 1
+				r = rotl(s1*5, 7) * 9
+				t = s1 << 17
+				s2 ^= s0
+				s3 ^= s1
+				s1 ^= s2
+				s0 ^= s3
+				s2 ^= t
+				s3 = rotl(s3, 45)
+				v := 2*(float64(r>>11)/(1<<53)) - 1
+				q := u*u + v*v
+				if q == 0 || q >= 1 {
+					continue
+				}
+				us[j], vs[j], qs[j] = u, v, q
+				break
+			}
+		}
+		s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
+		vmath.NormFactorFastSlice(qs, qs)
+		for j := 0; j < pairs; j++ {
+			f := qs[j]
+			out[i] = us[j] * f
+			i++
+			if i < len(out) {
+				out[i] = vs[j] * f
+				i++
+			} else {
+				s.spare = vs[j] * f
+				s.spareOK = true
+			}
+		}
+	}
 }
 
 // ExpFloat64 returns an exponential variate with rate 1.

@@ -1,0 +1,25 @@
+package vmath
+
+import (
+	"os"
+	"testing"
+)
+
+// altImpl is the second implementation set cross-checked against the
+// portable reference on this platform.
+var altImpl = &unrolledFuncs
+
+// expExactStdlib reports whether ExpSlice is expected to match math.Exp
+// bit for bit on this machine: true exactly when the stdlib assembly
+// takes its FMA variant, which is the algorithm expCore replicates.
+var expExactStdlib = haveFMA()
+
+func TestImplSelectionMatchesHardware(t *testing.T) {
+	want := "portable"
+	if haveAVX2() && !novecEnv(os.Getenv("FADEWICH_NOVEC")) {
+		want = "unrolled-amd64"
+	}
+	if got := Impl(); got != want {
+		t.Fatalf("Impl() = %q, want %q for this CPU/environment", got, want)
+	}
+}

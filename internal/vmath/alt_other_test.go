@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package vmath
+
+// altImpl is nil on single-implementation platforms; cross-checks skip.
+var altImpl *funcs
+
+// Off amd64 the stdlib may use a different exp algorithm (its own
+// assembly or the fdlibm pure-Go path), so ExpSlice is only held to a
+// small ulp tolerance against it.
+const expExactStdlib = false

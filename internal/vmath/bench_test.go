@@ -1,0 +1,125 @@
+package vmath
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkVmathKernels tracks the throughput of the hot kernels at the
+// column length the RF model drives them with (one value per directed
+// link / per stream). The *-stdlib variants are the scalar loops the
+// kernels replace, kept for the speedup to be visible in one run.
+func BenchmarkVmathKernels(b *testing.B) {
+	const n = 1024
+	x := sweep(n, 0, 40)
+	for i := range x {
+		x[i] = -math.Abs(x[i]) // exp args in the model are ≤ 0
+	}
+	q := sweep(n, 1e-6, 1)
+	for i := range q {
+		q[i] = math.Abs(q[i])
+	}
+	y := sweep(n, 0, 20)
+	dst := make([]float64, n)
+
+	b.Run("exp", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ExpSlice(dst, x)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/elem")
+	})
+	b.Run("exp-stdlib", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range dst {
+				dst[j] = math.Exp(x[j])
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/elem")
+	})
+	b.Run("log", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			LogSlice(dst, q)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/elem")
+	})
+	b.Run("normfactor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NormFactorSlice(dst, q)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/elem")
+	})
+	b.Run("normfactor-stdlib", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range dst {
+				dst[j] = math.Sqrt(-2 * math.Log(q[j]) / q[j])
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/elem")
+	})
+	b.Run("hypot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			HypotSlice(dst, x, y)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/elem")
+	})
+	b.Run("hypot-stdlib", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range dst {
+				dst[j] = math.Hypot(x[j], y[j])
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/elem")
+	})
+	b.Run("excesspath", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ExcessPathSlice(dst, x, y, y, x, q, 3.5, 4.5)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/elem")
+	})
+	// The quant pair pins the QuantStepDB > 0 receiver path: "quant" is
+	// the shipped kernel, which multiplies by the precomputed reciprocal
+	// of the step; "quant-div" is the old per-sample division it
+	// replaced. The step is a mutable package var, like the Config field
+	// it stands in for, so the compiler cannot strength-reduce the
+	// division; a half-dB step keeps both off the step == 1 fast path.
+	rssi := sweep(n, -95, -20)
+	b.Run("quant", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(dst, rssi)
+			RoundQuantSlice(dst, benchQuantStep, 1/benchQuantStep, -95, -20)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/elem")
+	})
+	b.Run("quant-div", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(dst, rssi)
+			step := benchQuantStep
+			for j := range dst {
+				v := math.Round(dst[j]/step) * step
+				if v < -95 {
+					v = -95
+				}
+				if v > -20 {
+					v = -20
+				}
+				dst[j] = v
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/elem")
+	})
+}
+
+// benchQuantStep is deliberately a mutable package variable: a literal
+// power-of-two step would let the compiler replace the quant-div
+// baseline's division with the very multiplication being benchmarked.
+var benchQuantStep = 0.5

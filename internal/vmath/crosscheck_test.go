@@ -1,0 +1,105 @@
+package vmath
+
+import (
+	"math"
+	"testing"
+)
+
+// kernelInputs is one shared input set all kernels run over in the
+// cross-implementation checks.
+type kernelInputs struct {
+	x, y   []float64
+	px, py float64
+}
+
+// deriveInputs builds a kernel input set of length n from raw values
+// (cycled), so fuzz and edge cases drive every kernel with the same
+// bytes.
+func deriveInputs(vals []float64, n int) *kernelInputs {
+	if len(vals) == 0 {
+		vals = []float64{0}
+	}
+	in := &kernelInputs{x: make([]float64, n), y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		in.x[i] = vals[i%len(vals)]
+		in.y[i] = vals[(i*7+3)%len(vals)]
+	}
+	in.px = vals[0]
+	in.py = vals[len(vals)/2]
+	return in
+}
+
+// runKernels executes every kernel of the given implementation set over
+// the inputs and returns the named outputs.
+func runKernels(fs *funcs, in *kernelInputs) map[string][]float64 {
+	n := len(in.x)
+	out := map[string][]float64{}
+	grab := func(name string, run func(dst []float64)) {
+		dst := make([]float64, n)
+		copy(dst, in.y) // kernels that accumulate/modify start from y
+		run(dst)
+		out[name] = dst
+	}
+	// l2 must be consistent with (dx,dy) for DistToSegSlice; include
+	// exact zeros to exercise the degenerate branch.
+	dx, dy, l2 := make([]float64, n), make([]float64, n), make([]float64, n)
+	for i := 0; i < n; i++ {
+		dx[i], dy[i] = in.y[i], in.x[(i+1)%n]
+		if i%5 == 0 {
+			dx[i], dy[i] = 0, 0
+		}
+		l2[i] = dx[i]*dx[i] + dy[i]*dy[i]
+	}
+	grab("exp", func(dst []float64) { fs.expSlice(dst, in.x) })
+	grab("log", func(dst []float64) { fs.logSlice(dst, in.x) })
+	grab("hypot", func(dst []float64) { fs.hypotSlice(dst, in.x, in.y) })
+	grab("normFactor", func(dst []float64) { fs.normFactor(dst, in.x) })
+	grab("normFactorFast", func(dst []float64) { fs.normFactorFast(dst, in.x) })
+	grab("scale", func(dst []float64) { fs.scaleSlice(dst, in.px) })
+	grab("axpy", func(dst []float64) { fs.axpySlice(dst, in.x, in.px) })
+	grab("axpyClamp", func(dst []float64) { fs.axpyClamp(dst, in.x, in.px, -10, 10) })
+	grab("sqrt", func(dst []float64) { fs.sqrtSlice(dst) })
+	grab("clampMax", func(dst []float64) { fs.clampMax(dst, in.py) })
+	grab("roundQuant1", func(dst []float64) { fs.roundQuant(dst, 1, 1, -95, -20) })
+	grab("roundQuantHalf", func(dst []float64) { fs.roundQuant(dst, 0.5, 2, -95, -20) })
+	grab("roundQuantOff", func(dst []float64) { fs.roundQuant(dst, 0, 0, -95, -20) })
+	grab("excessPath", func(dst []float64) { fs.excessPath(dst, in.x, in.y, in.y, in.x, in.x, in.px, in.py) })
+	grab("distToSeg", func(dst []float64) { fs.distToSeg(dst, in.x, in.y, dx, dy, l2, in.px, in.py) })
+	grab("accumSqScaled", func(dst []float64) { fs.accumSqScaled(dst, in.x, in.px) })
+	return out
+}
+
+// checkImplsAgree runs all kernels under both implementation sets and
+// reports any bitwise divergence (NaNs of any payload are equal).
+func checkImplsAgree(t *testing.T, vals []float64, n int) {
+	t.Helper()
+	if altImpl == nil {
+		t.Skip("single-implementation platform")
+	}
+	in := deriveInputs(vals, n)
+	a := runKernels(&portableFuncs, in)
+	b := runKernels(altImpl, in)
+	for name, av := range a {
+		bv := b[name]
+		for i := range av {
+			if !bitsEqual(av[i], bv[i]) && !(math.IsNaN(av[i]) && math.IsNaN(bv[i])) {
+				t.Fatalf("kernel %s diverges at [%d] (n=%d): portable %v (%#x), %s %v (%#x)",
+					name, i, n, av[i], math.Float64bits(av[i]), altImpl.name, bv[i], math.Float64bits(bv[i]))
+			}
+		}
+	}
+}
+
+func TestPortableVsUnrolledEdgeInputs(t *testing.T) {
+	for n := 0; n <= 7; n++ {
+		checkImplsAgree(t, edgeInputs, n)
+	}
+	checkImplsAgree(t, edgeInputs, len(edgeInputs))
+	checkImplsAgree(t, edgeInputs, 4*len(edgeInputs)+3)
+}
+
+func TestPortableVsUnrolledSweep(t *testing.T) {
+	checkImplsAgree(t, sweep(1021, 0, 800), 1021)
+	checkImplsAgree(t, sweep(1024, 0, 1e-300), 1024)
+	checkImplsAgree(t, sweep(513, 0, 50), 513)
+}

@@ -1,0 +1,50 @@
+// Implementation selection on amd64: the unrolled kernel set engages
+// when the CPU supports AVX2+FMA and the OS saves the YMM state, unless
+// FADEWICH_NOVEC overrides it back to portable for A/B runs.
+
+package vmath
+
+import "os"
+
+// cpuid and xgetbv are implemented in cpu_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	if !novecEnv(os.Getenv("FADEWICH_NOVEC")) && haveAVX2() {
+		active = &unrolledFuncs
+	}
+}
+
+// haveFMA reports FMA+AVX CPU support with OS-enabled YMM state — the
+// condition under which the amd64 stdlib math.Exp takes its FMA code
+// path, and so the condition under which ExpSlice matches it bit for
+// bit.
+func haveFMA() bool {
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if c1&fmaBit == 0 || c1&osxsaveBit == 0 || c1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (XMM) and 2 (YMM) must both be OS-enabled.
+	xcr0, _ := xgetbv()
+	return xcr0&0x6 == 0x6
+}
+
+// haveAVX2 reports AVX2+FMA CPU support with OS-enabled YMM state.
+func haveAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	if !haveFMA() {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return b7&avx2Bit != 0
+}

@@ -1,0 +1,6 @@
+//go:build !amd64
+
+package vmath
+
+// Non-amd64 targets always run the portable kernel set; the selection
+// already defaults to it, so there is nothing to do at init.

@@ -1,0 +1,214 @@
+// Unrolled amd64 kernel implementations: the portable per-element
+// arithmetic processed four lanes per iteration with independent
+// dependency chains, so the out-of-order core pipelines the
+// long-latency operations (polynomial evaluation, division, sqrt)
+// across lanes. Built with GOAMD64=v3 the compiler emits VEX/AVX
+// encodings of these loops.
+//
+// Every lane evaluates exactly the operations of the portable scalar
+// helpers, in the same order, so results are bit-identical to the
+// portable set — enforced by TestPortableVsUnrolled and
+// FuzzVmathKernels. Groups containing a special-case input (NaN,
+// out-of-range exp argument, non-normal log argument) fall back to the
+// scalar helpers for all four lanes.
+
+package vmath
+
+import "math"
+
+var unrolledFuncs = funcs{
+	name: "unrolled-amd64",
+	expSlice: func(dst, x []float64) {
+		n := len(dst)
+		x = x[:n]
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+			if inExpFast(x0) && inExpFast(x1) && inExpFast(x2) && inExpFast(x3) {
+				dst[i], dst[i+1], dst[i+2], dst[i+3] = expCore(x0), expCore(x1), expCore(x2), expCore(x3)
+			} else {
+				dst[i], dst[i+1], dst[i+2], dst[i+3] = exp1(x0), exp1(x1), exp1(x2), exp1(x3)
+			}
+		}
+		for ; i < n; i++ {
+			dst[i] = exp1(x[i])
+		}
+	},
+	logSlice: func(dst, x []float64) {
+		n := len(dst)
+		x = x[:n]
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+			if inLogFast(x0) && inLogFast(x1) && inLogFast(x2) && inLogFast(x3) {
+				dst[i], dst[i+1], dst[i+2], dst[i+3] = logCore(x0), logCore(x1), logCore(x2), logCore(x3)
+			} else {
+				dst[i], dst[i+1], dst[i+2], dst[i+3] = log1(x0), log1(x1), log1(x2), log1(x3)
+			}
+		}
+		for ; i < n; i++ {
+			dst[i] = log1(x[i])
+		}
+	},
+	hypotSlice: func(dst, x, y []float64) {
+		n := len(dst)
+		x, y = x[:n], y[:n]
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			a0, b0 := x[i], y[i]
+			a1, b1 := x[i+1], y[i+1]
+			a2, b2 := x[i+2], y[i+2]
+			a3, b3 := x[i+3], y[i+3]
+			dst[i] = math.Sqrt(a0*a0 + b0*b0)
+			dst[i+1] = math.Sqrt(a1*a1 + b1*b1)
+			dst[i+2] = math.Sqrt(a2*a2 + b2*b2)
+			dst[i+3] = math.Sqrt(a3*a3 + b3*b3)
+		}
+		for ; i < n; i++ {
+			a, b := x[i], y[i]
+			dst[i] = math.Sqrt(a*a + b*b)
+		}
+	},
+	normFactor: func(dst, q []float64) {
+		n := len(dst)
+		q = q[:n]
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			q0, q1, q2, q3 := q[i], q[i+1], q[i+2], q[i+3]
+			if inLogFast(q0) && inLogFast(q1) && inLogFast(q2) && inLogFast(q3) {
+				l0, l1, l2v, l3 := logCore(q0), logCore(q1), logCore(q2), logCore(q3)
+				dst[i] = math.Sqrt(-2 * l0 / q0)
+				dst[i+1] = math.Sqrt(-2 * l1 / q1)
+				dst[i+2] = math.Sqrt(-2 * l2v / q2)
+				dst[i+3] = math.Sqrt(-2 * l3 / q3)
+			} else {
+				dst[i], dst[i+1], dst[i+2], dst[i+3] = normFactor1(q0), normFactor1(q1), normFactor1(q2), normFactor1(q3)
+			}
+		}
+		for ; i < n; i++ {
+			dst[i] = normFactor1(q[i])
+		}
+	},
+	normFactorFast: func(dst, q []float64) {
+		n := len(dst)
+		q = q[:n]
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			q0, q1, q2, q3 := q[i], q[i+1], q[i+2], q[i+3]
+			if inNormFactorFast(q0) && inNormFactorFast(q1) && inNormFactorFast(q2) && inNormFactorFast(q3) {
+				dst[i], dst[i+1], dst[i+2], dst[i+3] = normFactorFast4(q0, q1, q2, q3)
+			} else {
+				dst[i], dst[i+1], dst[i+2], dst[i+3] = normFactorFast1(q0), normFactorFast1(q1), normFactorFast1(q2), normFactorFast1(q3)
+			}
+		}
+		for ; i < n; i++ {
+			dst[i] = normFactorFast1(q[i])
+		}
+	},
+	scaleSlice: func(dst []float64, a float64) {
+		i := 0
+		for ; i+4 <= len(dst); i += 4 {
+			dst[i] *= a
+			dst[i+1] *= a
+			dst[i+2] *= a
+			dst[i+3] *= a
+		}
+		for ; i < len(dst); i++ {
+			dst[i] *= a
+		}
+	},
+	axpySlice: func(dst, x []float64, a float64) {
+		n := len(dst)
+		x = x[:n]
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			dst[i] += a * x[i]
+			dst[i+1] += a * x[i+1]
+			dst[i+2] += a * x[i+2]
+			dst[i+3] += a * x[i+3]
+		}
+		for ; i < n; i++ {
+			dst[i] += a * x[i]
+		}
+	},
+	axpyClamp: func(dst, x []float64, a, lo, hi float64) {
+		n := len(dst)
+		x = x[:n]
+		for i := 0; i < n; i++ {
+			v := dst[i] + a*x[i]
+			if v < lo {
+				v = lo
+			}
+			if v > hi {
+				v = hi
+			}
+			dst[i] = v
+		}
+	},
+	sqrtSlice: func(dst []float64) {
+		i := 0
+		for ; i+4 <= len(dst); i += 4 {
+			dst[i] = math.Sqrt(dst[i])
+			dst[i+1] = math.Sqrt(dst[i+1])
+			dst[i+2] = math.Sqrt(dst[i+2])
+			dst[i+3] = math.Sqrt(dst[i+3])
+		}
+		for ; i < len(dst); i++ {
+			dst[i] = math.Sqrt(dst[i])
+		}
+	},
+	clampMax: func(dst []float64, hi float64) {
+		for i := range dst {
+			if dst[i] > hi {
+				dst[i] = hi
+			}
+		}
+	},
+	roundQuant: roundQuantLoop,
+	excessPath: func(dst, ax, ay, bx, by, segLen []float64, px, py float64) {
+		n := len(dst)
+		ax, ay, bx, by, segLen = ax[:n], ay[:n], bx[:n], by[:n], segLen[:n]
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			u0x, u0y := ax[i]-px, ay[i]-py
+			v0x, v0y := px-bx[i], py-by[i]
+			u1x, u1y := ax[i+1]-px, ay[i+1]-py
+			v1x, v1y := px-bx[i+1], py-by[i+1]
+			dst[i] = math.Sqrt(u0x*u0x+u0y*u0y) + math.Sqrt(v0x*v0x+v0y*v0y) - segLen[i]
+			dst[i+1] = math.Sqrt(u1x*u1x+u1y*u1y) + math.Sqrt(v1x*v1x+v1y*v1y) - segLen[i+1]
+		}
+		for ; i < n; i++ {
+			ux, uy := ax[i]-px, ay[i]-py
+			vx, vy := px-bx[i], py-by[i]
+			dst[i] = math.Sqrt(ux*ux+uy*uy) + math.Sqrt(vx*vx+vy*vy) - segLen[i]
+		}
+	},
+	distToSeg: func(dst, ax, ay, dx, dy, l2 []float64, px, py float64) {
+		n := len(dst)
+		ax, ay, dx, dy, l2 = ax[:n], ay[:n], dx[:n], dy[:n], l2[:n]
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			dst[i] = distToSeg1(ax[i], ay[i], dx[i], dy[i], l2[i], px, py)
+			dst[i+1] = distToSeg1(ax[i+1], ay[i+1], dx[i+1], dy[i+1], l2[i+1], px, py)
+		}
+		for ; i < n; i++ {
+			dst[i] = distToSeg1(ax[i], ay[i], dx[i], dy[i], l2[i], px, py)
+		}
+	},
+	accumSqScaled: func(dst, x []float64, c float64) {
+		n := len(dst)
+		x = x[:n]
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			s0, s1, s2, s3 := c*x[i], c*x[i+1], c*x[i+2], c*x[i+3]
+			dst[i] += s0 * s0
+			dst[i+1] += s1 * s1
+			dst[i+2] += s2 * s2
+			dst[i+3] += s3 * s3
+		}
+		for ; i < n; i++ {
+			sd := c * x[i]
+			dst[i] += sd * sd
+		}
+	},
+}

@@ -1,0 +1,145 @@
+// Package vmath provides batched float64 kernels for the simulator's
+// per-tick hot loops: exponentials, distance computations and the small
+// fused column operations the RF model's vectorised path (ModelVersion 2,
+// see internal/rf) is built from.
+//
+// Two implementations exist behind one API:
+//
+//   - portable: straightforward per-element loops, compiled everywhere.
+//   - unrolled (amd64): the same per-element arithmetic unrolled four
+//     lanes wide with independent dependency chains, so a superscalar
+//     core pipelines the long-latency operations (exp's polynomial,
+//     log's division, sqrt) across lanes. Built with GOAMD64=v3 the
+//     compiler emits VEX/AVX forms of these loops; the selection gate
+//     additionally requires AVX2+FMA+OS support so the fast path only
+//     engages on hardware where the unrolled code is known profitable.
+//
+// The two implementations are bit-identical per element by construction
+// (same operations, in the same order, on every lane), which the package
+// tests and the FuzzVmathKernels target enforce. LogSlice is
+// additionally bit-identical to math.Log on every platform that uses
+// the fdlibm algorithm (the pure-Go stdlib and the amd64 assembly both
+// do). ExpSlice evaluates the amd64 stdlib's FMA exp algorithm via
+// math.FMA — exact fused semantics everywhere — so it is bit-identical
+// to math.Exp on FMA-capable amd64 (where the stdlib takes that same
+// path) and platform-independent, at worst ~1 ulp from the local
+// stdlib elsewhere. The model-version divergence budget (rf's v1-vs-v2
+// equivalence bound) is spent where the kernels deliberately relax
+// stdlib semantics: HypotSlice, ExcessPathSlice and DistToSegSlice
+// compute sqrt(x²+y²) directly instead of math.Hypot's overflow-safe
+// scaled form — exact for the office-scale coordinates the simulator
+// feeds them, one ulp off in general.
+//
+// Selection happens once at init: the unrolled implementation is used
+// on amd64 with AVX2+FMA+OSXSAVE, unless the environment variable
+// FADEWICH_NOVEC is set non-empty and non-"0", which forces the portable
+// implementation for A/B comparisons. Impl reports the decision.
+//
+// All kernels tolerate dst aliasing their input slice exactly (in-place
+// use); partial overlap is undefined. Input slices must be at least
+// len(dst) long.
+package vmath
+
+// funcs is one complete kernel implementation set. The exported API
+// dispatches through the active set chosen at init.
+type funcs struct {
+	name           string
+	expSlice       func(dst, x []float64)
+	logSlice       func(dst, x []float64)
+	hypotSlice     func(dst, x, y []float64)
+	normFactor     func(dst, q []float64)
+	normFactorFast func(dst, q []float64)
+	scaleSlice     func(dst []float64, a float64)
+	axpySlice      func(dst, x []float64, a float64)
+	axpyClamp      func(dst, x []float64, a, lo, hi float64)
+	sqrtSlice      func(dst []float64)
+	clampMax       func(dst []float64, hi float64)
+	roundQuant     func(dst []float64, step, invStep, lo, hi float64)
+	excessPath     func(dst, ax, ay, bx, by, segLen []float64, px, py float64)
+	distToSeg      func(dst, ax, ay, dx, dy, l2 []float64, px, py float64)
+	accumSqScaled  func(dst, x []float64, c float64)
+}
+
+// active is the implementation in use; dispatch_*.go selects it at init.
+var active = &portableFuncs
+
+// novecEnv reports whether the FADEWICH_NOVEC value disables the
+// unrolled path: any non-empty value other than "0" does.
+func novecEnv(v string) bool { return v != "" && v != "0" }
+
+// Impl reports which implementation is active: "portable" or
+// "unrolled-amd64".
+func Impl() string { return active.name }
+
+// ExpSlice sets dst[i] = exp(x[i]). Bit-identical to math.Exp on
+// FMA-capable amd64; platform-independent (see the package comment).
+func ExpSlice(dst, x []float64) { active.expSlice(dst, x) }
+
+// LogSlice sets dst[i] = log(x[i]). Bit-identical to math.Log.
+func LogSlice(dst, x []float64) { active.logSlice(dst, x) }
+
+// HypotSlice sets dst[i] = sqrt(x[i]² + y[i]²). Unlike math.Hypot it does
+// not scale against overflow/underflow: intended for geometry whose
+// magnitudes are far from the float64 range limits.
+func HypotSlice(dst, x, y []float64) { active.hypotSlice(dst, x, y) }
+
+// NormFactorSlice sets dst[i] = sqrt(-2·log(q[i])/q[i]), the Box-Muller
+// radius factor for an accepted polar pair with squared norm q.
+// Bit-identical to the scalar expression math.Sqrt(-2*math.Log(q)/q).
+func NormFactorSlice(dst, q []float64) { active.normFactor(dst, q) }
+
+// NormFactorFastSlice computes the same factor as NormFactorSlice using
+// a table-driven log (7-bit reciprocal lookup + degree-7 log1p Taylor)
+// instead of the full fdlibm algorithm. It is not bit-identical to the
+// scalar expression: the absolute log error is ~1.5e-16, giving a
+// worst-case relative factor error of ~3e-12 at the q → 1 guard
+// boundary (where |log q| bottoms out at 2⁻¹⁴) and ≲1 ulp elsewhere.
+// Non-normal q and q beyond the guard fall back to the exact
+// NormFactorSlice element. Results are identical on every platform
+// (plain float64 mul/add only).
+func NormFactorFastSlice(dst, q []float64) { active.normFactorFast(dst, q) }
+
+// ScaleSlice sets dst[i] *= a.
+func ScaleSlice(dst []float64, a float64) { active.scaleSlice(dst, a) }
+
+// AxpySlice sets dst[i] += a·x[i].
+func AxpySlice(dst, x []float64, a float64) { active.axpySlice(dst, x, a) }
+
+// AxpyClamp sets dst[i] = min(max(dst[i] + a·x[i], lo), hi).
+func AxpyClamp(dst, x []float64, a, lo, hi float64) { active.axpyClamp(dst, x, a, lo, hi) }
+
+// SqrtSlice sets dst[i] = sqrt(dst[i]) in place.
+func SqrtSlice(dst []float64) { active.sqrtSlice(dst) }
+
+// ClampMaxSlice sets dst[i] = min(dst[i], hi).
+func ClampMaxSlice(dst []float64, hi float64) { active.clampMax(dst, hi) }
+
+// RoundQuantSlice applies receiver quantisation and clamping in one
+// pass: step == 1 rounds to integers, step > 0 rounds to multiples of
+// step via the precomputed invStep = 1/step, step <= 0 leaves the value
+// unquantised; the result is then clamped to [lo, hi].
+func RoundQuantSlice(dst []float64, step, invStep, lo, hi float64) {
+	active.roundQuant(dst, step, invStep, lo, hi)
+}
+
+// ExcessPathSlice sets dst[i] to the excess path length of segment i's
+// endpoints A=(ax[i],ay[i]), B=(bx[i],by[i]) via the point (px,py):
+// |A−P| + |P−B| − segLen[i], with the distances computed as raw
+// sqrt-of-squares (see HypotSlice).
+func ExcessPathSlice(dst, ax, ay, bx, by, segLen []float64, px, py float64) {
+	active.excessPath(dst, ax, ay, bx, by, segLen, px, py)
+}
+
+// DistToSegSlice sets dst[i] to the distance from the point (px,py) to
+// segment i given as origin (ax[i],ay[i]), direction (dx[i],dy[i]) and
+// squared length l2[i]; l2[i] == 0 degenerates to point distance. The
+// projection parameter replicates geom.Segment.DistToPoint (division by
+// l2, clamp to [0,1]); only the final distance uses the raw sqrt form.
+func DistToSegSlice(dst, ax, ay, dx, dy, l2 []float64, px, py float64) {
+	active.distToSeg(dst, ax, ay, dx, dy, l2, px, py)
+}
+
+// AccumSqScaledSlice sets dst[i] += (c·x[i])², with the scaled term
+// computed first and then squared — the variance-accumulation order of
+// the scalar motion-noise model.
+func AccumSqScaledSlice(dst, x []float64, c float64) { active.accumSqScaled(dst, x, c) }
