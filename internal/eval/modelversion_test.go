@@ -1,0 +1,49 @@
+package eval
+
+import (
+	"testing"
+
+	"fadewich/internal/sim"
+)
+
+// TestTable3ModelVersionInvariant regenerates the evaluation dataset
+// under rf.Config.ModelVersion 2 (the columnar fast path) and checks
+// that the paper's Table 3 MD performance rows come out identical to
+// the exact ModelVersion 1 pipeline. The two versions diverge by at
+// most ~1e-13 dB before quantisation, so after the default 1 dB
+// receiver quantisation the datasets — and every downstream detection
+// count — must match exactly for a fixed seed.
+func TestTable3ModelVersionInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow")
+	}
+	rows := make([][]Table3Row, 2)
+	for i, version := range []int{1, 2} {
+		cfg := sim.Config{Days: 2, Seed: 77}
+		cfg.Agent.DaySeconds = 5400
+		cfg.Agent.MorningJitterSec = 180
+		cfg.Agent.DeparturesPerDay = 4
+		cfg.Agent.OutsideMeanSec = 180
+		cfg.RF.ModelVersion = version
+		ds, err := sim.Generate(cfg)
+		if err != nil {
+			t.Fatalf("generate (ModelVersion %d): %v", version, err)
+		}
+		h, err := NewHarness(ds, Options{Seed: 5})
+		if err != nil {
+			t.Fatalf("harness (ModelVersion %d): %v", version, err)
+		}
+		rows[i], err = h.Table3(0)
+		if err != nil {
+			t.Fatalf("Table3 (ModelVersion %d): %v", version, err)
+		}
+	}
+	if len(rows[0]) == 0 || len(rows[0]) != len(rows[1]) {
+		t.Fatalf("row count mismatch: v1 %d, v2 %d", len(rows[0]), len(rows[1]))
+	}
+	for i := range rows[0] {
+		if rows[0][i] != rows[1][i] {
+			t.Fatalf("Table 3 row %d differs between model versions:\n  v1: %+v\n  v2: %+v", i, rows[0][i], rows[1][i])
+		}
+	}
+}
