@@ -22,7 +22,7 @@ package engine
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"fadewich/internal/block"
@@ -126,6 +126,19 @@ type Fleet struct {
 	active []*officeState
 	byID   map[int]*officeState
 	nextID int
+
+	// Batch-delivery scratch, reused across Run calls and guarded by mu.
+	// At 1024+ offices the per-call work structs, routing map, shard-run
+	// headers and merge temporaries dominated Run's allocation profile
+	// despite being dead the moment the call returned; pooling them makes
+	// steady-state delivery allocation-free apart from the returned slice.
+	workByID  map[int]*work
+	workCache []work
+	workList  []*work
+	shardRuns [][]OfficeAction
+	shardSc   []*mergeScratch
+	finalSc   mergeScratch
+	denseB    []OfficeBatch // RunBatch's dense-payload staging
 }
 
 // NewFleet builds the fleet with every initial office System in the
@@ -302,18 +315,34 @@ type work struct {
 }
 
 func (f *Fleet) runLocked(batches []OfficeBatch, inputs []InputEvent) ([]OfficeAction, error) {
-	byID := make(map[int]*work, len(batches))
-	worklist := make([]*work, 0, len(batches))
+	// A batch routes through fleet-owned scratch: the work array is
+	// pre-sized to the worst case (one office per entry) so taking
+	// pointers into it is safe, the routing map is cleared in place, and
+	// event slices keep their capacity from previous batches.
+	need := len(batches) + len(inputs)
+	if f.workByID == nil {
+		f.workByID = make(map[int]*work, need)
+	} else {
+		clear(f.workByID)
+	}
+	if cap(f.workCache) < need {
+		f.workCache = make([]work, need)
+	}
+	cache := f.workCache[:cap(f.workCache)]
+	nw := 0
+	worklist := f.workList[:0]
 	lookup := func(id int) (*work, error) {
-		if w := byID[id]; w != nil {
+		if w := f.workByID[id]; w != nil {
 			return w, nil
 		}
 		st := f.byID[id]
 		if st == nil {
 			return nil, fmt.Errorf("engine: office %d is not a member of the fleet", id)
 		}
-		w := &work{st: st}
-		byID[id] = w
+		w := &cache[nw]
+		nw++
+		*w = work{st: st, evs: w.evs[:0]}
+		f.workByID[id] = w
 		worklist = append(worklist, w)
 		return w, nil
 	}
@@ -335,13 +364,14 @@ func (f *Fleet) runLocked(batches []OfficeBatch, inputs []InputEvent) ([]OfficeA
 		}
 		w.evs = append(w.evs, ev)
 	}
+	f.workList = worklist
 	if len(worklist) == 0 {
 		return nil, nil // empty batch: nothing to deliver or merge
 	}
 	// Ascending-ID order makes the shard partition — and with it the
 	// merge's office-ID tie-break — independent of the caller's entry
 	// order.
-	sort.Slice(worklist, func(a, b int) bool { return worklist[a].st.id < worklist[b].st.id })
+	slices.SortFunc(worklist, func(a, b *work) int { return a.st.id - b.st.id })
 
 	// Shard-local batching: one pool task runs a contiguous ascending-ID
 	// range of offices and merges their action runs locally, so the final
@@ -352,7 +382,13 @@ func (f *Fleet) runLocked(batches []OfficeBatch, inputs []InputEvent) ([]OfficeA
 	if len(worklist) > 0 {
 		numShards = (len(worklist) + size - 1) / size
 	}
-	runs := make([][]OfficeAction, numShards)
+	if cap(f.shardRuns) < numShards {
+		f.shardRuns = make([][]OfficeAction, numShards)
+	}
+	runs := f.shardRuns[:numShards]
+	for len(f.shardSc) < numShards {
+		f.shardSc = append(f.shardSc, new(mergeScratch))
+	}
 	err := f.pool.Map(numShards, func(si int) error {
 		lo := si * size
 		hi := lo + size
@@ -376,7 +412,7 @@ func (f *Fleet) runLocked(batches []OfficeBatch, inputs []InputEvent) ([]OfficeA
 			// evs is ordered by slice position; deliver all events with
 			// Tick <= t before tick t. Sort stably by tick so out-of-order
 			// caller input still lands deterministically.
-			sort.SliceStable(w.evs, func(a, b int) bool { return w.evs[a].Tick < w.evs[b].Tick })
+			slices.SortStableFunc(w.evs, func(a, b InputEvent) int { return a.Tick - b.Tick })
 			next := 0
 			for t, n := 0, w.batch.NumTicks(); t < n; t++ {
 				for next < len(w.evs) && w.evs[next].Tick <= t {
@@ -392,22 +428,33 @@ func (f *Fleet) runLocked(batches []OfficeBatch, inputs []InputEvent) ([]OfficeA
 			}
 			w.st.buf = out
 		}
-		officeRuns := make([][]OfficeAction, len(shard))
+		sc := f.shardSc[si]
+		officeRuns := sc.officeRuns[:0]
 		shardDT := shard[0].st.dt
-		for i, w := range shard {
-			officeRuns[i] = w.st.buf
+		for _, w := range shard {
+			officeRuns = append(officeRuns, w.st.buf)
 			if w.st.dt != shardDT {
 				shardDT = 0 // mixed tick periods: no shared grid
 			}
 		}
-		runs[si] = mergeRuns(officeRuns, shardDT)
+		sc.officeRuns = officeRuns
+		// A single shard's merge IS the batch result and must be fresh
+		// (Run's contract lets callers keep it); intermediate shard runs
+		// reuse the scratch output buffer instead.
+		runs[si] = sc.merge(officeRuns, shardDT, numShards == 1)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Drop payload references now that delivery is done, so the pooled
+	// work structs never pin a caller's Block or tick slices past the
+	// Run call.
+	for i := range cache[:nw] {
+		cache[i].batch = OfficeBatch{}
+	}
 	if numShards == 1 {
-		return runs[0], nil // already a fresh, fully merged slice
+		return runs[0], nil // merged fresh by the shard task above
 	}
 	fleetDT := worklist[0].st.dt
 	for _, w := range worklist {
@@ -415,10 +462,67 @@ func (f *Fleet) runLocked(batches []OfficeBatch, inputs []InputEvent) ([]OfficeA
 			fleetDT = 0 // mixed tick periods: no shared grid
 		}
 	}
-	return mergeRuns(runs, fleetDT), nil
+	return f.finalSc.merge(runs, fleetDT, true), nil
 }
 
-// bucketMergeRuns merges by counting sort over the batch's tick span.
+// mergeScratch owns the reusable temporaries of a merge call — the
+// counting-sort order/starts arrays, the heap-merge cursor state, the
+// shard pass's run headers — plus an optional reusable output buffer.
+// The zero value is ready to use. One scratch serves one goroutine at a
+// time; the fleet keeps one per shard slot plus one for the final pass.
+type mergeScratch struct {
+	out        []OfficeAction
+	officeRuns [][]OfficeAction // shard pass: per-office run headers
+	order      []int64
+	starts     []int32
+	pos        []int
+	heap       []int
+}
+
+// outBuf returns an empty output slice with capacity n: a fresh
+// allocation when the result escapes to the caller (fresh), the reusable
+// scratch buffer otherwise.
+func (sc *mergeScratch) outBuf(n int, fresh bool) []OfficeAction {
+	if fresh {
+		return make([]OfficeAction, 0, n)
+	}
+	if cap(sc.out) < n {
+		sc.out = make([]OfficeAction, 0, n)
+	}
+	return sc.out[:0]
+}
+
+// orderBuf returns an n-element int64 buffer with undefined contents.
+func (sc *mergeScratch) orderBuf(n int) []int64 {
+	if cap(sc.order) < n {
+		sc.order = make([]int64, n)
+	}
+	return sc.order[:n]
+}
+
+// startsBuf returns an n-element zeroed int32 buffer.
+func (sc *mergeScratch) startsBuf(n int) []int32 {
+	if cap(sc.starts) < n {
+		sc.starts = make([]int32, n)
+		return sc.starts
+	}
+	s := sc.starts[:n]
+	clear(s)
+	return s
+}
+
+// posBuf returns an n-element zeroed int buffer.
+func (sc *mergeScratch) posBuf(n int) []int {
+	if cap(sc.pos) < n {
+		sc.pos = make([]int, n)
+		return sc.pos
+	}
+	p := sc.pos[:n]
+	clear(p)
+	return p
+}
+
+// bucket merges by counting sort over the batch's tick span.
 // dt is the tick period shared by every participating office; action
 // times are float64(tick)·dt exactly (System.Tick stamps them that
 // way), so the integer tick is recovered exactly by rounding t/dt and
@@ -435,13 +539,13 @@ func (f *Fleet) runLocked(batches []OfficeBatch, inputs []InputEvent) ([]OfficeA
 // precondition fails, or the tick span is too sparse for a dense count
 // array to pay off (e.g. a fresh joiner's near-zero clock merged with
 // multi-day clocks).
-func bucketMergeRuns(runs [][]OfficeAction, total int, dt float64) []OfficeAction {
+func (sc *mergeScratch) bucket(runs [][]OfficeAction, total int, dt float64, fresh bool) []OfficeAction {
 	if dt <= 0 || total < 32 {
 		return nil
 	}
 	// Verify ascending, disjoint office ranges and recover every
 	// action's tick in one pass.
-	order := make([]int64, total)
+	order := sc.orderBuf(total)
 	minTick, maxTick := int64(1<<62), int64(-1<<62)
 	prevMax, n := -1, 0
 	for _, r := range runs {
@@ -480,14 +584,14 @@ func bucketMergeRuns(runs [][]OfficeAction, total int, dt float64) []OfficeActio
 	}
 
 	// Counting sort: bucket sizes, prefix sums, scatter.
-	starts := make([]int32, span+1)
+	starts := sc.startsBuf(int(span) + 1)
 	for _, k := range order[:n] {
 		starts[k-minTick+1]++
 	}
 	for i := int64(1); i <= span; i++ {
 		starts[i] += starts[i-1]
 	}
-	out := make([]OfficeAction, total)
+	out := sc.outBuf(total, fresh)[:total]
 	n = 0
 	for _, r := range runs {
 		for i := range r {
@@ -533,11 +637,18 @@ func (f *Fleet) RunBatch(ticks [][][]float64, inputs []InputEvent) ([]OfficeActi
 	if len(ticks) != len(f.active) {
 		return nil, fmt.Errorf("engine: batch has %d offices, fleet has %d", len(ticks), len(f.active))
 	}
-	batches := make([]OfficeBatch, len(ticks))
+	if cap(f.denseB) < len(ticks) {
+		f.denseB = make([]OfficeBatch, len(ticks))
+	}
+	batches := f.denseB[:len(ticks)]
 	for i, st := range f.active {
 		batches[i] = OfficeBatch{Office: st.id, Ticks: ticks[i]}
 	}
-	return f.runLocked(batches, inputs)
+	out, err := f.runLocked(batches, inputs)
+	for i := range batches {
+		batches[i] = OfficeBatch{} // don't pin the caller's tick slices
+	}
+	return out, err
 }
 
 // Tick delivers one tick to every member office (rssi[i] is the sample
@@ -566,12 +677,21 @@ func (f *Fleet) Tick(rssi [][]float64) ([]OfficeAction, error) {
 //
 // Two strategies implement the same order. Action times are tick-grid
 // values (System.Tick stamps tick·DT), so a fleet batch usually has few
-// distinct times shared by many actions; bucketMergeRuns counting-sorts
+// distinct times shared by many actions; the bucket pass counting-sorts
 // over the distinct times at O(1) comparisons per action, independent
 // of the merge fan-in. When the precondition it needs is absent —
 // ascending run office ranges — or times are mostly unique
 // (heterogeneous DT drift), the index-heap merge takes over.
 func mergeRuns(runs [][]OfficeAction, dt float64) []OfficeAction {
+	var sc mergeScratch
+	return sc.merge(runs, dt, true)
+}
+
+// merge is mergeRuns with explicit buffer ownership: temporaries always
+// come from the scratch, and the result is freshly allocated when fresh
+// is set (the caller keeps it) or scratch-backed otherwise (valid until
+// the scratch's next merge — the fleet's intermediate shard runs).
+func (sc *mergeScratch) merge(runs [][]OfficeAction, dt float64, fresh bool) []OfficeAction {
 	total, nonEmpty := 0, 0
 	for _, r := range runs {
 		total += len(r)
@@ -582,19 +702,20 @@ func mergeRuns(runs [][]OfficeAction, dt float64) []OfficeAction {
 	if total == 0 {
 		return nil
 	}
-	out := make([]OfficeAction, 0, total)
 	if nonEmpty == 1 {
+		out := sc.outBuf(total, fresh)
 		for _, r := range runs {
 			out = append(out, r...)
 		}
 		return out
 	}
-	if merged := bucketMergeRuns(runs, total, dt); merged != nil {
+	if merged := sc.bucket(runs, total, dt, fresh); merged != nil {
 		return merged
 	}
 
 	// Index heap over the non-empty runs, keyed by each run's head.
-	pos := make([]int, len(runs))
+	out := sc.outBuf(total, fresh)
+	pos := sc.posBuf(len(runs))
 	less := func(a, b int) bool {
 		x, y := &runs[a][pos[a]], &runs[b][pos[b]]
 		if x.Action.Time != y.Action.Time {
@@ -602,12 +723,13 @@ func mergeRuns(runs [][]OfficeAction, dt float64) []OfficeAction {
 		}
 		return x.Office < y.Office
 	}
-	heap := make([]int, 0, nonEmpty)
+	heap := sc.heap[:0]
 	for ri, r := range runs {
 		if len(r) > 0 {
 			heap = append(heap, ri)
 		}
 	}
+	sc.heap = heap
 	siftDown := func(i int) {
 		for {
 			l := 2*i + 1

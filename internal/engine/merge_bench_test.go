@@ -56,22 +56,30 @@ func BenchmarkFleetMerge(b *testing.B) {
 			size := shardSize(offices, pool.Workers())
 			numShards := (offices + size - 1) / size
 			total := totalActions
+			// Same buffer ownership as Fleet.runLocked: intermediate
+			// shard runs reuse per-shard scratch, only the final merged
+			// slice is freshly allocated.
+			shardRuns := make([][]OfficeAction, numShards)
+			shardSc := make([]*mergeScratch, numShards)
+			for si := range shardSc {
+				shardSc[si] = new(mergeScratch)
+			}
+			var finalSc mergeScratch
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				shardRuns := make([][]OfficeAction, numShards)
 				if err := pool.Map(numShards, func(si int) error {
 					lo := si * size
 					hi := lo + size
 					if hi > offices {
 						hi = offices
 					}
-					shardRuns[si] = mergeRuns(runs[lo:hi], 0.2)
+					shardRuns[si] = shardSc[si].merge(runs[lo:hi], 0.2, false)
 					return nil
 				}); err != nil {
 					b.Fatal(err)
 				}
-				if merged := mergeRuns(shardRuns, 0.2); len(merged) != total {
+				if merged := finalSc.merge(shardRuns, 0.2, true); len(merged) != total {
 					b.Fatalf("merged %d actions, want %d", len(merged), total)
 				}
 			}

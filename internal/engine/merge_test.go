@@ -146,7 +146,7 @@ func TestBucketMergeMatchesHeap(t *testing.T) {
 	for _, r := range runs {
 		total += len(r)
 	}
-	fast := bucketMergeRuns(runs, total, dt)
+	fast := new(mergeScratch).bucket(runs, total, dt, true)
 	if fast == nil {
 		t.Fatal("bucket merge rejected tick-grid input")
 	}
@@ -164,13 +164,13 @@ func TestBucketMergeMatchesHeap(t *testing.T) {
 	offGrid := syntheticRuns(48, 40)
 	offGrid[3][2].Action.Time += 0.05
 	sortRunFix(offGrid[3])
-	if bucketMergeRuns(offGrid, total, dt) != nil {
+	if new(mergeScratch).bucket(offGrid, total, dt, true) != nil {
 		t.Fatal("bucket merge accepted an off-grid time")
 	}
 	// Non-ascending office ranges: must fall back.
 	swapped := syntheticRuns(48, 40)
 	swapped[0], swapped[1] = swapped[1], swapped[0]
-	if bucketMergeRuns(swapped, total, dt) != nil {
+	if new(mergeScratch).bucket(swapped, total, dt, true) != nil {
 		t.Fatal("bucket merge accepted non-ascending office ranges")
 	}
 	// Sparse span (a joiner's near-zero clock next to a multi-day one):
@@ -183,7 +183,7 @@ func TestBucketMergeMatchesHeap(t *testing.T) {
 		sparse[0][i] = OfficeAction{Office: 0, Action: core.Action{Time: float64(i) * dt}}
 		sparse[1][i] = OfficeAction{Office: 1, Action: core.Action{Time: float64(10_000_000+i) * dt}}
 	}
-	if bucketMergeRuns(sparse, 80, dt) != nil {
+	if new(mergeScratch).bucket(sparse, 80, dt, true) != nil {
 		t.Fatal("bucket merge accepted a hugely sparse tick span")
 	}
 	if got := mergeRuns(sparse, dt); len(got) != 80 || got[0].Office != 0 || got[79].Office != 1 {

@@ -182,6 +182,21 @@ type officeQueue struct {
 	pushed     uint64
 	dispatched uint64
 	dropped    uint64
+	// free recycles dispatched (or evicted) sample slices back to Push,
+	// and spare recycles the previous snapshot's tick-header array, so a
+	// steady-state Push/dispatch cycle allocates nothing: each office
+	// ping-pongs between two header arrays and at most queue-capacity
+	// sample slices.
+	free  [][]float64
+	spare [][]float64
+}
+
+// recycleTick returns one sample slice to the office's freelist, capped
+// at the queue capacity (more can never be in flight for one office).
+func (q *officeQueue) recycleTick(tick []float64, queue int) {
+	if len(q.free) < queue {
+		q.free = append(q.free, tick)
+	}
 }
 
 // pendingInput is a queued input notification: deliver to office/ws
@@ -239,6 +254,11 @@ type Ingestor struct {
 	// sets latencyDue, which the dispatcher treats like a flush trigger.
 	pendingSince time.Time
 	latencyDue   bool
+
+	// batchBuf/evsBuf are the dispatcher's reusable snapshot buffers;
+	// only takeLocked and the dispatcher goroutine touch them.
+	batchBuf []engine.OfficeBatch
+	evsBuf   []engine.InputEvent
 
 	pumpCh         chan []engine.OfficeAction
 	pumpDone       chan struct{}
@@ -399,7 +419,6 @@ func deleteID(ids []int, id int) []int {
 // returns ErrQueueFull. A Block-policy Push whose office is removed while
 // it waits returns ErrUnknownOffice.
 func (in *Ingestor) Push(office int, rssi []float64) error {
-	tick := append([]float64(nil), rssi...)
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	q := in.q[office]
@@ -412,6 +431,7 @@ func (in *Ingestor) Push(office int, rssi []float64) error {
 	for !in.closed && len(q.ticks) >= in.queue {
 		switch in.onFull {
 		case DropOldest:
+			q.recycleTick(q.ticks[0], in.queue)
 			q.ticks = q.ticks[1:]
 			q.base++
 			q.dropped++
@@ -431,6 +451,17 @@ func (in *Ingestor) Push(office int, rssi []float64) error {
 	if in.closed {
 		return ErrClosed
 	}
+	// Copy the caller's samples into a recycled slice when one fits
+	// (stream counts are per-office constants, so after the first
+	// dispatch cycle this never allocates).
+	var tick []float64
+	if n := len(q.free); n > 0 && cap(q.free[n-1]) >= len(rssi) {
+		tick = q.free[n-1][:len(rssi)]
+		q.free = q.free[:n-1]
+	} else {
+		tick = make([]float64, len(rssi))
+	}
+	copy(tick, rssi)
 	q.ticks = append(q.ticks, tick)
 	q.pushed++
 	if in.batchTicks > 0 && len(q.ticks) >= in.effBatch {
@@ -781,6 +812,7 @@ func (in *Ingestor) dispatch() {
 		}
 
 		in.mu.Lock()
+		in.recycleLocked(batch)
 		if err != nil && in.err == nil {
 			in.err = fmt.Errorf("stream: dispatch: %w", err)
 		}
@@ -853,8 +885,8 @@ func (in *Ingestor) queuedLocked() bool {
 // tick was dropped clamp to the start of the batch (the fleet delivers
 // them before the first surviving tick).
 func (in *Ingestor) takeLocked() (batch []engine.OfficeBatch, evs []engine.InputEvent, n int) {
+	evs = in.evsBuf[:0]
 	if len(in.pend) > 0 {
-		evs = make([]engine.InputEvent, 0, len(in.pend))
 		for _, pi := range in.pend {
 			tick := 0
 			if q := in.q[pi.office]; q != nil && pi.seq > q.base {
@@ -864,6 +896,7 @@ func (in *Ingestor) takeLocked() (batch []engine.OfficeBatch, evs []engine.Input
 		}
 		in.pend = in.pend[:0]
 	}
+	batch = in.batchBuf[:0]
 	for _, id := range in.ids {
 		q := in.q[id]
 		if len(q.ticks) == 0 {
@@ -873,12 +906,40 @@ func (in *Ingestor) takeLocked() (batch []engine.OfficeBatch, evs []engine.Input
 		n += len(q.ticks)
 		q.base += uint64(len(q.ticks))
 		q.dispatched += uint64(len(q.ticks))
-		q.ticks = nil
+		// Hand the snapshot out and refill from the office's spare
+		// header array (ping-pong: the dispatcher returns this snapshot
+		// as the new spare once the fleet is done with it).
+		q.ticks = q.spare[:0]
+		q.spare = nil
 	}
+	in.evsBuf = evs
+	in.batchBuf = batch
 	// The snapshot empties every queue; the latency clock restarts with
 	// the next queued work.
 	in.pendingSince = time.Time{}
 	return batch, evs, n
+}
+
+// recycleLocked returns a dispatched snapshot's buffers to their office
+// queues: every sample slice goes back to the office freelist and the
+// tick-header array becomes the office's spare. The fleet only reads the
+// payload during Run, so by the time the dispatcher re-acquires the lock
+// the buffers are free. Offices removed while the batch was in flight
+// are simply skipped (their memory is garbage).
+func (in *Ingestor) recycleLocked(batch []engine.OfficeBatch) {
+	for i := range batch {
+		ob := &batch[i]
+		q := in.q[ob.Office]
+		if q != nil {
+			for _, tick := range ob.Ticks {
+				q.recycleTick(tick, in.queue)
+			}
+			if q.spare == nil {
+				q.spare = ob.Ticks[:0]
+			}
+		}
+		*ob = engine.OfficeBatch{} // don't pin retired offices' buffers
+	}
 }
 
 // pump is the sink delivery goroutine: it forwards dispatched batches to

@@ -39,6 +39,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"strconv"
 
 	"fadewich/internal/control"
 	"fadewich/internal/core"
@@ -103,6 +104,9 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // wireAction is the JSON shape of one action on a codec-v1 payload. The
 // field set, order and tags are frozen: they define the v1 byte stream.
+// Decode unmarshals through it, and the differential test marshals it
+// as the reference AppendJSONL's hand-rolled encoding must match byte
+// for byte.
 type wireAction struct {
 	Office      int     `json:"office"`
 	Time        float64 `json:"time"`
@@ -116,28 +120,74 @@ type wireAction struct {
 // and returns the extended slice: one JSON object per action, one
 // action per line, in batch order. This is the LogSink file format and
 // the v1 frame payload, unchanged from the pre-frame wire encoding.
+//
+// The encoding is hand-rolled but byte-identical to json.Marshal of
+// wireAction (TestAppendJSONLMatchesStdlib pins the equivalence): the
+// reflection-based marshaller allocated per action, which dominated the
+// sink hot path's allocation profile at fleet scale.
 func AppendJSONL(dst []byte, batch []engine.OfficeAction) []byte {
-	for _, a := range batch {
-		rec := wireAction{
-			Office:      a.Office,
-			Time:        a.Action.Time,
-			Type:        a.Action.Type.String(),
-			Workstation: a.Action.Workstation,
-			Label:       a.Action.Label,
-		}
+	for i := range batch {
+		a := &batch[i]
+		dst = append(dst, `{"office":`...)
+		dst = strconv.AppendInt(dst, int64(a.Office), 10)
+		dst = append(dst, `,"time":`...)
+		dst = appendJSONFloat(dst, a.Action.Time)
+		dst = append(dst, `,"type":`...)
+		dst = appendJSONString(dst, a.Action.Type.String())
+		dst = append(dst, `,"workstation":`...)
+		dst = strconv.AppendInt(dst, int64(a.Action.Workstation), 10)
 		if a.Action.Cause != 0 {
-			rec.Cause = a.Action.Cause.String()
+			dst = append(dst, `,"cause":`...)
+			dst = appendJSONString(dst, a.Action.Cause.String())
 		}
-		b, err := json.Marshal(rec)
-		if err != nil {
-			// wireAction contains only plain scalar fields; Marshal
-			// cannot fail on it.
-			panic(err)
-		}
-		dst = append(dst, b...)
-		dst = append(dst, '\n')
+		dst = append(dst, `,"label":`...)
+		dst = strconv.AppendInt(dst, int64(a.Action.Label), 10)
+		dst = append(dst, '}', '\n')
 	}
 	return dst
+}
+
+// appendJSONFloat appends a float64 exactly as encoding/json does:
+// shortest round-trip form, 'f' format except for very small or very
+// large magnitudes, with the stdlib's two-digit-exponent cleanup
+// (e-09 → e-9). Non-finite values panic, matching the Marshal error the
+// old path turned into a panic.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		panic(fmt.Errorf("wire: unsupported non-finite time value %v", f))
+	}
+	format := byte('f')
+	if abs := math.Abs(f); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// appendJSONString appends s as a JSON string. The enum spellings this
+// encoder emits ("alert-enter", "timeout", "action(7)", …) are plain
+// printable ASCII with nothing to escape, so the fast path is a quoted
+// verbatim copy; anything else defers to json.Marshal for the stdlib's
+// exact escaping (including its HTML-safe < form).
+func appendJSONString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			b, err := json.Marshal(s)
+			if err != nil {
+				panic(err) // a string cannot fail to marshal
+			}
+			return append(dst, b...)
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"')
 }
 
 // appendBinary appends the codec-v2 payload encoding of a batch to dst.
