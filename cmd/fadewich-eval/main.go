@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"fadewich/internal/eval"
+	"fadewich/internal/prof"
 	"fadewich/internal/report"
 	"fadewich/internal/sim"
 )
@@ -31,9 +32,24 @@ func main() {
 	draws := flag.Int("draws", 100, "input redraws for the usability simulation")
 	parallel := flag.Int("parallel", 0, "worker pool width for generation and sweeps (0 = one per CPU, 1 = sequential)")
 	csv := flag.Bool("csv", false, "also print figure series as CSV")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
 	flag.Parse()
 
-	if err := run(*exp, *days, *seed, *draws, *parallel, *csv); err != nil {
+	stopProf, err := prof.Start(prof.Flags{CPU: *cpuProfile, Mem: *memProfile, Mutex: *mutexProfile})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fadewich-eval: %v\n", err)
+		os.Exit(1)
+	}
+	err = run(*exp, *days, *seed, *draws, *parallel, *csv)
+	// Flush profiles before deciding the exit code (os.Exit would skip a
+	// deferred flush), and let a profile-write failure surface when the
+	// run itself succeeded.
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fadewich-eval: %v\n", err)
 		os.Exit(1)
 	}

@@ -60,6 +60,7 @@ import (
 	"fadewich/internal/kma"
 	"fadewich/internal/md"
 	"fadewich/internal/office"
+	"fadewich/internal/prof"
 	"fadewich/internal/rf"
 	"fadewich/internal/rng"
 	"fadewich/internal/segment"
@@ -83,7 +84,15 @@ func main() {
 	onFull := flag.String("on-full", "block", "backpressure policy when a queue is full: block, drop-oldest or error")
 	maxLatency := flag.Duration("max-latency", 0, "dispatch queued ticks at most this long after they arrive, without waiting for a flush (0 = flush-driven; needs -sink)")
 	verbose := flag.Bool("v", false, "print every action")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
 	flag.Parse()
+	stopProf, err := prof.Start(prof.Flags{CPU: *cpuProfile, Mem: *memProfile, Mutex: *mutexProfile})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fadewich-sim: %v\n", err)
+		os.Exit(1)
+	}
 	officesSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "offices" {
@@ -91,7 +100,6 @@ func main() {
 		}
 	})
 
-	var err error
 	switch {
 	case *offices < 1:
 		err = fmt.Errorf("need at least 1 office, got %d", *offices)
@@ -107,6 +115,12 @@ func main() {
 			*queue, *onFull, *maxLatency, *verbose)
 	default:
 		err = run(*days, *seed, *sensors, *parallel, *verbose)
+	}
+	// Flush profiles before deciding the exit code (os.Exit would skip a
+	// deferred flush), and let a profile-write failure surface when the
+	// run itself succeeded.
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fadewich-sim: %v\n", err)
