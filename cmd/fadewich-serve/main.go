@@ -1,0 +1,244 @@
+// Command fadewich-serve is the reconciling control-plane daemon: it
+// hosts a live fleet behind an HTTP API and drives fleet membership
+// declaratively from a JSON fleet-spec file.
+//
+// The spec file (-spec) lists the desired offices — the same
+// layout/sensors/MD schema as fadewich-sim -office-config, plus a
+// required stable "name" per office. A reconcile loop diffs that
+// desired state against live membership and applies adds, removes and
+// config rollouts at batch boundaries. The spec is re-read on SIGHUP,
+// on POST /v1/reload, and (with -watch) whenever the file changes.
+//
+// The HTTP surface:
+//
+//	POST /v1/ticks    ingest tick JSONL ({"office":NAME,"rssi":[...]}
+//	                  or {"office":NAME,"input":WS}), bare or wrapped
+//	                  in CRC-checked wire frames
+//	                  (Content-Type: application/x-fadewich-frames);
+//	                  ?flush=1 dispatches the queued ticks immediately
+//	GET  /v1/actions  chunked wire-frame stream of every dispatched
+//	                  action batch (?codec=1 JSONL, ?codec=2 binary)
+//	GET  /v1/offices  per-office status: phase, training samples,
+//	                  observed spec generation, queue counters
+//	POST /v1/train    move every training-phase office online
+//	POST /v1/reload   re-read the spec file and reconcile
+//	GET  /metrics     Prometheus text exposition, dependency-free
+//
+// Actions can additionally be persisted to a rotating segment log
+// (-segments, replayable with fadewich-tail) and forwarded over TCP
+// (-forward, the feed for fadewich-tail -listen). On SIGINT/SIGTERM
+// the daemon drains: queued ticks are dispatched, sinks flushed, the
+// active segment sealed.
+//
+// Usage:
+//
+//	fadewich-serve -spec fleet.json [-listen ADDR] [-watch 2s]
+//	               [-segments DIR] [-forward ADDR] [-codec 1|2]
+//	               [-queue N] [-on-full block|drop-oldest|error]
+//	               [-batch-ticks N] [-max-latency D] [-parallel N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fadewich/internal/prof"
+	"fadewich/internal/segment"
+	"fadewich/internal/serve"
+	"fadewich/internal/stream"
+	"fadewich/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address (use :0 for an ephemeral port; the bound address is printed to stderr)")
+	specPath := flag.String("spec", "", "JSON fleet-spec file with the desired offices (required)")
+	watch := flag.Duration("watch", 0, "poll the spec file at this interval and reconcile when it changes (0 = only SIGHUP and /v1/reload)")
+	queue := flag.Int("queue", 0, "per-office tick queue capacity (0 = default 256)")
+	onFull := flag.String("on-full", "block", "backpressure policy when a queue is full: block, drop-oldest or error")
+	batchTicks := flag.Int("batch-ticks", 0, "dispatch when an office has this many ticks queued (0 = flush/latency-driven only)")
+	adaptive := flag.Bool("adaptive-batch", false, "scale the dispatch threshold with queue pressure (needs -batch-ticks)")
+	maxLatency := flag.Duration("max-latency", 0, "dispatch queued ticks at most this long after they arrive (0 = off)")
+	parallel := flag.Int("parallel", 0, "fleet worker pool width (0 = one per CPU)")
+	segDir := flag.String("segments", "", "persist the action stream to a rotating segment log in this directory")
+	segMaxBytes := flag.Int64("segment-max-bytes", 0, "rotate segments at this size (0 = library default)")
+	segMaxAge := flag.Duration("segment-max-age", 0, "rotate segments at this age (0 = size-only)")
+	fsync := flag.String("fsync", "rotate", "segment log durability: never, rotate or always")
+	codec := flag.Int("codec", 1, "wire codec of the segment log and the TCP forward: 1 = JSONL, 2 = compact binary")
+	forward := flag.String("forward", "", "also stream dispatched batches to this TCP address as wire frames")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
+	flag.Parse()
+
+	stopProf, err := prof.Start(prof.Flags{CPU: *cpuProfile, Mem: *memProfile, Mutex: *mutexProfile})
+	if err == nil {
+		err = run(options{
+			listen:      *listen,
+			specPath:    *specPath,
+			watch:       *watch,
+			queue:       *queue,
+			onFull:      *onFull,
+			batchTicks:  *batchTicks,
+			adaptive:    *adaptive,
+			maxLatency:  *maxLatency,
+			parallel:    *parallel,
+			segDir:      *segDir,
+			segMaxBytes: *segMaxBytes,
+			segMaxAge:   *segMaxAge,
+			fsync:       *fsync,
+			codec:       *codec,
+			forward:     *forward,
+		})
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fadewich-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	listen      string
+	specPath    string
+	watch       time.Duration
+	queue       int
+	onFull      string
+	batchTicks  int
+	adaptive    bool
+	maxLatency  time.Duration
+	parallel    int
+	segDir      string
+	segMaxBytes int64
+	segMaxAge   time.Duration
+	fsync       string
+	codec       int
+	forward     string
+}
+
+func run(opt options) error {
+	if opt.specPath == "" {
+		return errors.New("-spec is required")
+	}
+	if opt.codec != 1 && opt.codec != 2 {
+		return fmt.Errorf("unknown wire codec %d (want 1 or 2)", opt.codec)
+	}
+	policy, err := stream.ParsePolicy(opt.onFull)
+	if err != nil {
+		return err
+	}
+	fsyncPolicy, err := segment.ParseFsyncPolicy(opt.fsync)
+	if err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{
+		SpecPath:        opt.specPath,
+		Queue:           opt.queue,
+		OnFull:          policy,
+		BatchTicks:      opt.batchTicks,
+		AdaptiveBatch:   opt.adaptive,
+		MaxBatchLatency: opt.maxLatency,
+		Workers:         opt.parallel,
+		SegmentDir:      opt.segDir,
+		SegmentMaxBytes: opt.segMaxBytes,
+		SegmentMaxAge:   opt.segMaxAge,
+		Fsync:           fsyncPolicy,
+		Codec:           wire.Version(opt.codec),
+		Forward:         opt.forward,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", opt.listen)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	// The bound address line is machine-read by the e2e harness (and by
+	// humans with -listen :0), so its shape is load-bearing.
+	fmt.Fprintf(os.Stderr, "fadewich-serve: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.Reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "fadewich-serve: reload: %v\n", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "fadewich-serve: spec reloaded")
+			}
+		}
+	}()
+
+	if opt.watch > 0 {
+		go watchSpec(opt.specPath, opt.watch, srv)
+	}
+
+	// On SIGINT/SIGTERM, drain before stopping the listener: Close
+	// dispatches queued ticks, flushes and closes the sinks (sealing
+	// the active segment) and completes the /v1/actions streams, which
+	// lets Shutdown's wait for active connections finish.
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		sig := <-term
+		fmt.Fprintf(os.Stderr, "fadewich-serve: %v: draining\n", sig)
+		err := srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if serr := httpSrv.Shutdown(ctx); serr != nil && err == nil {
+			err = serr
+		}
+		done <- err
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		srv.Close()
+		return err
+	}
+	return <-done
+}
+
+// watchSpec polls the spec file and reconciles whenever its mtime or
+// size changes — the declarative alternative to signalling SIGHUP. A
+// vanished file is reported through the reconciler as a reconcile
+// error (visible in /v1/offices and /metrics) and retried.
+func watchSpec(path string, every time.Duration, srv *serve.Server) {
+	var lastMod time.Time
+	var lastSize int64
+	if info, err := os.Stat(path); err == nil {
+		lastMod, lastSize = info.ModTime(), info.Size()
+	}
+	for range time.Tick(every) {
+		info, err := os.Stat(path)
+		if err != nil {
+			if ferr := srv.Reconciler().Fail(fmt.Errorf("watch spec: %w", err)); ferr != nil {
+				fmt.Fprintf(os.Stderr, "fadewich-serve: %v\n", ferr)
+			}
+			continue
+		}
+		if info.ModTime().Equal(lastMod) && info.Size() == lastSize {
+			continue
+		}
+		lastMod, lastSize = info.ModTime(), info.Size()
+		if err := srv.Reload(); err != nil {
+			fmt.Fprintf(os.Stderr, "fadewich-serve: watch reload: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "fadewich-serve: spec change applied\n")
+		}
+	}
+}

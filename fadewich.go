@@ -35,6 +35,12 @@
 //     codec v1, compact binary as v2) and the crash-safe rotating
 //     segment store with manifest, torn-frame recovery and filtered
 //     replay cursors. cmd/fadewich-tail is the reference consumer.
+//   - Control plane (internal/serve) — the long-running service face:
+//     cmd/fadewich-serve hosts a live Fleet behind an HTTP API (tick
+//     ingest, streamed actions, office status, Prometheus metrics) and
+//     reconciles fleet membership against a declarative JSON fleet
+//     spec, applying adds, removes and config rollouts at batch
+//     boundaries.
 //
 // Quick start:
 //
@@ -57,6 +63,7 @@ import (
 	"fadewich/internal/re"
 	"fadewich/internal/rf"
 	"fadewich/internal/segment"
+	"fadewich/internal/serve"
 	"fadewich/internal/sim"
 	"fadewich/internal/stream"
 	"fadewich/internal/svm"
@@ -236,6 +243,39 @@ func NewSegmentSink(cfg SegmentConfig) (*SegmentSink, error) { return stream.New
 func OpenSegmentDir(dir string, opt SegmentReadOptions) (*SegmentReader, error) {
 	return segment.OpenDir(dir, opt)
 }
+
+// ServeConfig parameterises the control-plane Server behind
+// cmd/fadewich-serve: spec file path, ingestion knobs, sinks.
+type ServeConfig = serve.Config
+
+// Server hosts a live Fleet+Ingestor behind the fadewich-serve HTTP
+// API (tick ingest, action stream, office status, train, reload,
+// metrics) and reconciles fleet membership against a declarative
+// fleet-spec file. It implements http.Handler; Close drains.
+type Server = serve.Server
+
+// FleetSpec is the declarative fleet description fadewich-serve
+// reconciles against: desired offices with a shared defaults block.
+type FleetSpec = serve.Spec
+
+// FleetOfficeSpec describes one desired office in a FleetSpec (the
+// -office-config schema plus a stable name).
+type FleetOfficeSpec = serve.OfficeSpec
+
+// ResolvedOffice is one desired office after defaulting and
+// validation: its name and fully-resolved System configuration.
+type ResolvedOffice = serve.ResolvedOffice
+
+// NewServer builds the fleet from the spec file and starts the
+// ingestion machinery.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// ParseFleetSpec decodes a fleet spec from JSON, rejecting unknown
+// fields.
+func ParseFleetSpec(data []byte) (*FleetSpec, error) { return serve.ParseSpec(data) }
+
+// LoadFleetSpec reads and parses a fleet-spec file.
+func LoadFleetSpec(path string) (*FleetSpec, error) { return serve.LoadSpec(path) }
 
 // Layout is an office floor plan: workstations, wall sensors, the door.
 type Layout = office.Layout

@@ -810,6 +810,24 @@ func (f *Fleet) FinishTraining() error {
 	})
 }
 
+// FinishTrainingOffice moves one member office (by stable ID) to the
+// online phase. Unlike FinishTraining it is per-office, so a caller
+// serving a heterogeneous fleet can train the offices that are ready
+// and leave late joiners collecting samples — the serve daemon's
+// /v1/train endpoint does exactly that. Non-members are an error.
+func (f *Fleet) FinishTrainingOffice(id int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.byID[id]
+	if st == nil {
+		return fmt.Errorf("engine: office %d is not a fleet member", id)
+	}
+	if err := st.sys.FinishTraining(); err != nil {
+		return fmt.Errorf("engine: office %d: %w", id, err)
+	}
+	return nil
+}
+
 // TrainingSamples returns the total labelled training samples collected
 // across the member offices.
 func (f *Fleet) TrainingSamples() int {

@@ -590,3 +590,23 @@ func TestNewFleetValidation(t *testing.T) {
 		t.Fatal("invalid system config accepted")
 	}
 }
+
+func TestFinishTrainingOffice(t *testing.T) {
+	f, err := NewFleet(fleetCfg(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FinishTrainingOffice(7); err == nil {
+		t.Fatal("non-member office trained")
+	}
+	err = f.FinishTrainingOffice(1)
+	if err == nil {
+		t.Fatal("training with zero samples succeeded")
+	}
+	if !strings.Contains(err.Error(), "office 1") {
+		t.Fatalf("error %q does not name office 1", err)
+	}
+	if f.System(0).Phase() != core.PhaseTraining || f.System(1).Phase() != core.PhaseTraining {
+		t.Fatal("failed per-office training changed a phase")
+	}
+}

@@ -401,6 +401,16 @@ func (w *Writer) Stats() WriterStats {
 	return st
 }
 
+// Sealed returns a copy of the manifest's sealed-segment index,
+// including segments sealed by earlier writer generations in the same
+// directory — the per-segment detail behind the Stats.Sealed count,
+// giving a metrics endpoint the directory-wide frame/byte totals.
+func (w *Writer) Sealed() []Info {
+	out := make([]Info, len(w.man.Sealed))
+	copy(out, w.man.Sealed)
+	return out
+}
+
 // syncDir fsyncs a directory so renames and new files inside it are
 // durable.
 func syncDir(dir string) error {

@@ -558,3 +558,45 @@ func TestParseFsyncPolicy(t *testing.T) {
 		t.Fatal("unknown policy parsed")
 	}
 }
+
+// TestWriterSealedAccessor checks that Sealed() mirrors the on-disk
+// manifest, and that a second writer generation continuing the same
+// directory reports the inherited seals even though its own Stats
+// counter starts at zero.
+func TestWriterSealedAccessor(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(Config{Dir: dir, MaxSegmentBytes: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Append(mkBatch(0, float64(1+i), 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := loadManifest(dir)
+	if err != nil || man == nil {
+		t.Fatalf("manifest: %v (nil=%v)", err, man == nil)
+	}
+	if got := w.Sealed(); !reflect.DeepEqual(got, man.Sealed) {
+		t.Fatalf("Sealed() diverges from the manifest:\ngot  %+v\nwant %+v", got, man.Sealed)
+	}
+	got := w.Sealed()
+	got[0].Frames = -1
+	if w.Sealed()[0].Frames == -1 {
+		t.Fatal("Sealed() returned the writer's internal slice, not a copy")
+	}
+
+	w2, err := NewWriter(Config{Dir: dir, MaxSegmentBytes: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := len(w2.Sealed()); got != len(man.Sealed) || got != w2.Stats().Sealed {
+		t.Fatalf("fresh generation sees %d inherited seals (stats %d), want %d",
+			got, w2.Stats().Sealed, len(man.Sealed))
+	}
+}

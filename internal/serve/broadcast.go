@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+
+	"fadewich/internal/engine"
+	"fadewich/internal/stream"
+	"fadewich/internal/wire"
+)
+
+// broadcaster is the stream.Sink behind GET /v1/actions: every
+// dispatched batch is encoded as one wire frame per requested codec
+// and fanned out to the connected subscribers' buffered channels.
+//
+// Delivery is at-most-once per subscriber with a hard overflow rule: a
+// subscriber whose channel is full when a frame arrives is dropped
+// (its channel closed, the handler disconnects the client). A slow
+// consumer must never stall the pump goroutine — durability is the
+// segment log's job; a dropped subscriber replays from there and
+// re-subscribes. Frames handed to channels are freshly allocated and
+// shared read-only between same-codec subscribers.
+type broadcaster struct {
+	mu        sync.Mutex
+	subs      map[*subscriber]struct{}
+	closed    bool
+	frames    uint64
+	actions   uint64
+	overflows uint64
+}
+
+// subscriber is one /v1/actions connection.
+type subscriber struct {
+	ch    chan []byte
+	codec wire.Version
+}
+
+// errBroadcasterClosed distinguishes "server shutting down" from a
+// write failure.
+var errBroadcasterClosed = errors.New("serve: action broadcaster closed")
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[*subscriber]struct{})}
+}
+
+// Subscribe registers a consumer with room for buffer in-flight
+// frames.
+func (b *broadcaster) Subscribe(codec wire.Version, buffer int) (*subscriber, error) {
+	if codec != wire.V1JSONL && codec != wire.V2Binary {
+		return nil, errors.New("serve: unknown action codec")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, errBroadcasterClosed
+	}
+	s := &subscriber{ch: make(chan []byte, buffer), codec: codec}
+	b.subs[s] = struct{}{}
+	return s, nil
+}
+
+// Unsubscribe removes a consumer. Safe to call after an overflow drop
+// or Close already removed it.
+func (b *broadcaster) Unsubscribe(s *subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[s]; ok {
+		delete(b.subs, s)
+		close(s.ch)
+	}
+}
+
+// Subscribers returns the current consumer count.
+func (b *broadcaster) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Stats returns frames broadcast, actions carried and subscribers
+// dropped to overflow.
+func (b *broadcaster) Stats() (frames, actions, overflows uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.frames, b.actions, b.overflows
+}
+
+// Write implements stream.Sink on the ingestor's pump goroutine.
+func (b *broadcaster) Write(batch []engine.OfficeAction) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return stream.ErrSinkClosed
+	}
+	b.frames++
+	b.actions += uint64(len(batch))
+	// Lazily encode at most one frame per codec version in use; the
+	// slice is shared read-only across that codec's subscribers.
+	var byCodec [3][]byte
+	for s := range b.subs {
+		frame := byCodec[s.codec]
+		if frame == nil {
+			var err error
+			frame, err = wire.AppendFrame(nil, s.codec, batch)
+			if err != nil {
+				return err
+			}
+			byCodec[s.codec] = frame
+		}
+		select {
+		case s.ch <- frame:
+		default:
+			delete(b.subs, s)
+			close(s.ch)
+			b.overflows++
+		}
+	}
+	return nil
+}
+
+// Close ends every subscription (channels close, handlers return) and
+// refuses further writes. Idempotent.
+func (b *broadcaster) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	for s := range b.subs {
+		delete(b.subs, s)
+		close(s.ch)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fadewich/internal/core"
+	"fadewich/internal/engine"
+	"fadewich/internal/stream"
+	"fadewich/internal/wire"
+)
+
+func testBatch(n int) []engine.OfficeAction {
+	batch := make([]engine.OfficeAction, n)
+	for i := range batch {
+		batch[i] = engine.OfficeAction{
+			Office: i,
+			Action: core.Action{Time: float64(i) + 0.5, Type: core.ActionAlertEnter},
+		}
+	}
+	return batch
+}
+
+func TestBroadcasterDelivers(t *testing.T) {
+	b := newBroadcaster()
+	s1, err := b.Subscribe(wire.V1JSONL, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := b.Subscribe(wire.V2Binary, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Subscribers() != 2 {
+		t.Fatalf("subscribers = %d", b.Subscribers())
+	}
+
+	batch := testBatch(3)
+	if err := b.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(nil); err != nil { // empty batches are skipped
+		t.Fatal(err)
+	}
+	frames, actions, overflows := b.Stats()
+	if frames != 1 || actions != 3 || overflows != 0 {
+		t.Fatalf("stats = %d/%d/%d", frames, actions, overflows)
+	}
+
+	wantV1, _ := wire.AppendFrame(nil, wire.V1JSONL, batch)
+	wantV2, _ := wire.AppendFrame(nil, wire.V2Binary, batch)
+	if got := <-s1.ch; !bytes.Equal(got, wantV1) {
+		t.Fatal("v1 subscriber got a frame that differs from AppendFrame")
+	}
+	if got := <-s2.ch; !bytes.Equal(got, wantV2) {
+		t.Fatal("v2 subscriber got a frame that differs from AppendFrame")
+	}
+
+	b.Unsubscribe(s1)
+	b.Unsubscribe(s1) // idempotent
+	if b.Subscribers() != 1 {
+		t.Fatalf("subscribers after unsubscribe = %d", b.Subscribers())
+	}
+	if _, ok := <-s1.ch; ok {
+		t.Fatal("unsubscribed channel still open")
+	}
+}
+
+func TestBroadcasterOverflowDropsSubscriber(t *testing.T) {
+	b := newBroadcaster()
+	slow, err := b.Subscribe(wire.V1JSONL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := b.Subscribe(wire.V1JSONL, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame 1 fills slow's buffer; frame 2 overflows it. fast keeps
+	// receiving: one consumer falling behind never stalls the rest.
+	if err := b.Write(testBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(testBatch(2)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, overflows := b.Stats()
+	if overflows != 1 {
+		t.Fatalf("overflows = %d, want 1", overflows)
+	}
+	if b.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want the fast one only", b.Subscribers())
+	}
+	<-slow.ch // the buffered frame
+	if _, ok := <-slow.ch; ok {
+		t.Fatal("dropped subscriber's channel not closed")
+	}
+	if len(fast.ch) != 2 {
+		t.Fatalf("fast subscriber has %d frames, want 2", len(fast.ch))
+	}
+}
+
+func TestBroadcasterClose(t *testing.T) {
+	b := newBroadcaster()
+	s, _ := b.Subscribe(wire.V1JSONL, 1)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, ok := <-s.ch; ok {
+		t.Fatal("subscriber channel survived Close")
+	}
+	if err := b.Write(testBatch(1)); !errors.Is(err, stream.ErrSinkClosed) {
+		t.Fatalf("post-close write error = %v", err)
+	}
+	if _, err := b.Subscribe(wire.V1JSONL, 1); err == nil {
+		t.Fatal("subscribed to a closed broadcaster")
+	}
+}
+
+func TestBroadcasterRejectsUnknownCodec(t *testing.T) {
+	b := newBroadcaster()
+	if _, err := b.Subscribe(wire.Version(9), 1); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"fadewich/internal/core"
+	"fadewich/internal/stream"
+)
+
+// LiveOffice is one current fleet member as the reconciler tracks it:
+// its spec name, its stable fleet ID and the configuration it is
+// running under.
+type LiveOffice struct {
+	Name   string
+	ID     int
+	Config core.Config
+}
+
+// Diff is the reconcile plan between a desired spec and live
+// membership. Apply order is fixed and documented, because office IDs
+// are assigned by a monotonic counter and operators (and the e2e
+// reference harness) must be able to predict them: first Removes in
+// ascending live-ID order, then Updates in spec order (each a
+// RemoveOffice of the old instance followed immediately by an
+// AddOffice of the new configuration — a config rollout restarts the
+// office's System under a fresh ID, back in the training phase), then
+// Adds in spec order.
+type Diff struct {
+	// Adds are desired offices with no live counterpart, in spec order.
+	Adds []ResolvedOffice
+	// Removes are live offices no longer desired, ascending by ID.
+	Removes []LiveOffice
+	// Updates are desired offices whose live counterpart runs a
+	// different configuration, in spec order; Old names the live
+	// instance being replaced.
+	Updates []Update
+	// Keeps are live offices already matching their desired
+	// configuration, ascending by ID.
+	Keeps []LiveOffice
+}
+
+// Update pairs a live office with the new configuration that replaces
+// it.
+type Update struct {
+	Old LiveOffice
+	New ResolvedOffice
+}
+
+// Empty reports whether the diff changes nothing.
+func (d Diff) Empty() bool {
+	return len(d.Adds) == 0 && len(d.Removes) == 0 && len(d.Updates) == 0
+}
+
+// ComputeDiff is the pure reconcile differ: desired spec (resolved, in
+// spec order) versus live membership, matched by office name. It
+// touches nothing — it only plans.
+func ComputeDiff(desired []ResolvedOffice, live []LiveOffice) Diff {
+	byName := make(map[string]LiveOffice, len(live))
+	for _, l := range live {
+		byName[l.Name] = l
+	}
+	wanted := make(map[string]bool, len(desired))
+	var d Diff
+	for _, want := range desired {
+		wanted[want.Name] = true
+		cur, ok := byName[want.Name]
+		switch {
+		case !ok:
+			d.Adds = append(d.Adds, want)
+		case cur.Config != want.Config:
+			d.Updates = append(d.Updates, Update{Old: cur, New: want})
+		default:
+			d.Keeps = append(d.Keeps, cur)
+		}
+	}
+	for _, l := range live {
+		if !wanted[l.Name] {
+			d.Removes = append(d.Removes, l)
+		}
+	}
+	sort.Slice(d.Removes, func(i, j int) bool { return d.Removes[i].ID < d.Removes[j].ID })
+	sort.Slice(d.Keeps, func(i, j int) bool { return d.Keeps[i].ID < d.Keeps[j].ID })
+	return d
+}
+
+// liveEntry is the reconciler's record of one live office.
+type liveEntry struct {
+	LiveOffice
+	// observedGen is the spec generation this office last matched.
+	observedGen uint64
+	// transition is the last membership event that produced this
+	// instance ("added" or "updated"), and since its wall-clock time.
+	transition string
+	since      time.Time
+}
+
+// Reconciler owns the desired-vs-live loop: it tracks the spec
+// generation (bumped whenever the raw spec content changes, valid or
+// not), the live offices with their observed generations, and applies
+// diffs through the Ingestor so every membership change lands at a
+// batch boundary. All methods are safe for concurrent use.
+type Reconciler struct {
+	mu      sync.Mutex
+	ing     *stream.Ingestor
+	now     func() time.Time
+	gen     uint64
+	hash    uint64
+	live    map[string]*liveEntry
+	desired int
+
+	reconciles uint64
+	errorCount uint64
+	lastErr    error
+	lastDur    time.Duration
+}
+
+// specHash fingerprints raw spec content; a changed fingerprint is what
+// defines "a new spec generation".
+func specHash(raw []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(raw)
+	return h.Sum64()
+}
+
+// newReconciler adopts the server's initial fleet: resolved office i is
+// live under ID ids[i], at generation 1 of the given raw spec content.
+func newReconciler(ing *stream.Ingestor, resolved []ResolvedOffice, ids []int, raw []byte) *Reconciler {
+	r := &Reconciler{
+		ing:     ing,
+		now:     time.Now,
+		gen:     1,
+		hash:    specHash(raw),
+		live:    make(map[string]*liveEntry, len(resolved)),
+		desired: len(resolved),
+	}
+	t := r.now()
+	for i, ro := range resolved {
+		r.live[ro.Name] = &liveEntry{
+			LiveOffice:  LiveOffice{Name: ro.Name, ID: ids[i], Config: ro.Config},
+			observedGen: 1,
+			transition:  "added",
+			since:       t,
+		}
+	}
+	return r
+}
+
+// Live returns the live offices, ascending by ID.
+func (r *Reconciler) Live() []LiveOffice {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.liveLocked()
+}
+
+func (r *Reconciler) liveLocked() []LiveOffice {
+	out := make([]LiveOffice, 0, len(r.live))
+	for _, e := range r.live {
+		out = append(out, e.LiveOffice)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDOf resolves an office name to its current fleet ID.
+func (r *Reconciler) IDOf(name string) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.live[name]
+	if !ok {
+		return 0, false
+	}
+	return e.ID, true
+}
+
+// Reconcile drives one loop iteration from raw spec content: bump the
+// generation if the content changed, validate and resolve it
+// atomically (an invalid spec leaves live membership untouched and
+// counts as a reconcile error against the new generation), diff
+// against live membership, and apply the plan through the ingestor in
+// the documented order. Unchanged content with a healthy last
+// reconcile is a no-op.
+func (r *Reconciler) Reconcile(raw []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := specHash(raw); h != r.hash {
+		r.hash = h
+		r.gen++
+	} else if r.lastErr == nil {
+		return nil
+	}
+	spec, err := ParseSpec(raw)
+	var resolved []ResolvedOffice
+	if err == nil {
+		resolved, err = spec.Resolve()
+	}
+	if err != nil {
+		return r.failLocked(err)
+	}
+
+	start := r.now()
+	diff := ComputeDiff(resolved, r.liveLocked())
+	for _, rm := range diff.Removes {
+		if _, err := r.ing.RemoveOffice(rm.ID); err != nil {
+			return r.failLocked(fmt.Errorf("remove office %q (id %d): %w", rm.Name, rm.ID, err))
+		}
+		delete(r.live, rm.Name)
+	}
+	for _, up := range diff.Updates {
+		if _, err := r.ing.RemoveOffice(up.Old.ID); err != nil {
+			return r.failLocked(fmt.Errorf("update office %q: remove id %d: %w", up.Old.Name, up.Old.ID, err))
+		}
+		delete(r.live, up.Old.Name)
+		id, err := r.ing.AddOffice(up.New.Config)
+		if err != nil {
+			return r.failLocked(fmt.Errorf("update office %q: add: %w", up.New.Name, err))
+		}
+		r.live[up.New.Name] = &liveEntry{
+			LiveOffice: LiveOffice{Name: up.New.Name, ID: id, Config: up.New.Config},
+			transition: "updated",
+			since:      r.now(),
+		}
+	}
+	for _, ad := range diff.Adds {
+		id, err := r.ing.AddOffice(ad.Config)
+		if err != nil {
+			return r.failLocked(fmt.Errorf("add office %q: %w", ad.Name, err))
+		}
+		r.live[ad.Name] = &liveEntry{
+			LiveOffice: LiveOffice{Name: ad.Name, ID: id, Config: ad.Config},
+			transition: "added",
+			since:      r.now(),
+		}
+	}
+	for _, e := range r.live {
+		e.observedGen = r.gen
+	}
+	r.desired = len(resolved)
+	r.lastDur = r.now().Sub(start)
+	r.reconciles++
+	r.lastErr = nil
+	return nil
+}
+
+// failLocked records a reconcile failure (spec unreadable, invalid, or
+// an apply step refused) without rolling the generation back: the live
+// offices keep their previous observed generation, which is exactly
+// what the generation-lag gauge reports.
+func (r *Reconciler) failLocked(err error) error {
+	err = fmt.Errorf("serve: reconcile generation %d: %w", r.gen, err)
+	r.lastErr = err
+	r.errorCount++
+	return err
+}
+
+// Fail records an out-of-band reconcile failure (the caller could not
+// even produce spec content — e.g. the spec file vanished).
+func (r *Reconciler) Fail(err error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failLocked(err)
+}
+
+// ReconcileStatus is the reconcile loop's own health, as surfaced by
+// /v1/offices and /metrics.
+type ReconcileStatus struct {
+	// SpecGeneration counts observed revisions of the spec content,
+	// starting at 1; GenerationLag is how far the oldest live office
+	// trails it (non-zero while a revision has not been fully applied —
+	// an invalid revision keeps the lag up until it is fixed).
+	SpecGeneration uint64
+	GenerationLag  uint64
+	// DesiredOffices is the office count of the last *valid* spec; with
+	// a healthy loop LiveOffices equals it.
+	DesiredOffices int
+	LiveOffices    int
+	// Reconciles counts applied reconciles (no-ops excluded), Errors
+	// the failed ones; LastDuration is the wall-clock cost of the last
+	// applied diff and LastError the current failure ("" when healthy).
+	Reconciles   uint64
+	Errors       uint64
+	LastDuration time.Duration
+	LastError    string
+}
+
+// OfficeReport is one live office's reconcile-side status.
+type OfficeReport struct {
+	Name               string
+	ID                 int
+	Config             core.Config
+	ObservedGeneration uint64
+	Transition         string
+	Since              time.Time
+}
+
+// Status snapshots the loop health and the per-office reports,
+// ascending by ID.
+func (r *Reconciler) Status() (ReconcileStatus, []OfficeReport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := ReconcileStatus{
+		SpecGeneration: r.gen,
+		DesiredOffices: r.desired,
+		LiveOffices:    len(r.live),
+		Reconciles:     r.reconciles,
+		Errors:         r.errorCount,
+		LastDuration:   r.lastDur,
+	}
+	if r.lastErr != nil {
+		st.LastError = r.lastErr.Error()
+	}
+	offices := make([]OfficeReport, 0, len(r.live))
+	for _, e := range r.live {
+		offices = append(offices, OfficeReport{
+			Name:               e.Name,
+			ID:                 e.ID,
+			Config:             e.Config,
+			ObservedGeneration: e.observedGen,
+			Transition:         e.transition,
+			Since:              e.since,
+		})
+		if lag := r.gen - e.observedGen; lag > st.GenerationLag {
+			st.GenerationLag = lag
+		}
+	}
+	sort.Slice(offices, func(i, j int) bool { return offices[i].ID < offices[j].ID })
+	return st, offices
+}

@@ -81,3 +81,11 @@ func (s *SegmentSink) Stats() segment.WriterStats {
 	defer s.mu.Unlock()
 	return s.w.Stats()
 }
+
+// Sealed returns a copy of the directory's sealed-segment manifest, as
+// the underlying writer knows it.
+func (s *SegmentSink) Sealed() []segment.Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Sealed()
+}

@@ -1,0 +1,23 @@
+package stream
+
+import "testing"
+
+// TestStatsTotals pins the fleet-wide fold: member counters plus the
+// retired aggregate, Office -1, depth summed over live queues only.
+func TestStatsTotals(t *testing.T) {
+	s := Stats{
+		Offices: []OfficeStats{
+			{Office: 0, Depth: 2, Pushed: 10, Dispatched: 7, Dropped: 1},
+			{Office: 3, Depth: 1, Pushed: 5, Dispatched: 4, Dropped: 0},
+		},
+		Retired: OfficeStats{Office: -1, Pushed: 20, Dispatched: 18, Dropped: 2},
+	}
+	got := s.Totals()
+	want := OfficeStats{Office: -1, Depth: 3, Pushed: 35, Dispatched: 29, Dropped: 3}
+	if got != want {
+		t.Fatalf("Totals() = %+v, want %+v", got, want)
+	}
+	if empty := (Stats{}).Totals(); empty != (OfficeStats{Office: -1}) {
+		t.Fatalf("zero Stats folds to %+v", empty)
+	}
+}

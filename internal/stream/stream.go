@@ -742,6 +742,24 @@ type Stats struct {
 	Dropped uint64
 }
 
+// Totals folds the member offices' counters and the Retired aggregate
+// into one fleet-wide OfficeStats: Office is -1, Depth is the sum of
+// the live queue depths, and Pushed/Dispatched/Dropped span the whole
+// ingestor lifetime across membership churn. This is the number a
+// metrics endpoint exports and the number accounting tests balance
+// (Pushed == Dispatched + Dropped + Depth once quiesced).
+func (s Stats) Totals() OfficeStats {
+	t := s.Retired
+	t.Office = -1
+	for _, o := range s.Offices {
+		t.Depth += o.Depth
+		t.Pushed += o.Pushed
+		t.Dispatched += o.Dispatched
+		t.Dropped += o.Dropped
+	}
+	return t
+}
+
 // Stats returns a snapshot of the per-office queue depth/drop counters
 // and the dispatch totals.
 func (in *Ingestor) Stats() Stats {

@@ -226,6 +226,30 @@ func AppendFrame(dst []byte, v Version, batch []engine.OfficeAction) ([]byte, er
 	if err != nil {
 		return dst[:start], err
 	}
+	return sealFrame(dst, start)
+}
+
+// AppendRawFrame appends one complete frame carrying an opaque payload
+// under the given version byte. The framing (magic, version, flags,
+// length, CRC32C trailer) is identical to AppendFrame's, but the
+// payload bytes are the caller's: this is how transports reuse the
+// torn/corrupt taxonomy for content that is not an action batch — the
+// serve daemon's tick-ingest POST bodies carry tick JSONL this way.
+// The version byte still has to name a known codec; it describes the
+// payload's text-vs-binary convention to whoever decodes it.
+func AppendRawFrame(dst []byte, v Version, payload []byte) ([]byte, error) {
+	if !v.valid() {
+		return dst, fmt.Errorf("%w %d", ErrVersion, uint8(v))
+	}
+	start := len(dst)
+	dst = append(dst, Magic[0], Magic[1], byte(v), 0, 0, 0, 0, 0)
+	dst = append(dst, payload...)
+	return sealFrame(dst, start)
+}
+
+// sealFrame back-fills the payload length of the frame that begins at
+// start and appends the CRC trailer.
+func sealFrame(dst []byte, start int) ([]byte, error) {
 	n := len(dst) - start - HeaderSize
 	if n > MaxPayloadBytes {
 		return dst[:start], fmt.Errorf("wire: payload %d bytes exceeds the %d-byte frame limit", n, MaxPayloadBytes)
@@ -443,6 +467,43 @@ func NewDecoder(r io.Reader) *Decoder {
 // itself — it is an I/O problem, not a statement about the frame.
 // Offset and Version describe the last successful decode.
 func (d *Decoder) Decode() ([]engine.OfficeAction, error) {
+	v, payload, err := d.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	acts, err := DecodePayload(v, payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	d.off += int64(HeaderSize + len(payload) + TrailerSize)
+	d.ver = v
+	return acts, nil
+}
+
+// DecodeRaw reads the next frame and returns its version byte and
+// payload without interpreting the payload — the counterpart of
+// AppendRawFrame. The error taxonomy is Decode's (io.EOF / ErrTorn /
+// ErrCorrupt / ErrVersion), minus the payload-decode ErrCorrupt case:
+// any CRC-intact payload is returned as-is. The returned slice aliases
+// the decoder's internal buffer and is valid only until the next
+// Decode or DecodeRaw call.
+func (d *Decoder) DecodeRaw() (Version, []byte, error) {
+	v, payload, err := d.readFrame()
+	if err != nil {
+		return 0, nil, err
+	}
+	d.off += int64(HeaderSize + len(payload) + TrailerSize)
+	d.ver = v
+	return v, payload, nil
+}
+
+// readFrame reads one frame, verifies everything up to and including
+// the CRC trailer, and returns the codec version and a payload slice
+// aliasing d.buf. It does not advance the decoder's offset — the
+// caller does, at its own notion of "successfully decoded", so that a
+// frame whose payload fails action decoding still marks the previous
+// frame boundary as the torn-tail truncation point.
+func (d *Decoder) readFrame() (Version, []byte, error) {
 	// Only running out of bytes is "torn" — a real I/O failure (disk
 	// error, reset connection) must surface as itself, or a repairing
 	// segment reader would truncate intact frames past a transient EIO.
@@ -455,46 +516,40 @@ func (d *Decoder) Decode() ([]engine.OfficeAction, error) {
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(d.r, hdr[:1]); err != nil {
 		if err == io.EOF {
-			return nil, io.EOF
+			return 0, nil, io.EOF
 		}
-		return nil, readErr("header", err)
+		return 0, nil, readErr("header", err)
 	}
 	if _, err := io.ReadFull(d.r, hdr[1:]); err != nil {
-		return nil, readErr("header", err)
+		return 0, nil, readErr("header", err)
 	}
 	if hdr[0] != Magic[0] || hdr[1] != Magic[1] {
-		return nil, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, hdr[0], hdr[1])
+		return 0, nil, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, hdr[0], hdr[1])
 	}
 	v := Version(hdr[2])
 	if !v.valid() {
-		return nil, fmt.Errorf("%w %d", ErrVersion, hdr[2])
+		return 0, nil, fmt.Errorf("%w %d", ErrVersion, hdr[2])
 	}
 	if hdr[3] != 0 {
-		return nil, fmt.Errorf("%w: reserved flags %#02x set", ErrCorrupt, hdr[3])
+		return 0, nil, fmt.Errorf("%w: reserved flags %#02x set", ErrCorrupt, hdr[3])
 	}
 	n := binary.BigEndian.Uint32(hdr[4:])
 	if n > MaxPayloadBytes {
-		return nil, fmt.Errorf("%w: payload length %d exceeds the %d-byte limit", ErrCorrupt, n, MaxPayloadBytes)
+		return 0, nil, fmt.Errorf("%w: payload length %d exceeds the %d-byte limit", ErrCorrupt, n, MaxPayloadBytes)
 	}
 	if cap(d.buf) < int(n)+TrailerSize {
 		d.buf = make([]byte, int(n)+TrailerSize)
 	}
 	body := d.buf[:int(n)+TrailerSize]
 	if _, err := io.ReadFull(d.r, body); err != nil {
-		return nil, readErr("payload", err)
+		return 0, nil, readErr("payload", err)
 	}
 	crc := crc32.Checksum(hdr[:], castagnoli)
 	crc = crc32.Update(crc, castagnoli, body[:n])
 	if want := binary.BigEndian.Uint32(body[n:]); crc != want {
-		return nil, fmt.Errorf("%w: CRC32C %#08x, frame says %#08x", ErrCorrupt, crc, want)
+		return 0, nil, fmt.Errorf("%w: CRC32C %#08x, frame says %#08x", ErrCorrupt, crc, want)
 	}
-	acts, err := DecodePayload(v, body[:n])
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	d.off += int64(HeaderSize + int(n) + TrailerSize)
-	d.ver = v
-	return acts, nil
+	return v, body[:n], nil
 }
 
 // Offset returns the byte offset just past the last successfully

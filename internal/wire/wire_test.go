@@ -275,3 +275,88 @@ func TestJSONLTimePrecision(t *testing.T) {
 		t.Fatal("re-encoded JSONL differs from the original payload")
 	}
 }
+
+// TestRawFrameRoundTrip covers the payload-agnostic framing that the
+// serve daemon's tick-ingest transport uses: AppendRawFrame must emit
+// the exact frame geometry of AppendFrame, DecodeRaw must hand back
+// the payload bytes untouched, and the two decode entry points must
+// interoperate (a raw frame whose payload happens to be action JSONL
+// decodes through Decode, and vice versa).
+func TestRawFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte(`{"office":"hq-0","rssi":[1,2,3]}` + "\n"),
+		{},
+		{0x00, 0xff, 'F', 'W', 0x01},
+	}
+	var stream []byte
+	for _, p := range payloads {
+		var err error
+		stream, err = AppendRawFrame(stream, V1JSONL, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := NewDecoder(bytes.NewReader(stream))
+	for i, want := range payloads {
+		v, got, err := d.DecodeRaw()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if v != V1JSONL {
+			t.Fatalf("frame %d: version %v, want %v", i, v, V1JSONL)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d payload changed:\ngot  %q\nwant %q", i, got, want)
+		}
+	}
+	if _, _, err := d.DecodeRaw(); err != io.EOF {
+		t.Fatalf("trailing DecodeRaw returned %v, want io.EOF", err)
+	}
+	if d.Offset() != int64(len(stream)) {
+		t.Fatalf("offset %d, want %d", d.Offset(), len(stream))
+	}
+
+	// An action frame is a raw frame whose payload is the codec
+	// encoding: both constructors must agree byte for byte.
+	batch := testBatch()
+	viaActions, err := AppendFrame(nil, V1JSONL, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRaw, err := AppendRawFrame(nil, V1JSONL, AppendJSONL(nil, batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaActions, viaRaw) {
+		t.Fatal("AppendRawFrame over the v1 payload differs from AppendFrame")
+	}
+	acts, err := NewDecoder(bytes.NewReader(viaRaw)).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(acts, batch) {
+		t.Fatal("raw-built frame did not Decode back to the batch")
+	}
+}
+
+// TestRawFrameErrors pins the raw path's error taxonomy: unknown
+// version at encode time, and torn/corrupt classification at decode
+// time (DecodeRaw skips payload interpretation, so a CRC-intact frame
+// is never corrupt).
+func TestRawFrameErrors(t *testing.T) {
+	if _, err := AppendRawFrame(nil, Version(9), []byte("x")); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: got %v, want ErrVersion", err)
+	}
+	frame, err := AppendRawFrame(nil, V2Binary, []byte("opaque"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewDecoder(bytes.NewReader(frame[:len(frame)-2])).DecodeRaw(); !errors.Is(err, ErrTorn) {
+		t.Fatalf("truncated frame: got %v, want ErrTorn", err)
+	}
+	flipped := bytes.Clone(frame)
+	flipped[HeaderSize] ^= 0x40
+	if _, _, err := NewDecoder(bytes.NewReader(flipped)).DecodeRaw(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip: got %v, want ErrCorrupt", err)
+	}
+}
