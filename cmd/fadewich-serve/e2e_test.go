@@ -354,7 +354,7 @@ func TestServeEndToEnd(t *testing.T) {
 	defer ref.ing.Close()
 	live := make([]serve.LiveOffice, len(resolved))
 	for i, ro := range resolved {
-		live[i] = serve.LiveOffice{Name: ro.Name, ID: i, Config: ro.Config}
+		live[i] = serve.LiveOffice{Name: ro.Name, ID: i, Config: ro.Config, GID: ro.GID}
 		h.addFeeder(ro.Name, i)
 	}
 
@@ -545,7 +545,7 @@ func TestServeEndToEnd(t *testing.T) {
 		h.addFeeder(u.New.Name, id)
 		for i, lo := range live {
 			if lo.Name == u.Old.Name {
-				live[i] = serve.LiveOffice{Name: u.New.Name, ID: id, Config: u.New.Config}
+				live[i] = serve.LiveOffice{Name: u.New.Name, ID: id, Config: u.New.Config, GID: u.New.GID}
 				break
 			}
 		}
@@ -556,7 +556,7 @@ func TestServeEndToEnd(t *testing.T) {
 			t.Fatalf("reference add %s: %v", a.Name, err)
 		}
 		h.addFeeder(a.Name, id)
-		live = append(live, serve.LiveOffice{Name: a.Name, ID: id, Config: a.Config})
+		live = append(live, serve.LiveOffice{Name: a.Name, ID: id, Config: a.Config, GID: a.GID})
 	}
 	sort.Slice(live, func(i, j int) bool { return live[i].ID < live[j].ID })
 	// IDs are a monotonic counter: 0..15 existed, so the o03 rollout
@@ -644,18 +644,17 @@ func TestServeEndToEnd(t *testing.T) {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatalf("SIGTERM: %v", err)
 	}
-	waitCh := make(chan error, 1)
-	go func() { waitCh <- cmd.Wait() }()
+	// Read the stderr pipe to EOF before reaping: Wait closes the pipe,
+	// and a concurrent Wait can discard the drain lines still in flight.
 	select {
-	case err := <-waitCh:
-		started = true
-		if err != nil {
-			t.Fatalf("daemon exit: %v\nstderr:\n%s", err, daemonStderr())
-		}
+	case <-stderrDone:
 	case <-time.After(30 * time.Second):
 		t.Fatalf("daemon did not exit after SIGTERM; stderr:\n%s", daemonStderr())
 	}
-	<-stderrDone
+	started = true
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v\nstderr:\n%s", err, daemonStderr())
+	}
 	if !strings.Contains(daemonStderr(), "draining") {
 		t.Fatalf("daemon never reported draining; stderr:\n%s", daemonStderr())
 	}

@@ -15,13 +15,15 @@
 //	                  or {"office":NAME,"input":WS}), bare or wrapped
 //	                  in CRC-checked wire frames
 //	                  (Content-Type: application/x-fadewich-frames);
-//	                  ?flush=1 dispatches the queued ticks immediately
+//	                  ?flush=1 dispatches the queued ticks immediately,
+//	                  ?flush=1&epoch=K stamps the dispatch with a
+//	                  cluster epoch (worker mode)
 //	GET  /v1/actions  chunked wire-frame stream of every dispatched
 //	                  action batch (?codec=1 JSONL, ?codec=2 binary)
 //	GET  /v1/offices  per-office status: phase, training samples,
 //	                  observed spec generation, queue counters
 //	POST /v1/train    move every training-phase office online
-//	POST /v1/reload   re-read the spec file and reconcile
+//	POST /v1/reload   re-read the spec source and reconcile
 //	GET  /metrics     Prometheus text exposition, dependency-free
 //
 // Actions can additionally be persisted to a rotating segment log
@@ -30,12 +32,29 @@
 // the daemon drains: queued ticks are dispatched, sinks flushed, the
 // active segment sealed.
 //
+// Beyond the default single-process mode, -mode selects the two
+// cluster roles (see docs/DEPLOYMENT.md for the full topology):
+//
+//   - -mode coordinator shards the -spec offices onto the named
+//     -workers with a consistent-hash ring and serves each worker its
+//     gid-stamped sub-spec (GET /v1/shard/{worker}); the worker set
+//     changes with PUT /v1/workers, the spec with POST /v1/reload.
+//   - -mode worker fetches its sub-spec from -coordinator, runs an
+//     ordinary fleet over it, and forwards epoch-tagged wire frames to
+//     the stream router at -forward. Worker dispatch must be strictly
+//     flush-driven (?flush=1&epoch=K), so the batching flags are
+//     rejected.
+//
 // Usage:
 //
 //	fadewich-serve -spec fleet.json [-listen ADDR] [-watch 2s]
 //	               [-segments DIR] [-forward ADDR] [-codec 1|2]
 //	               [-queue N] [-on-full block|drop-oldest|error]
 //	               [-batch-ticks N] [-max-latency D] [-parallel N]
+//	fadewich-serve -mode coordinator -spec fleet.json -workers w1,w2
+//	               [-replicas N] [-listen ADDR]
+//	fadewich-serve -mode worker -coordinator URL -name w1
+//	               -forward ROUTER [-listen ADDR] [...]
 package main
 
 import (
@@ -47,9 +66,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"fadewich/internal/cluster"
 	"fadewich/internal/prof"
 	"fadewich/internal/segment"
 	"fadewich/internal/serve"
@@ -58,9 +79,10 @@ import (
 )
 
 func main() {
+	mode := flag.String("mode", "serve", "role: serve (single-process fleet), coordinator (shard a spec onto workers) or worker (run a coordinator-assigned shard)")
 	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address (use :0 for an ephemeral port; the bound address is printed to stderr)")
-	specPath := flag.String("spec", "", "JSON fleet-spec file with the desired offices (required)")
-	watch := flag.Duration("watch", 0, "poll the spec file at this interval and reconcile when it changes (0 = only SIGHUP and /v1/reload)")
+	specPath := flag.String("spec", "", "JSON fleet-spec file with the desired offices (serve and coordinator modes)")
+	watch := flag.Duration("watch", 0, "poll the spec source at this interval and reconcile when it changes (0 = only SIGHUP and /v1/reload)")
 	queue := flag.Int("queue", 0, "per-office tick queue capacity (0 = default 256)")
 	onFull := flag.String("on-full", "block", "backpressure policy when a queue is full: block, drop-oldest or error")
 	batchTicks := flag.Int("batch-ticks", 0, "dispatch when an office has this many ticks queued (0 = flush/latency-driven only)")
@@ -72,7 +94,11 @@ func main() {
 	segMaxAge := flag.Duration("segment-max-age", 0, "rotate segments at this age (0 = size-only)")
 	fsync := flag.String("fsync", "rotate", "segment log durability: never, rotate or always")
 	codec := flag.Int("codec", 1, "wire codec of the segment log and the TCP forward: 1 = JSONL, 2 = compact binary")
-	forward := flag.String("forward", "", "also stream dispatched batches to this TCP address as wire frames")
+	forward := flag.String("forward", "", "also stream dispatched batches to this TCP address as wire frames (worker mode: the stream router, required)")
+	coordinator := flag.String("coordinator", "", "coordinator base URL, e.g. http://127.0.0.1:9300 (worker mode)")
+	name := flag.String("name", "", "this worker's name in the coordinator's worker set (worker mode)")
+	workers := flag.String("workers", "", "comma-separated initial worker names (coordinator mode)")
+	replicas := flag.Int("replicas", 0, "consistent-hash ring points per worker (coordinator mode; 0 = 128)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
@@ -81,6 +107,7 @@ func main() {
 	stopProf, err := prof.Start(prof.Flags{CPU: *cpuProfile, Mem: *memProfile, Mutex: *mutexProfile})
 	if err == nil {
 		err = run(options{
+			mode:        *mode,
 			listen:      *listen,
 			specPath:    *specPath,
 			watch:       *watch,
@@ -96,6 +123,10 @@ func main() {
 			fsync:       *fsync,
 			codec:       *codec,
 			forward:     *forward,
+			coordinator: *coordinator,
+			name:        *name,
+			workers:     *workers,
+			replicas:    *replicas,
 		})
 		if perr := stopProf(); perr != nil && err == nil {
 			err = perr
@@ -108,6 +139,7 @@ func main() {
 }
 
 type options struct {
+	mode        string
 	listen      string
 	specPath    string
 	watch       time.Duration
@@ -123,26 +155,39 @@ type options struct {
 	fsync       string
 	codec       int
 	forward     string
+	coordinator string
+	name        string
+	workers     string
+	replicas    int
 }
 
 func run(opt options) error {
-	if opt.specPath == "" {
-		return errors.New("-spec is required")
+	switch opt.mode {
+	case "serve":
+		return runServe(opt)
+	case "coordinator":
+		return runCoordinator(opt)
+	case "worker":
+		return runWorker(opt)
+	default:
+		return fmt.Errorf("unknown -mode %q (want serve, coordinator or worker)", opt.mode)
 	}
+}
+
+// baseConfig translates the flags every fleet-hosting mode shares.
+func baseConfig(opt options) (serve.Config, error) {
 	if opt.codec != 1 && opt.codec != 2 {
-		return fmt.Errorf("unknown wire codec %d (want 1 or 2)", opt.codec)
+		return serve.Config{}, fmt.Errorf("unknown wire codec %d (want 1 or 2)", opt.codec)
 	}
 	policy, err := stream.ParsePolicy(opt.onFull)
 	if err != nil {
-		return err
+		return serve.Config{}, err
 	}
 	fsyncPolicy, err := segment.ParseFsyncPolicy(opt.fsync)
 	if err != nil {
-		return err
+		return serve.Config{}, err
 	}
-
-	srv, err := serve.New(serve.Config{
-		SpecPath:        opt.specPath,
+	return serve.Config{
 		Queue:           opt.queue,
 		OnFull:          policy,
 		BatchTicks:      opt.batchTicks,
@@ -155,7 +200,71 @@ func run(opt options) error {
 		Fsync:           fsyncPolicy,
 		Codec:           wire.Version(opt.codec),
 		Forward:         opt.forward,
-	})
+	}, nil
+}
+
+// runServe is the classic single-process mode.
+func runServe(opt options) error {
+	if opt.specPath == "" {
+		return errors.New("-spec is required")
+	}
+	if opt.coordinator != "" || opt.name != "" || opt.workers != "" {
+		return errors.New("-coordinator, -name and -workers need -mode worker or coordinator")
+	}
+	cfg, err := baseConfig(opt)
+	if err != nil {
+		return err
+	}
+	cfg.SpecPath = opt.specPath
+	return serveFleet(opt, cfg, true)
+}
+
+// runWorker runs a coordinator-assigned shard: the spec comes from the
+// coordinator's shard endpoint, and every dispatched batch leaves as an
+// epoch-tagged wire frame carrying this worker's source ID.
+func runWorker(opt options) error {
+	if opt.coordinator == "" || opt.name == "" {
+		return errors.New("worker mode needs -coordinator and -name")
+	}
+	if opt.specPath != "" {
+		return errors.New("worker mode takes its spec from the coordinator, not -spec")
+	}
+	if opt.forward == "" {
+		return errors.New("worker mode needs -forward (the stream router's listen address)")
+	}
+	if opt.batchTicks != 0 || opt.adaptive || opt.maxLatency != 0 {
+		return errors.New("worker dispatch is driven by ?flush=1&epoch=K; -batch-ticks, -adaptive-batch and -max-latency do not apply")
+	}
+	first, err := cluster.FetchShard(nil, opt.coordinator, opt.name)
+	if err != nil {
+		return err
+	}
+	source := first.Source
+	cfg, err := baseConfig(opt)
+	if err != nil {
+		return err
+	}
+	cfg.ForwardSource = source
+	// The hash may currently owe this worker nothing — an empty shard
+	// still runs, emitting its per-epoch watermark frames.
+	cfg.AllowEmpty = true
+	cfg.SpecSource = func() ([]byte, error) {
+		ss, err := cluster.FetchShard(nil, opt.coordinator, opt.name)
+		if err != nil {
+			return nil, err
+		}
+		if ss.Source != source {
+			return nil, fmt.Errorf("coordinator now reports source %d for %s (was %d) — was the coordinator restarted? restart this worker too", ss.Source, opt.name, source)
+		}
+		return ss.Spec, nil
+	}
+	return serveFleet(opt, cfg, false)
+}
+
+// serveFleet hosts a serve.Server (single-process or worker shard)
+// until SIGINT/SIGTERM, draining on the way out.
+func serveFleet(opt options, cfg serve.Config, specIsFile bool) error {
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -184,13 +293,27 @@ func run(opt options) error {
 	}()
 
 	if opt.watch > 0 {
-		go watchSpec(opt.specPath, opt.watch, srv)
+		if specIsFile {
+			go watchSpec(opt.specPath, opt.watch, srv)
+		} else {
+			// No file to stat in worker mode: poll the coordinator. The
+			// reconciler's content hash makes an unchanged sub-spec a
+			// no-op.
+			go func() {
+				for range time.Tick(opt.watch) {
+					if err := srv.Reload(); err != nil {
+						fmt.Fprintf(os.Stderr, "fadewich-serve: watch reload: %v\n", err)
+					}
+				}
+			}()
+		}
 	}
 
 	// On SIGINT/SIGTERM, drain before stopping the listener: Close
 	// dispatches queued ticks, flushes and closes the sinks (sealing
-	// the active segment) and completes the /v1/actions streams, which
-	// lets Shutdown's wait for active connections finish.
+	// the active segment, and in worker mode sending the final tagged
+	// frame) and completes the /v1/actions streams, which lets
+	// Shutdown's wait for active connections finish.
 	term := make(chan os.Signal, 1)
 	signal.Notify(term, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan error, 1)
@@ -208,6 +331,66 @@ func run(opt options) error {
 
 	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		srv.Close()
+		return err
+	}
+	return <-done
+}
+
+// runCoordinator hosts the shard coordinator: no fleet of its own, just
+// the assignment state and its HTTP surface.
+func runCoordinator(opt options) error {
+	if opt.specPath == "" {
+		return errors.New("-spec is required")
+	}
+	if opt.workers == "" {
+		return errors.New("coordinator mode needs -workers (comma-separated names)")
+	}
+	var names []string
+	for _, w := range strings.Split(opt.workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			names = append(names, w)
+		}
+	}
+	c, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		SpecPath: opt.specPath,
+		Workers:  names,
+		Replicas: opt.replicas,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", opt.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fadewich-serve: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: c}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := c.Reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "fadewich-serve: reload: %v\n", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "fadewich-serve: spec reloaded")
+			}
+		}
+	}()
+
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-term
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- httpSrv.Shutdown(ctx)
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		return err
 	}
 	return <-done

@@ -1,14 +1,35 @@
 // Command fadewich-tail is the consumer end of the action path: it
 // decodes the wire-framed deauthentication stream a fleet produces —
-// live over TCP, or durably from a segment directory — and renders it
-// for humans (table) or machines (JSONL, the codec-v1 payload bytes).
+// live over TCP, durably from a segment directory, or merged from a
+// cluster of workers — and renders it for humans (table) or machines
+// (JSONL, the codec-v1 payload bytes).
 //
-// Two sources, one decoder:
+// Three sources, one decoder:
 //
 //   - fadewich-tail -listen :9000
 //     accepts connections from fadewich-sim -sink tcp:HOST:9000 (the
 //     TCPSink dials out) and decodes frames as they arrive, both codec
 //     versions, across reconnects. Listen mode always follows.
+//
+//     The accept loop is deliberately permissive: it accepts any
+//     number of concurrent connections for the listener's whole
+//     lifetime (a sink redial is just the next accepted connection),
+//     frames from concurrent connections interleave in arrival order
+//     at whole-frame granularity with no cross-connection ordering
+//     guarantee, and a failed connection is reported to stderr without
+//     stopping the listener or the other connections. For a fan-in
+//     that *does* restore global order across producers, use -route.
+//
+//   - fadewich-tail -route -listen :9100 -expect N
+//     is the cluster stream router (see docs/DEPLOYMENT.md): it
+//     accepts the epoch-tagged frame streams of N fadewich-serve
+//     workers (-mode worker -forward), k-way merges them back into
+//     global (time, office) order epoch by epoch, renders the merged
+//     stream, and exits once all N workers have sent their final
+//     frame. The merged stream can additionally be re-emitted as a
+//     plain TCP wire stream (-forward, feeding a downstream
+//     fadewich-tail -listen) and/or persisted to a segment log
+//     (-segments DIR) under -codec.
 //
 //   - fadewich-tail DIR
 //     replays the segment directory a fadewich-sim -sink seg:DIR run
@@ -18,11 +39,13 @@
 //     torn final frame in place first (never combine with a live
 //     writer).
 //
-// Filters and rendering apply to both sources: -office N keeps one
+// Filters and rendering apply to every source: -office N keeps one
 // office's actions (repeatable as a comma list), -from-tick/-to-tick
 // bound the office-clock time in seconds, -format picks jsonl
 // (byte-exact codec-v1 lines, suitable for diffing against a LogSink
-// file) or table.
+// file) or table. In -route mode the filters shape only the rendered
+// output — the -forward and -segments streams always carry the full
+// merge.
 //
 // Usage:
 //
@@ -30,6 +53,8 @@
 //	              [-to-tick T] [-format jsonl|table] DIR
 //	fadewich-tail -listen ADDR [-office LIST] [-from-tick T]
 //	              [-to-tick T] [-format jsonl|table]
+//	fadewich-tail -route -listen ADDR -expect N [-forward ADDR]
+//	              [-segments DIR] [-codec 1|2] [-format jsonl|table]
 package main
 
 import (
@@ -44,13 +69,20 @@ import (
 	"strings"
 	"time"
 
+	"fadewich/internal/cluster"
 	"fadewich/internal/engine"
 	"fadewich/internal/segment"
+	"fadewich/internal/stream"
 	"fadewich/internal/wire"
 )
 
 func main() {
 	listen := flag.String("listen", "", "accept TCPSink connections on this address and decode the live stream")
+	route := flag.Bool("route", false, "cluster stream router: merge -expect epoch-tagged worker streams back into global order (needs -listen)")
+	expect := flag.Int("expect", 0, "route mode: number of worker sources that must deliver a final frame before exiting")
+	forward := flag.String("forward", "", "route mode: re-emit the merged stream to this TCP address as plain wire frames")
+	segDir := flag.String("segments", "", "route mode: persist the merged stream to a rotating segment log in this directory")
+	codec := flag.Int("codec", 1, "route mode: wire codec of -forward and -segments output: 1 = JSONL, 2 = compact binary")
 	follow := flag.Bool("follow", false, "segment dir: keep polling for new frames instead of stopping at the end")
 	repair := flag.Bool("repair", false, "segment dir: truncate a torn final frame in place before replaying")
 	officeList := flag.String("office", "", "only these office IDs (comma-separated; empty = all)")
@@ -59,38 +91,85 @@ func main() {
 	format := flag.String("format", "table", "output format: jsonl (byte-exact codec-v1 lines) or table")
 	flag.Parse()
 
-	if err := run(*listen, flag.Args(), *follow, *repair, *officeList, *fromTick, *toTick, *format); err != nil {
+	opt := tailOptions{
+		listen:  *listen,
+		route:   *route,
+		expect:  *expect,
+		forward: *forward,
+		segDir:  *segDir,
+		codec:   *codec,
+		follow:  *follow,
+		repair:  *repair,
+		offices: *officeList,
+		from:    *fromTick,
+		to:      *toTick,
+		format:  *format,
+	}
+	if err := run(opt, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "fadewich-tail: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, args []string, follow, repair bool, officeList string, fromTick, toTick float64, format string) error {
-	render, err := newRenderer(format)
+type tailOptions struct {
+	listen  string
+	route   bool
+	expect  int
+	forward string
+	segDir  string
+	codec   int
+	follow  bool
+	repair  bool
+	offices string
+	from    float64
+	to      float64
+	format  string
+}
+
+func run(opt tailOptions, args []string) error {
+	render, err := newRenderer(os.Stdout, opt.format)
 	if err != nil {
 		return err
 	}
-	offices, err := parseOffices(officeList)
+	offices, err := parseOffices(opt.offices)
 	if err != nil {
 		return err
+	}
+	f := filter{offices: offices, from: opt.from, to: opt.to}
+	if !opt.route && (opt.expect != 0 || opt.forward != "" || opt.segDir != "") {
+		return errors.New("-expect, -forward and -segments need -route")
 	}
 	switch {
-	case listen != "" && len(args) > 0:
+	case opt.listen != "" && len(args) > 0:
 		return errors.New("-listen and a segment directory are mutually exclusive")
-	case listen != "":
-		if repair {
+	case opt.route:
+		if opt.listen == "" {
+			return errors.New("-route needs -listen")
+		}
+		if opt.repair || opt.follow {
+			return errors.New("-repair and -follow only apply to a segment directory")
+		}
+		if opt.expect < 1 {
+			return errors.New("-route needs -expect (the number of worker streams)")
+		}
+		if opt.codec != 1 && opt.codec != 2 {
+			return fmt.Errorf("unknown wire codec %d (want 1 or 2)", opt.codec)
+		}
+		return routeStream(opt, f, render)
+	case opt.listen != "":
+		if opt.repair {
 			return errors.New("-repair only applies to a segment directory")
 		}
-		return tailTCP(listen, filter{offices: offices, from: fromTick, to: toTick}, render)
+		return tailTCP(opt.listen, f, render)
 	case len(args) == 1:
-		if repair && follow {
+		if opt.repair && opt.follow {
 			return errors.New("-repair with -follow would truncate a frame a live writer may still be appending")
 		}
-		return tailDir(args[0], follow, segment.Options{
-			FromTime: fromTick,
-			ToTime:   toTick,
+		return tailDir(args[0], opt.follow, segment.Options{
+			FromTime: opt.from,
+			ToTime:   opt.to,
 			Offices:  offices,
-			Repair:   repair,
+			Repair:   opt.repair,
 		}, render)
 	default:
 		return errors.New("need exactly one segment directory, or -listen ADDR")
@@ -113,8 +192,8 @@ func parseOffices(s string) ([]int, error) {
 	return out, nil
 }
 
-// filter is the action filter applied in listen mode (the segment
-// reader filters dir-mode replays itself).
+// filter is the action filter applied in listen and route mode (the
+// segment reader filters dir-mode replays itself).
 type filter struct {
 	offices []int
 	from    float64
@@ -153,7 +232,7 @@ func (f filter) apply(acts []engine.OfficeAction) []engine.OfficeAction {
 	return kept
 }
 
-// renderer writes decoded batches to stdout.
+// renderer writes decoded batches to the output writer.
 type renderer struct {
 	out     *bufio.Writer
 	jsonl   bool
@@ -163,10 +242,10 @@ type renderer struct {
 	frames  uint64
 }
 
-func newRenderer(format string) (*renderer, error) {
+func newRenderer(w io.Writer, format string) (*renderer, error) {
 	switch format {
 	case "jsonl", "table":
-		return &renderer{out: bufio.NewWriter(os.Stdout), jsonl: format == "jsonl"}, nil
+		return &renderer{out: bufio.NewWriter(w), jsonl: format == "jsonl"}, nil
 	default:
 		return nil, fmt.Errorf("unknown format %q (want jsonl or table)", format)
 	}
@@ -235,10 +314,8 @@ func tailDir(dir string, follow bool, opt segment.Options, render *renderer) err
 	}
 }
 
-// tailTCP accepts TCPSink connections and decodes their frames until
-// interrupted. The sink redials on reconnect, so the accept loop keeps
-// serving fresh connections; concurrent sinks are drained concurrently
-// but rendered one frame at a time.
+// tailTCP accepts TCPSink connections on addr and serves them with
+// serveListener until interrupted.
 func tailTCP(addr string, f filter, render *renderer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -246,6 +323,17 @@ func tailTCP(addr string, f filter, render *renderer) error {
 	}
 	defer ln.Close()
 	fmt.Fprintf(os.Stderr, "fadewich-tail: listening on %s\n", ln.Addr())
+	return serveListener(ln, f, render)
+}
+
+// serveListener is listen mode's accept loop, with the semantics the
+// package doc pins down (and TestServeListener enforces): any number of
+// concurrent connections for the listener's whole lifetime, frames
+// interleaved in arrival order at whole-frame granularity with no
+// cross-connection ordering guarantee, per-connection decode failures
+// reported without stopping the listener. It returns when the listener
+// closes.
+func serveListener(ln net.Listener, f filter, render *renderer) error {
 	frames := make(chan []engine.OfficeAction, 64)
 	go func() {
 		for {
@@ -275,5 +363,82 @@ func tailTCP(addr string, f filter, render *renderer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// routeStream runs the cluster stream router: accept the workers'
+// epoch-tagged streams, merge them back into global order, and fan the
+// merged stream out to stdout (filtered, rendered), an optional plain
+// TCP forward and an optional segment log.
+func routeStream(opt tailOptions, f filter, render *renderer) error {
+	ln, err := net.Listen("tcp", opt.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fadewich-tail: routing on %s\n", ln.Addr())
+	return routeOnListener(ln, opt, f, render)
+}
+
+// routeOnListener is route mode minus the listen call; it owns ln.
+func routeOnListener(ln net.Listener, opt tailOptions, f filter, render *renderer) error {
+	var sinks []stream.Sink
+	closeSinks := func() error {
+		var first error
+		for _, s := range sinks {
+			if err := s.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if opt.segDir != "" {
+		seg, err := stream.NewSegmentSink(segment.Config{
+			Dir:     opt.segDir,
+			Version: wire.Version(opt.codec),
+		})
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, seg)
+	}
+	if opt.forward != "" {
+		fwd, err := stream.NewTCPSink(opt.forward)
+		if err != nil {
+			closeSinks()
+			return err
+		}
+		fwd.Version = wire.Version(opt.codec)
+		sinks = append(sinks, fwd)
+	}
+
+	var epochs uint64
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Expect: opt.expect,
+		OnBatch: func(epoch uint64, batch []engine.OfficeAction) error {
+			epochs++
+			for _, s := range sinks {
+				if err := s.Write(batch); err != nil {
+					return err
+				}
+			}
+			// Render last: the filter compacts the batch in place, so the
+			// sinks must have encoded it first.
+			return render.emit(f.apply(batch))
+		},
+	})
+	if err != nil {
+		closeSinks()
+		return err
+	}
+	err = router.Serve(ln)
+	if cerr := closeSinks(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	st := router.Stats()
+	fmt.Fprintf(os.Stderr, "fadewich-tail: routed %d actions in %d epochs from %d workers (%d duplicate frames dropped)\n",
+		st.Actions, epochs, st.SourcesFinal, st.Duplicates)
 	return nil
 }

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the number of ring points per worker when
+// RingConfig leaves it zero. 128 points per worker keeps the
+// distribution within a few percent of even for realistic fleet sizes
+// (TestRingDistribution pins the bound).
+const DefaultReplicas = 128
+
+// Ring is a consistent-hash ring over worker names: office names hash
+// onto the ring and are owned by the next worker point clockwise.
+// Workers joining or leaving move only the keys on the arcs they gain
+// or lose — the minimal-movement property TestRingMovement pins
+// exactly. A Ring is immutable after construction; membership changes
+// build a new Ring.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by (hash, worker)
+	workers  []string    // sorted, deduplicated
+}
+
+// ringPoint is one virtual node: worker w's i-th point at hash h.
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+// hashKey is the ring's hash function: 64-bit FNV-1a finished with a
+// murmur-style avalanche mixer. Bare FNV-1a has poor high-bit
+// diffusion on short sequential keys ("o00", "o01", …) — without the
+// finisher a whole fleet's offices land on one arc. The composition is
+// stable across platforms and Go versions, so assignments are
+// reproducible and the golden assignment table in the tests stays
+// valid.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// NewRing builds a ring over the given workers with the given number of
+// points per worker (0 selects DefaultReplicas). Worker names must be
+// non-empty and unique.
+func NewRing(workers []string, replicas int) (*Ring, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one worker")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(workers))
+	sorted := make([]string, 0, len(workers))
+	for _, w := range workers {
+		if w == "" {
+			return nil, fmt.Errorf("cluster: empty worker name")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("cluster: duplicate worker %q", w)
+		}
+		seen[w] = true
+		sorted = append(sorted, w)
+	}
+	sort.Strings(sorted)
+	r := &Ring{
+		replicas: replicas,
+		points:   make([]ringPoint, 0, len(sorted)*replicas),
+		workers:  sorted,
+	}
+	for _, w := range sorted {
+		for i := 0; i < replicas; i++ {
+			// The point key separates worker from index with a NUL so
+			// distinct (worker, index) pairs cannot collide textually.
+			r.points = append(r.points, ringPoint{hashKey(w + "\x00" + strconv.Itoa(i)), w})
+		}
+	}
+	// Sorting ties by worker name makes ownership deterministic even in
+	// the astronomically-unlikely event of a point hash collision.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r, nil
+}
+
+// Workers returns the ring membership, sorted.
+func (r *Ring) Workers() []string {
+	return append([]string(nil), r.workers...)
+}
+
+// Assign returns the worker owning the given key: the first ring point
+// at or clockwise of the key's hash, wrapping at the top.
+func (r *Ring) Assign(key string) string {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].worker
+}

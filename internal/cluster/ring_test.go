@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingGoldenAssignments pins the assignment of the first twelve
+// canonical office names on a three-worker default ring. The table
+// guards hash stability: ring assignments must be reproducible across
+// builds, or a restarted coordinator would reshuffle a running fleet.
+func TestRingGoldenAssignments(t *testing.T) {
+	r, err := NewRing([]string{"w1", "w2", "w3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{
+		"o00": "w2",
+		"o01": "w2",
+		"o02": "w2",
+		"o03": "w3",
+		"o04": "w1",
+		"o05": "w3",
+		"o06": "w2",
+		"o07": "w2",
+		"o08": "w3",
+		"o09": "w3",
+		"o10": "w2",
+		"o11": "w1",
+	}
+	for key, want := range golden {
+		if got := r.Assign(key); got != want {
+			t.Errorf("Assign(%q) = %q, want %q (ring hash drifted)", key, got, want)
+		}
+	}
+}
+
+// TestRingDistribution bounds the share of 10 000 keys each of three
+// workers owns: no worker may stray past ±35%% of the fair third. The
+// bound is what DefaultReplicas points per worker buys.
+func TestRingDistribution(t *testing.T) {
+	workers := []string{"w1", "w2", "w3"}
+	r, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 10000
+	counts := make(map[string]int, len(workers))
+	for i := 0; i < keys; i++ {
+		counts[r.Assign(fmt.Sprintf("key-%d", i))]++
+	}
+	fair := keys / len(workers)
+	lo, hi := fair*65/100, fair*135/100
+	for _, w := range workers {
+		if counts[w] < lo || counts[w] > hi {
+			t.Errorf("worker %s owns %d of %d keys, outside [%d, %d]", w, counts[w], keys, lo, hi)
+		}
+	}
+}
+
+// TestRingMovementOnJoin pins the minimal-movement property exactly: a
+// key changes owner when a worker joins if and only if the new worker
+// is its new owner. Everything that does not move to the joiner stays
+// put.
+func TestRingMovementOnJoin(t *testing.T) {
+	before, err := NewRing([]string{"w1", "w2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"w1", "w2", "w3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		b, a := before.Assign(key), after.Assign(key)
+		if b != a {
+			moved++
+			if a != "w3" {
+				t.Fatalf("key %q moved %s→%s on w3 join; only moves onto w3 are allowed", key, b, a)
+			}
+		} else if a == "w3" {
+			t.Fatalf("key %q owned by w3 both before and after its join", key)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the joining worker")
+	}
+}
+
+// TestRingMovementOnLeave is the inverse: when a worker leaves, exactly
+// its keys move, and every other assignment is untouched.
+func TestRingMovementOnLeave(t *testing.T) {
+	before, err := NewRing([]string{"w1", "w2", "w3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"w1", "w2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		b, a := before.Assign(key), after.Assign(key)
+		if b == "w3" {
+			if a == "w3" {
+				t.Fatalf("key %q still owned by departed w3", key)
+			}
+		} else if b != a {
+			t.Fatalf("key %q moved %s→%s though its owner did not leave", key, b, a)
+		}
+	}
+}
+
+// TestRingOrderIndependence: membership order must not affect
+// assignments (the coordinator keeps workers in join order, the ring
+// must not care).
+func TestRingOrderIndependence(t *testing.T) {
+	a, err := NewRing([]string{"w1", "w2", "w3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"w3", "w1", "w2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Assign(key) != b.Assign(key) {
+			t.Fatalf("key %q assigned differently under permuted membership", key)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"w1", ""}, 0); err == nil {
+		t.Error("empty worker name accepted")
+	}
+	if _, err := NewRing([]string{"w1", "w1"}, 0); err == nil {
+		t.Error("duplicate worker accepted")
+	}
+}

@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+
+	"fadewich/internal/engine"
+	"fadewich/internal/wire"
+)
+
+// RouterConfig parameterises a Router.
+type RouterConfig struct {
+	// Expect is the number of distinct worker sources that must deliver
+	// a final frame before Serve completes (required, ≥ 1).
+	Expect int
+	// OnBatch receives each merged epoch's actions, in strictly
+	// ascending epoch order, non-empty batches only. It is called from
+	// a single goroutine at a time; an error fails the router.
+	OnBatch func(epoch uint64, batch []engine.OfficeAction) error
+}
+
+// sourceState is the router's per-worker-source bookkeeping. It
+// survives reconnects: a worker's TCP sink redials after a write
+// failure and resends the failed frame, and lastEpoch is what
+// recognises the resend as a duplicate when the original did arrive.
+type sourceState struct {
+	lastEpoch uint64
+	seen      bool
+	final     bool
+	conn      net.Conn // current connection, nil between reconnects
+}
+
+// Router is the cluster fan-in: it accepts worker connections carrying
+// epoch-tagged wire frames and re-emits the merged, globally-ordered
+// action stream epoch by epoch.
+//
+// Ordering protocol: each identified source's epochs must arrive
+// strictly sequentially (the tagged TCP sink guarantees it; duplicates
+// from resends are dropped, gaps are protocol errors). The router
+// buffers per-source runs and emits an epoch once the watermark — the
+// minimum last-seen epoch across identified, non-final sources — has
+// reached it. A connection that has not yet identified itself (no
+// tagged frame yet) holds the watermark entirely: that is what makes a
+// worker join safe, since a joining worker's sink dials the router
+// before the producer feeds it its first epoch, so no epoch it
+// participates in can be emitted without it. Within an epoch the
+// workers' office sets are disjoint, so merging the per-source runs in
+// time order reconstructs exactly the batch a single-process fleet
+// would have dispatched.
+type Router struct {
+	cfg RouterConfig
+
+	mu           sync.Mutex
+	sources      map[uint8]*sourceState
+	pending      map[uint64]map[uint8][]engine.OfficeAction
+	unidentified int
+	finals       int
+	conns        map[net.Conn]bool
+	failErr      error
+	doneOnce     sync.Once
+	done         chan struct{}
+
+	stats RouterStats
+}
+
+// RouterStats is a point-in-time snapshot of the router's counters.
+type RouterStats struct {
+	// Frames counts accepted tagged frames; Duplicates the resent
+	// frames recognised and dropped.
+	Frames     uint64
+	Duplicates uint64
+	// SourcesSeen and SourcesFinal count distinct identified sources
+	// and how many have delivered their final frame.
+	SourcesSeen  int
+	SourcesFinal int
+	// EpochsEmitted counts merged epochs handed downstream (epochs
+	// whose every run was empty are never buffered and not counted);
+	// Batches and Actions count the emitted batches and their total
+	// size; PendingEpochs the buffered epochs not yet past the
+	// watermark.
+	EpochsEmitted uint64
+	Batches       uint64
+	Actions       uint64
+	PendingEpochs int
+}
+
+// NewRouter builds a Router. Serve it with Serve.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Expect < 1 {
+		return nil, fmt.Errorf("cluster: router expects at least one source")
+	}
+	return &Router{
+		cfg:     cfg,
+		sources: make(map[uint8]*sourceState),
+		pending: make(map[uint64]map[uint8][]engine.OfficeAction),
+		conns:   make(map[net.Conn]bool),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() RouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.SourcesSeen = len(r.sources)
+	st.SourcesFinal = r.finals
+	st.PendingEpochs = len(r.pending)
+	return st
+}
+
+// Serve accepts worker connections on ln until every expected source
+// has delivered its final frame (then the remaining buffered epochs are
+// flushed and Serve returns nil), or a protocol violation or OnBatch
+// error fails the router. Serve owns ln and closes it.
+func (r *Router) Serve(ln net.Listener) error {
+	go func() {
+		<-r.done
+		ln.Close()
+	}()
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-r.done:
+			default:
+				r.fail(fmt.Errorf("cluster: router accept: %w", err))
+			}
+			break
+		}
+		r.mu.Lock()
+		if r.failErr != nil || r.completeLocked() {
+			r.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		r.conns[conn] = true
+		r.unidentified++
+		r.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.handleConn(conn)
+		}()
+	}
+	wg.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failErr
+}
+
+// Close aborts the router (a stuck or cancelled run); a completed
+// Serve is unaffected.
+func (r *Router) Close() error {
+	r.fail(nil)
+	return nil
+}
+
+// fail records the first error, wakes Serve and unblocks every
+// connection reader. Errors arriving after the run already completed
+// (e.g. readers woken by the completion close) are discarded.
+func (r *Router) fail(err error) {
+	r.mu.Lock()
+	select {
+	case <-r.done:
+	default:
+		if r.failErr == nil && err != nil {
+			r.failErr = err
+		}
+	}
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	r.doneOnce.Do(func() { close(r.done) })
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// handleConn decodes one worker connection's frames into the shared
+// merge state.
+func (r *Router) handleConn(conn net.Conn) {
+	defer conn.Close()
+	var src uint8 // 0 until the first tagged frame identifies the connection
+	dec := wire.NewDecoder(conn)
+	for {
+		acts, err := dec.Decode()
+		if err != nil {
+			// Only data-level damage fails the router. EOF is the normal
+			// end of a connection; a torn tail or a transport read error
+			// is the worker's sink dying or redialling mid-frame — the
+			// frame that was cut off is resent on the next connection,
+			// so the remnant is dropped, not an error.
+			if errors.Is(err, wire.ErrCorrupt) || errors.Is(err, wire.ErrVersion) {
+				r.fail(fmt.Errorf("cluster: router: decode from %s: %w", conn.RemoteAddr(), err))
+			}
+			break
+		}
+		tag, tagged := dec.Tag()
+		if !tagged {
+			r.fail(fmt.Errorf("cluster: router: untagged frame from %s (is a plain forwarder pointed at the router port?)", conn.RemoteAddr()))
+			break
+		}
+		if err := r.onFrame(conn, &src, tag, acts); err != nil {
+			r.fail(err)
+			break
+		}
+	}
+	r.connClosed(conn, src)
+}
+
+// onFrame applies one tagged frame: identify the connection if needed,
+// dedupe resends, record the epoch run, then advance the watermark.
+func (r *Router) onFrame(conn net.Conn, src *uint8, tag wire.Tag, acts []engine.OfficeAction) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failErr != nil {
+		return nil
+	}
+	if *src == 0 {
+		*src = tag.Source
+		st := r.sources[tag.Source]
+		if st == nil {
+			st = &sourceState{}
+			r.sources[tag.Source] = st
+		}
+		// A lingering previous connection for this source is a redial
+		// race (the sink has already abandoned it); the new connection
+		// supersedes it.
+		st.conn = conn
+		r.unidentified--
+	} else if *src != tag.Source {
+		return fmt.Errorf("cluster: router: source changed mid-connection (%d then %d)", *src, tag.Source)
+	}
+	st := r.sources[*src]
+	r.stats.Frames++
+	if tag.Final {
+		if st.final {
+			r.stats.Duplicates++ // resent final after a redial
+			return nil
+		}
+		st.final = true
+		r.finals++
+		return r.advanceLocked()
+	}
+	if st.seen && tag.Epoch <= st.lastEpoch {
+		// A duplicate: the sink resent a frame whose write failed after
+		// the original arrived, or a superseded connection's reader is
+		// draining late. Either way the epoch is already recorded.
+		r.stats.Duplicates++
+		return nil
+	}
+	if st.final {
+		return fmt.Errorf("cluster: router: source %d sent epoch %d after its final frame", *src, tag.Epoch)
+	}
+	if st.seen && tag.Epoch != st.lastEpoch+1 {
+		return fmt.Errorf("cluster: router: source %d skipped from epoch %d to %d (lost frame)", *src, st.lastEpoch, tag.Epoch)
+	}
+	st.lastEpoch = tag.Epoch
+	st.seen = true
+	if len(acts) > 0 {
+		runs := r.pending[tag.Epoch]
+		if runs == nil {
+			runs = make(map[uint8][]engine.OfficeAction)
+			r.pending[tag.Epoch] = runs
+		}
+		runs[*src] = acts
+	}
+	return r.advanceLocked()
+}
+
+// connClosed retires a connection; an identified source keeps its
+// epoch state for the reconnect.
+func (r *Router) connClosed(conn net.Conn, src uint8) {
+	r.mu.Lock()
+	if r.conns[conn] {
+		delete(r.conns, conn)
+		if src == 0 {
+			r.unidentified--
+		} else if st := r.sources[src]; st != nil && st.conn == conn {
+			st.conn = nil
+		}
+		// An unidentified connection's departure can release the
+		// watermark, and the last final source's hangup can complete
+		// the run.
+		if err := r.advanceLocked(); err != nil {
+			r.mu.Unlock()
+			r.fail(err)
+			return
+		}
+	}
+	r.mu.Unlock()
+}
+
+// completeLocked reports whether the run is finished: every expected
+// source went final and nothing can arrive any more.
+func (r *Router) completeLocked() bool {
+	return r.finals >= r.cfg.Expect && r.unidentified == 0 && r.finals == len(r.sources)
+}
+
+// advanceLocked recomputes the watermark and emits every buffered epoch
+// at or below it, in ascending order. Called with r.mu held.
+func (r *Router) advanceLocked() error {
+	if r.unidentified > 0 || len(r.sources) == 0 {
+		return nil // a connection we cannot yet attribute holds everything
+	}
+	watermark := uint64(math.MaxUint64)
+	for _, st := range r.sources {
+		if st.final {
+			continue // a finished source can never lag the merge again
+		}
+		if !st.seen {
+			return nil
+		}
+		if st.lastEpoch < watermark {
+			watermark = st.lastEpoch
+		}
+	}
+	epochs := make([]uint64, 0, len(r.pending))
+	for e := range r.pending {
+		if e <= watermark {
+			epochs = append(epochs, e)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	for _, e := range epochs {
+		bySrc := r.pending[e]
+		delete(r.pending, e)
+		srcs := make([]int, 0, len(bySrc))
+		for s := range bySrc {
+			srcs = append(srcs, int(s))
+		}
+		sort.Ints(srcs)
+		runs := make([][]engine.OfficeAction, 0, len(srcs))
+		for _, s := range srcs {
+			runs = append(runs, bySrc[uint8(s)])
+		}
+		merged := engine.MergeRuns(runs, 0)
+		r.stats.EpochsEmitted++
+		if len(merged) > 0 {
+			r.stats.Batches++
+			r.stats.Actions += uint64(len(merged))
+			if r.cfg.OnBatch != nil {
+				if err := r.cfg.OnBatch(e, merged); err != nil {
+					return fmt.Errorf("cluster: router: emit epoch %d: %w", e, err)
+				}
+			}
+		}
+	}
+	if r.completeLocked() {
+		r.doneOnce.Do(func() { close(r.done) })
+		// Unblock any reader whose worker left its connection open after
+		// the final frame.
+		for c := range r.conns {
+			c.Close()
+		}
+	}
+	return nil
+}

@@ -143,10 +143,13 @@ type Fleet struct {
 
 // NewFleet builds the fleet with every initial office System in the
 // training phase. Offices with a PerOffice entry use that configuration
-// verbatim; the rest share cfg.System.
+// verbatim; the rest share cfg.System. Offices may be zero: the fleet
+// is elastic, and a member-less fleet (a cluster worker whose shard is
+// currently empty) runs fine — Run returns empty batches until
+// AddOffice gives it tenants.
 func NewFleet(cfg FleetConfig) (*Fleet, error) {
-	if cfg.Offices < 1 {
-		return nil, fmt.Errorf("engine: fleet needs at least one office, got %d", cfg.Offices)
+	if cfg.Offices < 0 {
+		return nil, fmt.Errorf("engine: negative office count %d", cfg.Offices)
 	}
 	for id := range cfg.PerOffice {
 		if id < 0 || id >= cfg.Offices {
@@ -685,6 +688,20 @@ func (f *Fleet) Tick(rssi [][]float64) ([]OfficeAction, error) {
 func mergeRuns(runs [][]OfficeAction, dt float64) []OfficeAction {
 	var sc mergeScratch
 	return sc.merge(runs, dt, true)
+}
+
+// MergeRuns is the exported k-way merge over already-ordered action
+// runs with pairwise-disjoint office-ID sets, producing one slice in
+// the global (time, office ID, emission order) order. It is the same
+// merge the fleet applies to its per-shard runs; the cluster stream
+// router reuses it as the second level of the two-level shard merge,
+// combining per-worker sub-batches of one epoch back into the exact
+// batch a single-process fleet would have dispatched. Pass dt 0 when
+// the runs mix sampling periods (or the period is unknown): the merge
+// then always takes the comparison-based path, which assumes nothing
+// about the time grid.
+func MergeRuns(runs [][]OfficeAction, dt float64) []OfficeAction {
+	return mergeRuns(runs, dt)
 }
 
 // merge is mergeRuns with explicit buffer ownership: temporaries always

@@ -583,11 +583,38 @@ func TestFleetChurnUnderLoad(t *testing.T) {
 }
 
 func TestNewFleetValidation(t *testing.T) {
-	if _, err := NewFleet(FleetConfig{Offices: 0}); err == nil {
-		t.Fatal("zero offices accepted")
+	if _, err := NewFleet(FleetConfig{Offices: -1}); err == nil {
+		t.Fatal("negative office count accepted")
 	}
 	if _, err := NewFleet(FleetConfig{Offices: 2, System: core.Config{Streams: 0, Workstations: 1}}); err == nil {
 		t.Fatal("invalid system config accepted")
+	}
+}
+
+// TestEmptyFleet pins that a fleet may start member-less (a cluster
+// worker whose shard is currently empty): Run produces empty batches,
+// and AddOffice later populates it normally.
+func TestEmptyFleet(t *testing.T) {
+	f, err := NewFleet(FleetConfig{Offices: 0})
+	if err != nil {
+		t.Fatalf("empty fleet rejected: %v", err)
+	}
+	if got := f.Offices(); got != 0 {
+		t.Fatalf("offices = %d, want 0", got)
+	}
+	acts, err := f.Run(nil, nil)
+	if err != nil || len(acts) != 0 {
+		t.Fatalf("empty Run = (%v, %v), want no actions", acts, err)
+	}
+	id, err := f.AddOffice(fleetCfg(1, 1).System)
+	if err != nil {
+		t.Fatalf("AddOffice on empty fleet: %v", err)
+	}
+	if id != 0 {
+		t.Fatalf("first office ID %d, want 0", id)
+	}
+	if got := f.Offices(); got != 1 {
+		t.Fatalf("offices = %d after add, want 1", got)
 	}
 }
 

@@ -18,6 +18,12 @@ type LiveOffice struct {
 	Name   string
 	ID     int
 	Config core.Config
+	// GID is the office's cluster-wide global ID from the spec (-1 in a
+	// single-process fleet). A gid change alone forces an update: the
+	// coordinator assigns a fresh gid whenever an office moves workers,
+	// and the replaced instance is what keeps the forwarded ID space
+	// consistent with the reference fleet.
+	GID int
 }
 
 // Diff is the reconcile plan between a desired spec and live
@@ -71,7 +77,7 @@ func ComputeDiff(desired []ResolvedOffice, live []LiveOffice) Diff {
 		switch {
 		case !ok:
 			d.Adds = append(d.Adds, want)
-		case cur.Config != want.Config:
+		case cur.Config != want.Config || cur.GID != want.GID:
 			d.Updates = append(d.Updates, Update{Old: cur, New: want})
 		default:
 			d.Keeps = append(d.Keeps, cur)
@@ -104,13 +110,22 @@ type liveEntry struct {
 // diffs through the Ingestor so every membership change lands at a
 // batch boundary. All methods are safe for concurrent use.
 type Reconciler struct {
-	mu      sync.Mutex
-	ing     *stream.Ingestor
-	now     func() time.Time
-	gen     uint64
-	hash    uint64
-	live    map[string]*liveEntry
-	desired int
+	mu sync.Mutex
+	// allowEmpty mirrors Config.AllowEmpty: whether a reload may take
+	// the fleet down to zero offices (a worker's shard can empty out).
+	allowEmpty bool
+	ing        *stream.Ingestor
+	now        func() time.Time
+	gen        uint64
+	hash       uint64
+	live       map[string]*liveEntry
+	desired    int
+	// byLocal maps local fleet ID → gid, append-only: fleet IDs are
+	// assigned by a monotonic counter and never reused, so a reader may
+	// consult this map for an office that was just removed (the sink
+	// pump races reconciles) and still get the right answer. Only
+	// populated for offices whose spec carries a gid.
+	byLocal map[int]int
 
 	reconciles uint64
 	errorCount uint64
@@ -128,25 +143,41 @@ func specHash(raw []byte) uint64 {
 
 // newReconciler adopts the server's initial fleet: resolved office i is
 // live under ID ids[i], at generation 1 of the given raw spec content.
-func newReconciler(ing *stream.Ingestor, resolved []ResolvedOffice, ids []int, raw []byte) *Reconciler {
+func newReconciler(ing *stream.Ingestor, resolved []ResolvedOffice, ids []int, raw []byte, allowEmpty bool) *Reconciler {
 	r := &Reconciler{
-		ing:     ing,
-		now:     time.Now,
-		gen:     1,
-		hash:    specHash(raw),
-		live:    make(map[string]*liveEntry, len(resolved)),
-		desired: len(resolved),
+		allowEmpty: allowEmpty,
+		ing:        ing,
+		now:        time.Now,
+		gen:        1,
+		hash:       specHash(raw),
+		live:       make(map[string]*liveEntry, len(resolved)),
+		desired:    len(resolved),
+		byLocal:    make(map[int]int),
 	}
 	t := r.now()
 	for i, ro := range resolved {
 		r.live[ro.Name] = &liveEntry{
-			LiveOffice:  LiveOffice{Name: ro.Name, ID: ids[i], Config: ro.Config},
+			LiveOffice:  LiveOffice{Name: ro.Name, ID: ids[i], Config: ro.Config, GID: ro.GID},
 			observedGen: 1,
 			transition:  "added",
 			since:       t,
 		}
+		if ro.GID >= 0 {
+			r.byLocal[ids[i]] = ro.GID
+		}
 	}
 	return r
+}
+
+// GlobalID resolves a local fleet ID to the cluster-wide gid its office
+// was specced with. The mapping is append-only (fleet IDs are never
+// reused), so it stays correct even when the lookup races a reconcile
+// that has already removed the office.
+func (r *Reconciler) GlobalID(local int) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gid, ok := r.byLocal[local]
+	return gid, ok
 }
 
 // Live returns the live offices, ascending by ID.
@@ -197,6 +228,9 @@ func (r *Reconciler) Reconcile(raw []byte) error {
 	if err == nil {
 		resolved, err = spec.Resolve()
 	}
+	if err == nil && len(resolved) == 0 && !r.allowEmpty {
+		err = fmt.Errorf("serve: fleet spec: no offices (the fleet needs at least one)")
+	}
 	if err != nil {
 		return r.failLocked(err)
 	}
@@ -219,9 +253,12 @@ func (r *Reconciler) Reconcile(raw []byte) error {
 			return r.failLocked(fmt.Errorf("update office %q: add: %w", up.New.Name, err))
 		}
 		r.live[up.New.Name] = &liveEntry{
-			LiveOffice: LiveOffice{Name: up.New.Name, ID: id, Config: up.New.Config},
+			LiveOffice: LiveOffice{Name: up.New.Name, ID: id, Config: up.New.Config, GID: up.New.GID},
 			transition: "updated",
 			since:      r.now(),
+		}
+		if up.New.GID >= 0 {
+			r.byLocal[id] = up.New.GID
 		}
 	}
 	for _, ad := range diff.Adds {
@@ -230,9 +267,12 @@ func (r *Reconciler) Reconcile(raw []byte) error {
 			return r.failLocked(fmt.Errorf("add office %q: %w", ad.Name, err))
 		}
 		r.live[ad.Name] = &liveEntry{
-			LiveOffice: LiveOffice{Name: ad.Name, ID: id, Config: ad.Config},
+			LiveOffice: LiveOffice{Name: ad.Name, ID: id, Config: ad.Config, GID: ad.GID},
 			transition: "added",
 			since:      r.now(),
+		}
+		if ad.GID >= 0 {
+			r.byLocal[id] = ad.GID
 		}
 	}
 	for _, e := range r.live {
@@ -294,6 +334,8 @@ type OfficeReport struct {
 	ObservedGeneration uint64
 	Transition         string
 	Since              time.Time
+	// GID is the office's cluster-wide global ID, -1 outside a cluster.
+	GID int
 }
 
 // Status snapshots the loop health and the per-office reports,
@@ -321,6 +363,7 @@ func (r *Reconciler) Status() (ReconcileStatus, []OfficeReport) {
 			ObservedGeneration: e.observedGen,
 			Transition:         e.transition,
 			Since:              e.since,
+			GID:                e.GID,
 		})
 		if lag := r.gen - e.observedGen; lag > st.GenerationLag {
 			st.GenerationLag = lag

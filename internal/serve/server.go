@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,9 +35,13 @@ const DefaultSubscriberBuffer = 256
 
 // Config parameterises a Server.
 type Config struct {
-	// SpecPath is the fleet-spec file (required): the declarative
-	// desired membership, reloaded by Reload.
+	// SpecPath is the fleet-spec file (required unless SpecSource is
+	// set): the declarative desired membership, reloaded by Reload.
 	SpecPath string
+	// SpecSource, when set, replaces the spec file as the source of raw
+	// spec content for both startup and Reload. Worker mode uses it to
+	// fetch the coordinator-assigned sub-spec over HTTP.
+	SpecSource func() ([]byte, error)
 	// Queue, OnFull, BatchTicks, AdaptiveBatch and MaxBatchLatency pass
 	// through to the ingestor (stream.Config). With both BatchTicks and
 	// MaxBatchLatency zero, dispatch is strictly ?flush=1-driven —
@@ -60,10 +65,27 @@ type Config struct {
 	// address as wire frames (codec Codec), the fan-in feed for a
 	// downstream fadewich-tail or router tier.
 	Forward string
+	// ForwardSource, when non-zero, switches the forward stream to the
+	// cluster wire protocol: frames are tagged with this worker source
+	// ID and the producer-driven epoch (?flush=1&epoch=K), actions are
+	// remapped from local fleet IDs to the gids the spec carries, and
+	// shutdown sends a final frame. Requires Forward, a spec whose
+	// offices all carry gids, and strictly flush-driven dispatch
+	// (BatchTicks, AdaptiveBatch and MaxBatchLatency all zero) — the
+	// tagged sink refuses untagged batches.
+	ForwardSource uint8
 	// SubscriberBuffer is each /v1/actions connection's in-flight frame
 	// budget; a consumer further behind is dropped (0 selects
 	// DefaultSubscriberBuffer).
 	SubscriberBuffer int
+	// AllowEmpty accepts a spec with zero offices, at startup and on
+	// reload. Worker mode sets it: a coordinator-assigned shard may
+	// legitimately be empty (the hash owes this worker nothing right
+	// now), and the worker must still run to emit its per-epoch
+	// watermark frames. Without it an empty spec is rejected — a
+	// single-process operator emptying the fleet is almost always a
+	// spec-file accident.
+	AllowEmpty bool
 }
 
 // Server hosts a live Fleet+Ingestor behind the HTTP API. Create with
@@ -76,6 +98,7 @@ type Server struct {
 	bcast   *broadcaster
 	seg     *stream.SegmentSink // nil without SegmentDir
 	fwd     *stream.TCPSink     // nil without Forward
+	source  func() ([]byte, error)
 	mux     *http.ServeMux
 	started time.Time
 
@@ -87,10 +110,23 @@ type Server struct {
 // New builds the fleet from the spec file and starts the ingestion
 // machinery. Offices are created in spec order under IDs 0..n−1.
 func New(cfg Config) (*Server, error) {
-	if cfg.SpecPath == "" {
-		return nil, errors.New("serve: no fleet-spec path")
+	if cfg.SpecPath == "" && cfg.SpecSource == nil {
+		return nil, errors.New("serve: no fleet-spec path or source")
 	}
-	raw, err := os.ReadFile(cfg.SpecPath)
+	if cfg.ForwardSource != 0 {
+		if cfg.Forward == "" {
+			return nil, errors.New("serve: forward source set without a forward address")
+		}
+		if cfg.BatchTicks != 0 || cfg.AdaptiveBatch || cfg.MaxBatchLatency != 0 {
+			return nil, errors.New("serve: tagged forwarding needs strictly flush-driven dispatch (no batch-ticks, adaptive-batch or max-latency)")
+		}
+	}
+	source := cfg.SpecSource
+	if source == nil {
+		path := cfg.SpecPath
+		source = func() ([]byte, error) { return os.ReadFile(path) }
+	}
+	raw, err := source()
 	if err != nil {
 		return nil, fmt.Errorf("serve: fleet spec: %w", err)
 	}
@@ -102,13 +138,27 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(resolved) == 0 && !cfg.AllowEmpty {
+		return nil, errors.New("serve: fleet spec: no offices (the fleet needs at least one)")
+	}
+	if cfg.ForwardSource != 0 {
+		for _, ro := range resolved {
+			if ro.GID < 0 {
+				return nil, fmt.Errorf("serve: tagged forwarding needs a gid for every office, but %q has none", ro.Name)
+			}
+		}
+	}
 	perOffice := make(map[int]core.Config, len(resolved))
+	var def core.Config
 	for i, ro := range resolved {
 		perOffice[i] = ro.Config
+		if i == 0 {
+			def = ro.Config
+		}
 	}
 	fleet, err := engine.NewFleet(engine.FleetConfig{
 		Offices:   len(resolved),
-		System:    resolved[0].Config,
+		System:    def,
 		PerOffice: perOffice,
 		Workers:   cfg.Workers,
 	})
@@ -116,7 +166,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 
-	s := &Server{cfg: cfg, fleet: fleet, bcast: newBroadcaster(), started: time.Now()}
+	s := &Server{cfg: cfg, fleet: fleet, bcast: newBroadcaster(), source: source, started: time.Now()}
 	sinks := []stream.Sink{s.bcast}
 	if cfg.SegmentDir != "" {
 		seg, err := stream.NewSegmentSink(segment.Config{
@@ -144,7 +194,17 @@ func New(cfg Config) (*Server, error) {
 			fwd.Version = cfg.Codec
 		}
 		s.fwd = fwd
-		sinks = append(sinks, fwd)
+		if cfg.ForwardSource != 0 {
+			fwd.Source = cfg.ForwardSource
+			// Remap local fleet IDs to cluster-wide gids on the way out.
+			// The closure reads s.rec, assigned below before any tick can
+			// be pushed (and therefore before any batch can be pumped).
+			sinks = append(sinks, stream.NewRemapSink(fwd, func(local int) (int, bool) {
+				return s.rec.GlobalID(local)
+			}))
+		} else {
+			sinks = append(sinks, fwd)
+		}
 	}
 	sink := sinks[0]
 	if len(sinks) > 1 {
@@ -163,7 +223,7 @@ func New(cfg Config) (*Server, error) {
 		sink.Close()
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	s.rec = newReconciler(s.ing, resolved, fleet.IDs(), raw)
+	s.rec = newReconciler(s.ing, resolved, fleet.IDs(), raw, cfg.AllowEmpty)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/ticks", s.handleTicks)
@@ -197,13 +257,15 @@ func (s *Server) Segment() *stream.SegmentSink { return s.seg }
 // Forwarder exposes the TCP forward sink, nil without Config.Forward.
 func (s *Server) Forwarder() *stream.TCPSink { return s.fwd }
 
-// Reload re-reads the spec file and reconciles the fleet against it.
-// Wired to SIGHUP, the spec-file watcher and POST /v1/reload.
+// Reload re-reads the spec source (the spec file, or Config.SpecSource
+// — in worker mode the coordinator's sub-spec endpoint) and reconciles
+// the fleet against it. Wired to SIGHUP, the spec-file watcher and
+// POST /v1/reload.
 func (s *Server) Reload() error {
 	if s.closing.Load() {
 		return errBroadcasterClosed
 	}
-	raw, err := os.ReadFile(s.cfg.SpecPath)
+	raw, err := s.source()
 	if err != nil {
 		return s.rec.Fail(fmt.Errorf("read spec: %w", err))
 	}
@@ -267,9 +329,30 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	} else {
 		err = s.ingestJSONL(r.Body, &res)
 	}
-	if err == nil && r.URL.Query().Get("flush") == "1" {
-		if err = s.ing.Flush(); err == nil {
-			res.Flushed = true
+	if err == nil {
+		q := r.URL.Query()
+		epochStr := q.Get("epoch")
+		switch {
+		case q.Get("flush") != "1":
+			if epochStr != "" {
+				err = errors.New("epoch requires flush=1")
+			}
+		case epochStr != "":
+			// Epoch-stamped flush: the cluster wire protocol. The producer
+			// drives every dispatch with ?flush=1&epoch=K so each worker
+			// emits exactly one tagged frame per epoch (empty included),
+			// which is what lets the stream router align and merge the
+			// worker streams.
+			var epoch uint64
+			if epoch, err = strconv.ParseUint(epochStr, 10, 64); err != nil {
+				err = fmt.Errorf("bad epoch %q: %w", epochStr, err)
+			} else if err = s.ing.FlushEpoch(epoch); err == nil {
+				res.Flushed = true
+			}
+		default:
+			if err = s.ing.Flush(); err == nil {
+				res.Flushed = true
+			}
 		}
 	}
 	status := ingestStatus(err)
@@ -396,6 +479,7 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 type officeStatus struct {
 	Name               string  `json:"name"`
 	ID                 int     `json:"id"`
+	GID                *int    `json:"gid,omitempty"` // cluster-wide global ID, absent outside a cluster
 	Phase              string  `json:"phase"`
 	TrainingSamples    int     `json:"training_samples"`
 	ObservedGeneration uint64  `json:"observed_generation"`
@@ -467,6 +551,10 @@ func (s *Server) status() fleetStatus {
 			Streams:            rep.Config.Streams,
 			Workstations:       rep.Config.Workstations,
 			DT:                 rep.Config.DT,
+		}
+		if rep.GID >= 0 {
+			gid := rep.GID
+			row.GID = &gid
 		}
 		if sys := s.fleet.System(rep.ID); sys != nil {
 			row.Phase = phaseString(sys.Phase())

@@ -389,6 +389,53 @@ func TestReloadEndpoint(t *testing.T) {
 	}
 }
 
+// TestEmptySpecPolicy pins Config.AllowEmpty: a zero-office spec is
+// rejected by default (at startup and on reload — emptying a
+// single-process fleet is a spec accident), while a worker whose
+// shard is currently empty starts, reloads offices in, and empties
+// out again without failing.
+func TestEmptySpecPolicy(t *testing.T) {
+	empty := `{"defaults": {"layout": "small", "sensors": 2}, "offices": []}`
+
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, []byte(empty), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{SpecPath: path, Workers: 1}); err == nil || !strings.Contains(err.Error(), "no offices") {
+		t.Fatalf("empty spec without AllowEmpty: err = %v, want no-offices rejection", err)
+	}
+
+	srv, specPath := newTestServer(t, empty, func(c *Config) { c.AllowEmpty = true })
+	if n := len(decodeBody[fleetStatus](t, get(srv, "/v1/offices")).Offices); n != 0 {
+		t.Fatalf("empty shard lists %d offices", n)
+	}
+
+	// Offices hash in: the reload populates the empty fleet.
+	os.WriteFile(specPath, []byte(specJSON("a", "b")), 0o644)
+	rr := post(srv, "/v1/reload", "", "")
+	res := decodeBody[reloadResult](t, rr)
+	if rr.Code != http.StatusOK || res.LiveOffices != 2 || res.Error != "" {
+		t.Fatalf("reload into empty fleet: status %d result %+v", rr.Code, res)
+	}
+
+	// ...and out again: the shard may legitimately empty.
+	os.WriteFile(specPath, []byte(empty), 0o644)
+	rr = post(srv, "/v1/reload", "", "")
+	res = decodeBody[reloadResult](t, rr)
+	if rr.Code != http.StatusOK || res.LiveOffices != 0 || res.Error != "" {
+		t.Fatalf("reload to empty shard: status %d result %+v", rr.Code, res)
+	}
+
+	// A single-process daemon reloading to empty keeps its fleet.
+	single, singlePath := newTestServer(t, specJSON("a", "b"))
+	os.WriteFile(singlePath, []byte(empty), 0o644)
+	rr = post(single, "/v1/reload", "", "")
+	res = decodeBody[reloadResult](t, rr)
+	if rr.Code != http.StatusBadRequest || res.LiveOffices != 2 || !strings.Contains(res.Error, "no offices") {
+		t.Fatalf("reload to empty without AllowEmpty: status %d result %+v", rr.Code, res)
+	}
+}
+
 // promLine matches one Prometheus text-exposition sample.
 var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{office="[^"]*"\})? (-?[0-9.e+-]+|NaN)$`)
 

@@ -56,6 +56,14 @@ type OfficeSpec struct {
 	// MinTrainingSamples overrides the smallest labelled sample count
 	// FinishTraining will accept (0 selects the core default).
 	MinTrainingSamples int `json:"min_training_samples"`
+	// GID is the office's cluster-wide global ID, stamped into worker
+	// sub-specs by the shard coordinator (see internal/cluster): the
+	// office ID its actions carry on the forwarded wire stream, so the
+	// routed cross-worker stream uses one consistent ID space. Absent
+	// in single-process specs; when present, must be unique and
+	// non-negative. Not an inheritable default (ignored in the
+	// defaults block).
+	GID *int `json:"gid,omitempty"`
 }
 
 // Spec is the declarative fleet description the serve daemon reconciles
@@ -79,6 +87,9 @@ type Spec struct {
 type ResolvedOffice struct {
 	Name   string
 	Config core.Config
+	// GID is the cluster-wide global ID from the spec's gid field, or
+	// -1 when the spec carries none (the single-process case).
+	GID int
 }
 
 // ParseSpec decodes a fleet spec from JSON. Unknown fields are
@@ -136,11 +147,13 @@ func orDefault[T comparable](v, d T) T {
 // membership gets atomic validate-then-apply for free. Each resolved
 // configuration is additionally dry-run through core.NewSystem, so a
 // spec that Resolve accepts cannot fail later at AddOffice time.
+// An office-less spec resolves to an empty slice: whether that is
+// acceptable is the caller's policy (a coordinator-assigned worker
+// shard may legitimately be empty; a single-process daemon rejects it
+// unless Config.AllowEmpty is set).
 func (s *Spec) Resolve() ([]ResolvedOffice, error) {
-	if len(s.Offices) == 0 {
-		return nil, fmt.Errorf("serve: fleet spec: no offices (the fleet needs at least one)")
-	}
 	seen := make(map[string]int, len(s.Offices))
+	seenGID := make(map[int]int, len(s.Offices))
 	out := make([]ResolvedOffice, 0, len(s.Offices))
 	for i, o := range s.Offices {
 		fail := func(err error) ([]ResolvedOffice, error) {
@@ -153,6 +166,18 @@ func (s *Spec) Resolve() ([]ResolvedOffice, error) {
 			return fail(fmt.Errorf("duplicate name (first used by office %d)", prev))
 		}
 		seen[o.Name] = i
+
+		gid := -1
+		if o.GID != nil {
+			gid = *o.GID
+			if gid < 0 {
+				return fail(fmt.Errorf("negative gid %d", gid))
+			}
+			if prev, dup := seenGID[gid]; dup {
+				return fail(fmt.Errorf("duplicate gid %d (first used by office %d)", gid, prev))
+			}
+			seenGID[gid] = i
+		}
 
 		layout, err := layoutByName(orDefault(o.Layout, s.Defaults.Layout))
 		if err != nil {
@@ -179,7 +204,7 @@ func (s *Spec) Resolve() ([]ResolvedOffice, error) {
 		if _, err := core.NewSystem(cfg); err != nil {
 			return fail(err)
 		}
-		out = append(out, ResolvedOffice{Name: o.Name, Config: cfg})
+		out = append(out, ResolvedOffice{Name: o.Name, Config: cfg, GID: gid})
 	}
 	return out, nil
 }

@@ -116,7 +116,6 @@ func TestResolveErrors(t *testing.T) {
 		spec Spec
 		want string
 	}{
-		{"no offices", Spec{}, "no offices"},
 		{"missing name", Spec{Offices: []OfficeSpec{{}}}, "missing name"},
 		{"duplicate name", Spec{Offices: []OfficeSpec{{Name: "x"}, {Name: "x"}}}, "duplicate name"},
 		{"unknown layout", Spec{Offices: []OfficeSpec{{Name: "x", Layout: "mars"}}}, "unknown layout"},
@@ -136,6 +135,19 @@ func TestResolveErrors(t *testing.T) {
 				t.Fatal("partial resolution returned alongside an error")
 			}
 		})
+	}
+}
+
+// TestResolveEmptySpec pins that an office-less spec resolves cleanly
+// to zero offices — emptiness is the caller's policy (a worker's shard
+// may be empty), not a resolution error.
+func TestResolveEmptySpec(t *testing.T) {
+	out, err := (&Spec{}).Resolve()
+	if err != nil {
+		t.Fatalf("empty spec rejected: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("resolved %d offices from an empty spec", len(out))
 	}
 }
 

@@ -35,6 +35,19 @@ type Sink interface {
 	Close() error
 }
 
+// EpochSink is the optional second face of a sink that can carry the
+// cluster epoch protocol: WriteEpoch delivers one dispatch cycle's
+// batch together with its producer-assigned epoch number. Unlike
+// Write, WriteEpoch is also called with an empty batch — "this epoch
+// dispatched nothing" is information the downstream merge watermark
+// needs. The Ingestor's pump prefers this face for epoch-stamped
+// flushes (see Ingestor.FlushEpoch) and falls back to plain non-empty
+// Writes on sinks without it.
+type EpochSink interface {
+	Sink
+	WriteEpoch(epoch uint64, batch []engine.OfficeAction) error
+}
+
 // AppendJSONL appends the codec-v1 JSONL wire encoding of a batch to
 // dst and returns the extended slice.
 //
@@ -145,6 +158,16 @@ type TCPSink struct {
 	// Version selects the wire codec of the frames. Default
 	// wire.V1JSONL.
 	Version wire.Version
+	// Source, when non-zero, switches the sink to the cluster's tagged
+	// mode: every frame carries this worker source ID and an epoch
+	// (wire.FlagTagged), batches must arrive via WriteEpoch with
+	// strictly increasing epochs, and Close sends a FlagFinal frame so
+	// the downstream router knows the stream ended cleanly. Plain
+	// Write is refused in this mode — an untagged batch has no place
+	// in an epoch-merged stream, and dropping it silently would corrupt
+	// the cross-node order. Default 0 (untagged, the historical
+	// behavior).
+	Source uint8
 
 	addr string
 
@@ -152,6 +175,10 @@ type TCPSink struct {
 	conn   net.Conn
 	frame  []byte
 	closed bool
+	// lastEpoch/wroteEpoch track the tagged mode's epoch monotonicity
+	// and give the final frame an epoch past every delivered one.
+	lastEpoch  uint64
+	wroteEpoch bool
 	// streak counts consecutive failed attempts across Writes; it sets
 	// the backoff exponent and resets on a delivered frame.
 	streak int
@@ -205,19 +232,67 @@ func (s *TCPSink) backoffDelay() time.Duration {
 }
 
 // Write sends one batch as a single wire frame, redialing with capped
-// exponential backoff up to Retries times on connection errors.
+// exponential backoff up to Retries times on connection errors. In
+// tagged mode (Source non-zero) Write is refused: batches must carry
+// an epoch, via WriteEpoch.
 func (s *TCPSink) Write(batch []engine.OfficeAction) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrSinkClosed
 	}
+	if s.Source != 0 {
+		return fmt.Errorf("stream: tcp sink %s: tagged sink (source %d) got an untagged batch — drive dispatches with epoch flushes", s.addr, s.Source)
+	}
 	var err error
 	s.frame, err = wire.AppendFrame(s.frame[:0], s.Version, batch)
 	if err != nil {
 		return fmt.Errorf("stream: tcp sink %s: %w", s.addr, err)
 	}
+	return s.sendLocked()
+}
 
+// WriteEpoch sends one epoch's batch as a single tagged wire frame
+// (source, epoch, possibly empty payload). Epochs must be strictly
+// increasing; requires tagged mode.
+func (s *TCPSink) WriteEpoch(epoch uint64, batch []engine.OfficeAction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSinkClosed
+	}
+	if s.Source == 0 {
+		// Without a source ID there is nothing to tag with: carry the
+		// batch as a plain frame, matching the pump's fallback for
+		// sinks that are not epoch-aware. Empty epochs write nothing.
+		if len(batch) == 0 {
+			return nil
+		}
+		var err error
+		s.frame, err = wire.AppendFrame(s.frame[:0], s.Version, batch)
+		if err != nil {
+			return fmt.Errorf("stream: tcp sink %s: %w", s.addr, err)
+		}
+		return s.sendLocked()
+	}
+	if s.wroteEpoch && epoch <= s.lastEpoch {
+		return fmt.Errorf("stream: tcp sink %s: epoch %d is not after the last delivered epoch %d", s.addr, epoch, s.lastEpoch)
+	}
+	var err error
+	s.frame, err = wire.AppendTaggedFrame(s.frame[:0], s.Version, wire.Tag{Source: s.Source, Epoch: epoch}, batch)
+	if err != nil {
+		return fmt.Errorf("stream: tcp sink %s: %w", s.addr, err)
+	}
+	if err := s.sendLocked(); err != nil {
+		return err
+	}
+	s.lastEpoch, s.wroteEpoch = epoch, true
+	return nil
+}
+
+// sendLocked delivers s.frame, redialing with capped exponential
+// backoff up to Retries times on connection errors.
+func (s *TCPSink) sendLocked() error {
 	var lastErr error
 	for attempt := 0; attempt <= s.Retries; attempt++ {
 		if attempt > 0 {
@@ -258,7 +333,11 @@ func (s *TCPSink) Stats() TCPSinkStats {
 	return s.stats
 }
 
-// Close closes the connection. Idempotent.
+// Close closes the connection. In tagged mode it first sends the
+// FlagFinal end-of-stream frame (epoch one past the last delivered),
+// so the downstream router can distinguish a clean drain from a lost
+// worker; a final frame that cannot be delivered after the usual
+// retries is the returned error. Idempotent.
 func (s *TCPSink) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -266,11 +345,25 @@ func (s *TCPSink) Close() error {
 		return nil
 	}
 	s.closed = true
+	var finalErr error
+	if s.Source != 0 {
+		var epoch uint64
+		if s.wroteEpoch {
+			epoch = s.lastEpoch + 1
+		}
+		s.frame, finalErr = wire.AppendTaggedFrame(s.frame[:0], s.Version, wire.Tag{Source: s.Source, Epoch: epoch, Final: true}, nil)
+		if finalErr == nil {
+			finalErr = s.sendLocked()
+		}
+	}
 	if s.conn == nil {
-		return nil
+		return finalErr
 	}
 	err := s.conn.Close()
 	s.conn = nil
+	if finalErr != nil {
+		return finalErr
+	}
 	if err != nil {
 		return fmt.Errorf("stream: tcp sink %s: %w", s.addr, err)
 	}
@@ -357,7 +450,12 @@ type multiSink struct {
 
 // NewMultiSink returns a sink fanning every Write and Close out to all
 // the given sinks. One sink failing does not stop delivery to the
-// others; the errors of all failing sinks are joined.
+// others; the errors of all failing sinks are joined. The multi sink
+// is also an EpochSink: epoch-stamped batches reach epoch-aware
+// members through WriteEpoch (empty ones included) and the rest
+// through plain Write (empty ones skipped) — this is how a worker
+// daemon feeds its tagged TCP forward and its untagged broadcaster and
+// segment log from the same dispatch.
 func NewMultiSink(sinks ...Sink) Sink {
 	return &multiSink{sinks: append([]Sink(nil), sinks...)}
 }
@@ -367,6 +465,24 @@ func (s *multiSink) Write(batch []engine.OfficeAction) error {
 	var errs []error
 	for _, snk := range s.sinks {
 		if err := snk.Write(batch); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WriteEpoch delivers an epoch-stamped batch: epoch-aware members get
+// the epoch (and empty batches), plain members get non-empty Writes.
+func (s *multiSink) WriteEpoch(epoch uint64, batch []engine.OfficeAction) error {
+	var errs []error
+	for _, snk := range s.sinks {
+		var err error
+		if es, ok := snk.(EpochSink); ok {
+			err = es.WriteEpoch(epoch, batch)
+		} else if len(batch) > 0 {
+			err = snk.Write(batch)
+		}
+		if err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -383,3 +499,77 @@ func (s *multiSink) Close() error {
 	}
 	return errors.Join(errs...)
 }
+
+// RemapSink rewrites each action's office ID through a lookup before
+// handing the batch to an inner sink, leaving the caller's batch
+// untouched (batches are shared across a fan-out, so the rewrite works
+// on a reused scratch copy). A cluster worker wraps its tagged TCP
+// forward in one: the fleet's worker-local office IDs become the
+// coordinator-assigned global IDs, which is what makes the routed
+// cross-worker stream byte-identical to a single-process fleet's. The
+// lookup returning false for an ID is an error — an unmapped office
+// must break the stream loudly, not ship a wrong ID.
+type RemapSink struct {
+	inner   Sink
+	innerEp EpochSink // inner's epoch face, nil if absent
+	remap   func(int) (int, bool)
+
+	mu      sync.Mutex
+	scratch []engine.OfficeAction
+}
+
+// NewRemapSink wraps inner with the office-ID remapping.
+func NewRemapSink(inner Sink, remap func(int) (int, bool)) *RemapSink {
+	s := &RemapSink{inner: inner, remap: remap}
+	s.innerEp, _ = inner.(EpochSink)
+	return s
+}
+
+// remapLocked copies batch into the scratch buffer with office IDs
+// rewritten.
+func (s *RemapSink) remapLocked(batch []engine.OfficeAction) ([]engine.OfficeAction, error) {
+	out := s.scratch[:0]
+	for _, a := range batch {
+		id, ok := s.remap(a.Office)
+		if !ok {
+			return nil, fmt.Errorf("stream: remap sink: no mapping for office %d", a.Office)
+		}
+		a.Office = id
+		out = append(out, a)
+	}
+	s.scratch = out
+	return out, nil
+}
+
+// Write remaps and forwards one batch.
+func (s *RemapSink) Write(batch []engine.OfficeAction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out, err := s.remapLocked(batch)
+	if err != nil {
+		return err
+	}
+	return s.inner.Write(out)
+}
+
+// WriteEpoch remaps and forwards one epoch-stamped batch. If the inner
+// sink is not epoch-aware the epoch is dropped and empty batches are
+// skipped, mirroring the pump's fallback.
+func (s *RemapSink) WriteEpoch(epoch uint64, batch []engine.OfficeAction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out, err := s.remapLocked(batch)
+	if err != nil {
+		return err
+	}
+	if s.innerEp != nil {
+		return s.innerEp.WriteEpoch(epoch, out)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return s.inner.Write(out)
+}
+
+// Close closes the inner sink.
+func (s *RemapSink) Close() error { return s.inner.Close() }

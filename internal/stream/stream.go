@@ -60,6 +60,7 @@ import (
 
 	"fadewich/internal/core"
 	"fadewich/internal/engine"
+	"fadewich/internal/wire"
 )
 
 // DefaultQueue is the per-office tick queue capacity selected when
@@ -248,6 +249,11 @@ type Ingestor struct {
 	err      error
 	nBatches uint64
 	nActions uint64
+	// epochVal/epochSet carry a FlushEpoch caller's epoch number to the
+	// dispatch cycle that serves its ticket; the cycle consumes them
+	// under the lock and stamps its pump hand-off with the epoch.
+	epochVal uint64
+	epochSet bool
 	// MaxBatchLatency state: when the first tick or input event since
 	// the last dispatch is queued, pendingSince records the wall clock
 	// and the latency goroutine is kicked; once the deadline passes it
@@ -260,7 +266,7 @@ type Ingestor struct {
 	batchBuf []engine.OfficeBatch
 	evsBuf   []engine.InputEvent
 
-	pumpCh         chan []engine.OfficeAction
+	pumpCh         chan pumpItem
 	pumpDone       chan struct{}
 	dispatcherDone chan struct{}
 	latencyKick    chan struct{}
@@ -312,7 +318,7 @@ func NewIngestor(fleet *engine.Fleet, cfg Config) (*Ingestor, error) {
 	in.space.L = &in.mu
 	in.done.L = &in.mu
 	if in.sink != nil {
-		in.pumpCh = make(chan []engine.OfficeAction, 8)
+		in.pumpCh = make(chan pumpItem, 8)
 		in.pumpDone = make(chan struct{})
 		go in.pump()
 	}
@@ -661,6 +667,39 @@ func (in *Ingestor) Flush() error {
 	return in.err
 }
 
+// FlushEpoch is Flush with a caller-assigned epoch number attached:
+// the dispatch cycle serving this request hands its batch to the sink
+// pump stamped with the epoch — and hands it over even when the batch
+// is empty, so an EpochSink emits exactly one (possibly empty) epoch
+// frame per FlushEpoch call. This is the worker side of the cluster
+// epoch protocol: the tick producer drives every worker's flushes with
+// the same epoch sequence, and the stream router re-merges the
+// per-worker frames epoch by epoch (see internal/cluster). Epoch
+// flushes must be driven sequentially — one producer, each call after
+// the previous returned; a concurrent second call errors rather than
+// risk two epochs coalescing into one dispatch.
+func (in *Ingestor) FlushEpoch(epoch uint64) error {
+	if epoch > wire.MaxTagEpoch {
+		return fmt.Errorf("stream: epoch %d exceeds the 32-bit wire field", epoch)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return ErrClosed
+	}
+	if in.epochSet {
+		return errors.New("stream: concurrent epoch flushes (drive epochs from one producer, sequentially)")
+	}
+	in.epochVal, in.epochSet = epoch, true
+	in.flushSeq++
+	ticket := in.flushSeq
+	in.work.Signal()
+	for in.doneSeq < ticket && !in.closed {
+		in.done.Wait()
+	}
+	return in.err
+}
+
 // Err returns the first pipeline error (fleet dispatch or sink write)
 // recorded so far, without waiting.
 func (in *Ingestor) Err() error {
@@ -805,6 +844,8 @@ func (in *Ingestor) dispatch() {
 			return
 		}
 		ticket := in.flushSeq
+		epoch, hasEpoch := in.epochVal, in.epochSet
+		in.epochSet = false
 		maxDepth := 0
 		for _, q := range in.q {
 			if len(q.ticks) > maxDepth {
@@ -820,13 +861,14 @@ func (in *Ingestor) dispatch() {
 		if n > 0 || len(evs) > 0 {
 			acts, err = in.fleet.Run(batch, evs)
 		}
-		if err == nil && len(acts) > 0 {
-			if in.onBatch != nil {
-				in.onBatch(acts)
-			}
-			if in.pumpCh != nil {
-				in.pumpCh <- acts
-			}
+		if err == nil && len(acts) > 0 && in.onBatch != nil {
+			in.onBatch(acts)
+		}
+		// Epoch-stamped cycles reach the pump even when empty: an
+		// EpochSink must emit one frame per epoch so downstream merge
+		// watermarks keep advancing through quiet epochs.
+		if err == nil && in.pumpCh != nil && (len(acts) > 0 || hasEpoch) {
+			in.pumpCh <- pumpItem{acts: acts, epoch: epoch, hasEpoch: hasEpoch}
 		}
 
 		in.mu.Lock()
@@ -960,18 +1002,39 @@ func (in *Ingestor) recycleLocked(batch []engine.OfficeBatch) {
 	}
 }
 
+// pumpItem is one dispatch cycle's hand-off to the sink pump: the
+// merged actions, plus the FlushEpoch number when the cycle served an
+// epoch-stamped flush (in which case the item is delivered even with
+// an empty batch).
+type pumpItem struct {
+	acts     []engine.OfficeAction
+	epoch    uint64
+	hasEpoch bool
+}
+
 // pump is the sink delivery goroutine: it forwards dispatched batches to
-// the Sink in dispatch order. After the first write error it records the
-// error and keeps draining the channel (discarding batches), so a broken
-// sink can never deadlock the dispatcher or producers.
+// the Sink in dispatch order. Epoch-stamped batches go through the
+// sink's EpochSink face when it has one (empty batches included);
+// sinks without one get plain non-empty Writes, epoch dropped. After
+// the first write error it records the error and keeps draining the
+// channel (discarding batches), so a broken sink can never deadlock
+// the dispatcher or producers.
 func (in *Ingestor) pump() {
 	defer close(in.pumpDone)
+	es, hasEpochSink := in.sink.(EpochSink)
 	failed := false
-	for batch := range in.pumpCh {
+	for item := range in.pumpCh {
 		if failed {
 			continue
 		}
-		if err := in.sink.Write(batch); err != nil {
+		var err error
+		switch {
+		case item.hasEpoch && hasEpochSink:
+			err = es.WriteEpoch(item.epoch, item.acts)
+		case len(item.acts) > 0:
+			err = in.sink.Write(item.acts)
+		}
+		if err != nil {
 			failed = true
 			in.mu.Lock()
 			if in.err == nil {

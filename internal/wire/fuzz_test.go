@@ -53,6 +53,16 @@ func FuzzDecode(f *testing.F) {
 		}
 		f.Add(empty)
 		f.Add(append(append([]byte(nil), frame...), empty...))
+		tagged, err := AppendTaggedFrame(nil, v, Tag{Source: 3, Epoch: 41}, testBatch())
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(tagged)
+		final, err := AppendTaggedFrame(nil, v, Tag{Source: 3, Epoch: 42, Final: true}, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append(append([]byte(nil), tagged...), final...))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := NewDecoder(bytes.NewReader(data))

@@ -9,9 +9,9 @@
 //	offset  size  field
 //	0       2     magic "FW" (0x46 0x57)
 //	2       1     codec version (1 = JSONL payload, 2 = compact binary)
-//	3       1     flags (reserved, must be zero)
-//	4       4     payload length, big-endian
-//	8       n     payload
+//	3       1     flags (0, or FlagTagged optionally ored with FlagFinal)
+//	4       4     body length, big-endian
+//	8       n     body: [5-byte tag if FlagTagged] + payload
 //	8+n     4     CRC32C (Castagnoli) over bytes [0, 8+n), big-endian
 //
 // Codec v1 carries the payload as JSONL — one JSON object per action,
@@ -20,6 +20,17 @@
 // historical payload still decodes v1 frames. Codec v2 carries a
 // compact binary payload (varint fields, raw float64 time bits) at
 // roughly a third of the JSONL size. Both decode to the same actions.
+//
+// The flags byte was reserved-zero until the multi-node fleet needed
+// provenance on worker streams. FlagTagged (0x01) prefixes the body
+// with a five-byte tag — a one-byte source ID naming the producing
+// worker and a four-byte big-endian epoch naming the dispatch cycle —
+// which the stream router uses to re-merge per-worker streams into the
+// global order (see internal/cluster). FlagFinal (0x02, only valid
+// together with FlagTagged) marks a clean end-of-stream frame: the
+// tagged source promises no further epochs. The tag is covered by the
+// CRC and counted by the length field; untagged frames are bit-for-bit
+// what they always were, and any other flag bit is ErrCorrupt.
 //
 // The CRC trailer is what makes frames safe to persist: a reader can
 // tell a frame that was cut short by a crash (ErrTorn — the file just
@@ -83,6 +94,37 @@ const (
 
 // Magic is the two-byte frame prefix.
 var Magic = [2]byte{'F', 'W'}
+
+// Frame flags. The flags byte is either zero (an untagged frame) or
+// FlagTagged, optionally ored with FlagFinal; every other bit pattern
+// is rejected as corrupt.
+const (
+	// FlagTagged marks a frame whose body starts with a TagSize-byte
+	// source/epoch tag before the payload.
+	FlagTagged = 0x01
+	// FlagFinal marks a tagged source's clean end-of-stream frame: no
+	// further epochs will follow from this source. Valid only together
+	// with FlagTagged.
+	FlagFinal = 0x02
+)
+
+// TagSize is the tagged-frame body prefix: one source byte and a
+// four-byte big-endian epoch.
+const TagSize = 5
+
+// MaxTagEpoch is the largest epoch a tag can carry (the wire field is
+// four bytes).
+const MaxTagEpoch = 1<<32 - 1
+
+// Tag is the provenance a FlagTagged frame carries: which worker
+// produced the batch (Source, a cluster-assigned non-zero ID) and
+// which dispatch cycle it belongs to (Epoch, strictly increasing per
+// source). Final marks the source's last frame.
+type Tag struct {
+	Source uint8
+	Epoch  uint64
+	Final  bool
+}
 
 // Errors. Decode wraps them, so test with errors.Is.
 var (
@@ -222,6 +264,34 @@ func AppendPayload(dst []byte, v Version, batch []engine.OfficeAction) ([]byte, 
 func AppendFrame(dst []byte, v Version, batch []engine.OfficeAction) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, Magic[0], Magic[1], byte(v), 0, 0, 0, 0, 0)
+	dst, err := AppendPayload(dst, v, batch)
+	if err != nil {
+		return dst[:start], err
+	}
+	return sealFrame(dst, start)
+}
+
+// AppendTaggedFrame appends one complete FlagTagged frame: the batch
+// encoded under the given codec version, with the frame body prefixed
+// by the tag's source and epoch (and FlagFinal set when tag.Final).
+// The batch may be empty — an empty tagged frame is how a worker
+// reports "this epoch dispatched nothing", which the router needs to
+// advance its merge watermark.
+func AppendTaggedFrame(dst []byte, v Version, tag Tag, batch []engine.OfficeAction) ([]byte, error) {
+	if tag.Source == 0 {
+		return dst, errors.New("wire: tagged frame: source 0 is reserved for untagged streams")
+	}
+	if tag.Epoch > MaxTagEpoch {
+		return dst, fmt.Errorf("wire: tagged frame: epoch %d exceeds the 32-bit wire field", tag.Epoch)
+	}
+	flags := byte(FlagTagged)
+	if tag.Final {
+		flags |= FlagFinal
+	}
+	start := len(dst)
+	dst = append(dst, Magic[0], Magic[1], byte(v), flags, 0, 0, 0, 0)
+	dst = append(dst, tag.Source)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(tag.Epoch))
 	dst, err := AppendPayload(dst, v, batch)
 	if err != nil {
 		return dst[:start], err
@@ -447,10 +517,12 @@ func (e *Encoder) Bytes() uint64 { return e.bytes }
 
 // Decoder reads frames from an io.Reader. Not safe for concurrent use.
 type Decoder struct {
-	r   *bufio.Reader
-	off int64
-	ver Version
-	buf []byte
+	r      *bufio.Reader
+	off    int64
+	ver    Version
+	tag    Tag
+	tagged bool
+	buf    []byte
 }
 
 // NewDecoder returns a Decoder over r. It buffers its reads; do not mix
@@ -465,9 +537,9 @@ func NewDecoder(r io.Reader) *Decoder {
 // an error wrapping ErrCorrupt (or ErrVersion for an unknown codec);
 // an underlying read failure that is not end-of-data is returned as
 // itself — it is an I/O problem, not a statement about the frame.
-// Offset and Version describe the last successful decode.
+// Offset, Version and Tag describe the last successful decode.
 func (d *Decoder) Decode() ([]engine.OfficeAction, error) {
-	v, payload, err := d.readFrame()
+	v, tag, tagged, payload, n, err := d.readFrame()
 	if err != nil {
 		return nil, err
 	}
@@ -475,8 +547,9 @@ func (d *Decoder) Decode() ([]engine.OfficeAction, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	d.off += int64(HeaderSize + len(payload) + TrailerSize)
+	d.off += int64(HeaderSize + n + TrailerSize)
 	d.ver = v
+	d.tag, d.tagged = tag, tagged
 	return acts, nil
 }
 
@@ -486,24 +559,28 @@ func (d *Decoder) Decode() ([]engine.OfficeAction, error) {
 // ErrCorrupt / ErrVersion), minus the payload-decode ErrCorrupt case:
 // any CRC-intact payload is returned as-is. The returned slice aliases
 // the decoder's internal buffer and is valid only until the next
-// Decode or DecodeRaw call.
+// Decode or DecodeRaw call. A tagged frame's tag bytes are stripped
+// from the returned payload and surfaced via Tag.
 func (d *Decoder) DecodeRaw() (Version, []byte, error) {
-	v, payload, err := d.readFrame()
+	v, tag, tagged, payload, n, err := d.readFrame()
 	if err != nil {
 		return 0, nil, err
 	}
-	d.off += int64(HeaderSize + len(payload) + TrailerSize)
+	d.off += int64(HeaderSize + n + TrailerSize)
 	d.ver = v
+	d.tag, d.tagged = tag, tagged
 	return v, payload, nil
 }
 
 // readFrame reads one frame, verifies everything up to and including
-// the CRC trailer, and returns the codec version and a payload slice
-// aliasing d.buf. It does not advance the decoder's offset — the
-// caller does, at its own notion of "successfully decoded", so that a
-// frame whose payload fails action decoding still marks the previous
-// frame boundary as the torn-tail truncation point.
-func (d *Decoder) readFrame() (Version, []byte, error) {
+// the CRC trailer, and returns the codec version, the tag (when
+// FlagTagged), the payload (tag bytes already stripped, aliasing
+// d.buf) and the full on-wire body length n for offset accounting. It
+// does not advance the decoder's offset — the caller does, at its own
+// notion of "successfully decoded", so that a frame whose payload
+// fails action decoding still marks the previous frame boundary as the
+// torn-tail truncation point.
+func (d *Decoder) readFrame() (Version, Tag, bool, []byte, int, error) {
 	// Only running out of bytes is "torn" — a real I/O failure (disk
 	// error, reset connection) must surface as itself, or a repairing
 	// segment reader would truncate intact frames past a transient EIO.
@@ -513,43 +590,62 @@ func (d *Decoder) readFrame() (Version, []byte, error) {
 		}
 		return fmt.Errorf("wire: %s read: %w", stage, err)
 	}
+	var zero Tag
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(d.r, hdr[:1]); err != nil {
 		if err == io.EOF {
-			return 0, nil, io.EOF
+			return 0, zero, false, nil, 0, io.EOF
 		}
-		return 0, nil, readErr("header", err)
+		return 0, zero, false, nil, 0, readErr("header", err)
 	}
 	if _, err := io.ReadFull(d.r, hdr[1:]); err != nil {
-		return 0, nil, readErr("header", err)
+		return 0, zero, false, nil, 0, readErr("header", err)
 	}
 	if hdr[0] != Magic[0] || hdr[1] != Magic[1] {
-		return 0, nil, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, hdr[0], hdr[1])
+		return 0, zero, false, nil, 0, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, hdr[0], hdr[1])
 	}
 	v := Version(hdr[2])
 	if !v.valid() {
-		return 0, nil, fmt.Errorf("%w %d", ErrVersion, hdr[2])
+		return 0, zero, false, nil, 0, fmt.Errorf("%w %d", ErrVersion, hdr[2])
 	}
-	if hdr[3] != 0 {
-		return 0, nil, fmt.Errorf("%w: reserved flags %#02x set", ErrCorrupt, hdr[3])
+	flags := hdr[3]
+	tagged := flags&FlagTagged != 0
+	if flags&^byte(FlagTagged|FlagFinal) != 0 || (flags&FlagFinal != 0 && !tagged) {
+		return 0, zero, false, nil, 0, fmt.Errorf("%w: reserved flags %#02x set", ErrCorrupt, flags)
 	}
 	n := binary.BigEndian.Uint32(hdr[4:])
 	if n > MaxPayloadBytes {
-		return 0, nil, fmt.Errorf("%w: payload length %d exceeds the %d-byte limit", ErrCorrupt, n, MaxPayloadBytes)
+		return 0, zero, false, nil, 0, fmt.Errorf("%w: payload length %d exceeds the %d-byte limit", ErrCorrupt, n, MaxPayloadBytes)
+	}
+	if tagged && n < TagSize {
+		return 0, zero, false, nil, 0, fmt.Errorf("%w: tagged frame body %d bytes is shorter than its %d-byte tag", ErrCorrupt, n, TagSize)
 	}
 	if cap(d.buf) < int(n)+TrailerSize {
 		d.buf = make([]byte, int(n)+TrailerSize)
 	}
 	body := d.buf[:int(n)+TrailerSize]
 	if _, err := io.ReadFull(d.r, body); err != nil {
-		return 0, nil, readErr("payload", err)
+		return 0, zero, false, nil, 0, readErr("payload", err)
 	}
 	crc := crc32.Checksum(hdr[:], castagnoli)
 	crc = crc32.Update(crc, castagnoli, body[:n])
 	if want := binary.BigEndian.Uint32(body[n:]); crc != want {
-		return 0, nil, fmt.Errorf("%w: CRC32C %#08x, frame says %#08x", ErrCorrupt, crc, want)
+		return 0, zero, false, nil, 0, fmt.Errorf("%w: CRC32C %#08x, frame says %#08x", ErrCorrupt, crc, want)
 	}
-	return v, body[:n], nil
+	payload := body[:n]
+	var tag Tag
+	if tagged {
+		if payload[0] == 0 {
+			return 0, zero, false, nil, 0, fmt.Errorf("%w: tagged frame carries reserved source 0", ErrCorrupt)
+		}
+		tag = Tag{
+			Source: payload[0],
+			Epoch:  uint64(binary.BigEndian.Uint32(payload[1:TagSize])),
+			Final:  flags&FlagFinal != 0,
+		}
+		payload = payload[TagSize:]
+	}
+	return v, tag, tagged, payload, int(n), nil
 }
 
 // Offset returns the byte offset just past the last successfully
@@ -559,3 +655,8 @@ func (d *Decoder) Offset() int64 { return d.off }
 // Version returns the codec version of the last successfully decoded
 // frame (0 before the first).
 func (d *Decoder) Version() Version { return d.ver }
+
+// Tag returns the source/epoch tag of the last successfully decoded
+// frame, and whether that frame was tagged at all — untagged frames
+// (the single-process wire format) report false.
+func (d *Decoder) Tag() (Tag, bool) { return d.tag, d.tagged }
