@@ -658,3 +658,74 @@ func BenchmarkIngestorThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkIngestorContended drives the ingestor from many concurrent
+// producers — one goroutine per office, Block backpressure — so every
+// Push races the other producers and the dispatcher for the ingestor's
+// synchronisation. Wall-clock here tracks how much the queue machinery
+// serialises independent offices against each other; run with
+// -mutexprofile to attribute the lock wait.
+func BenchmarkIngestorContended(b *testing.B) {
+	const (
+		streams      = 4
+		ticksPerProd = 128
+		batchTicks   = 64
+	)
+	for _, producers := range []int{8, 64} {
+		b.Run(fmt.Sprintf("producers-%d", producers), func(b *testing.B) {
+			fleet, err := engine.NewFleet(engine.FleetConfig{
+				Offices: producers,
+				System:  core.Config{Streams: streams, Workstations: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ing, err := stream.NewIngestor(fleet, stream.Config{
+				Queue:      256,
+				OnFull:     stream.Block,
+				BatchTicks: batchTicks,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows := make([][][]float64, producers)
+			for o := range rows {
+				src := rng.New(uint64(o) + 1)
+				rows[o] = make([][]float64, ticksPerProd)
+				for t := range rows[o] {
+					row := make([]float64, streams)
+					for k := range row {
+						row[k] = -60 + src.Normal(0, 0.5)
+					}
+					rows[o][t] = row
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for o := 0; o < producers; o++ {
+					wg.Add(1)
+					go func(o int) {
+						defer wg.Done()
+						for _, row := range rows[o] {
+							if err := ing.Push(o, row); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(o)
+				}
+				wg.Wait()
+				if err := ing.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := ing.Close(); err != nil {
+				b.Fatal(err)
+			}
+			totalTicks := float64(b.N) * float64(producers) * ticksPerProd
+			b.ReportMetric(totalTicks/b.Elapsed().Seconds(), "ticks/sec")
+		})
+	}
+}

@@ -66,6 +66,7 @@ import (
 	"fadewich/internal/segment"
 	"fadewich/internal/sim"
 	"fadewich/internal/stream"
+	"fadewich/internal/vmath"
 	"fadewich/internal/wire"
 )
 
@@ -88,6 +89,11 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
 	flag.Parse()
+	// Name the active vmath kernel path once at startup (stderr, so it
+	// never mixes into the action stream on stdout): perf numbers and
+	// golden comparisons are only meaningful alongside the dispatch
+	// table that produced them.
+	fmt.Fprintf(os.Stderr, "fadewich-sim: vmath kernels: %s\n", vmath.ActivePath())
 	stopProf, err := prof.Start(prof.Flags{CPU: *cpuProfile, Mem: *memProfile, Mutex: *mutexProfile})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fadewich-sim: %v\n", err)

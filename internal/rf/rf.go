@@ -746,21 +746,15 @@ func (n *Network) sampleTickVec(bodies []Body, out []float64) {
 				k++
 			}
 		case sd > 0:
-			for c := 0; c < subc; c++ {
-				a := arCoef*ar[k] + innovation*z[pos]
-				ar[k] = a
-				out[k] = base[k] - att + a + sd*z[pos+1]
-				pos += 2
-				k++
-			}
+			vmath.ARMotionNoiseSlice(out[k:k+subc], ar[k:k+subc], base[k:k+subc], z[pos:pos+2*subc],
+				att, arCoef, innovation, sd)
+			pos += 2 * subc
+			k += subc
 		default:
-			for c := 0; c < subc; c++ {
-				a := arCoef*ar[k] + innovation*z[pos]
-				pos++
-				ar[k] = a
-				out[k] = base[k] - att + a
-				k++
-			}
+			vmath.ARNoiseSlice(out[k:k+subc], ar[k:k+subc], base[k:k+subc], z[pos:pos+subc],
+				att, arCoef, innovation)
+			pos += subc
+			k += subc
 		}
 	}
 	vmath.RoundQuantSlice(out, n.cfg.QuantStepDB, n.invQuant, n.cfg.MinRSSIDBm, n.cfg.MaxRSSIDBm)

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"fadewich/internal/vmath"
 )
 
 // promWriter accumulates Prometheus text-exposition output without any
@@ -46,6 +48,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.ing.Stats()
 	tot := st.Totals()
 	rst, reports := s.rec.Status()
+
+	// The standard build-info idiom: a constant-1 gauge whose labels
+	// carry runtime facts — here the vmath dispatch path, so dashboards
+	// can tell AVX2 assembly from the portable fallback per instance.
+	p.metric("fadewich_build_info", "gauge", "Constant 1; labels describe the running build (vmath = active kernel dispatch path).")
+	fmt.Fprintf(&p.b, "fadewich_build_info{vmath=%q} 1\n", vmath.ActivePath())
 
 	p.metric("fadewich_ingest_pushed_ticks_total", "counter", "Ticks accepted into office queues, including retired offices.")
 	p.sample("fadewich_ingest_pushed_ticks_total", float64(tot.Pushed))

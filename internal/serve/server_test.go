@@ -20,6 +20,7 @@ import (
 	"fadewich/internal/rng"
 	"fadewich/internal/stream"
 	"fadewich/internal/svm"
+	"fadewich/internal/vmath"
 	"fadewich/internal/wire"
 )
 
@@ -436,8 +437,9 @@ func TestEmptySpecPolicy(t *testing.T) {
 	}
 }
 
-// promLine matches one Prometheus text-exposition sample.
-var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{office="[^"]*"\})? (-?[0-9.e+-]+|NaN)$`)
+// promLine matches one Prometheus text-exposition sample with at most
+// one label (the office series and the build-info line).
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"\})? (-?[0-9.e+-]+|NaN)$`)
 
 // TestMetricsEndpoint is the /metrics contract test: the page parses
 // as Prometheus text exposition, and in a quiesced state (here: after
@@ -578,6 +580,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		if got != v {
 			t.Errorf("metric %s = %g, want %g", name, got, v)
 		}
+	}
+	// The build-info gauge names the vmath dispatch path the process
+	// actually selected.
+	biKey := fmt.Sprintf(`fadewich_build_info{vmath=%q}`, vmath.ActivePath())
+	if got := labelled[biKey]; got != 1 {
+		t.Errorf("%s = %g, want 1", biKey, got)
 	}
 	// Per-office series carry the spec names as labels.
 	for _, name := range []string{"a", "b"} {

@@ -76,9 +76,7 @@ func TestAdaptiveBatchShrinksWhenSparse(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer in.Close()
-	in.mu.Lock()
-	in.effBatch = 64
-	in.mu.Unlock()
+	in.effBatch.Store(64)
 	row := []float64{-60, -58}
 	for i := 0; i < 8; i++ {
 		if err := in.Push(0, row); err != nil {

@@ -34,6 +34,19 @@
 // surface it) and drains subsequent batches so the dispatcher and
 // producers cannot deadlock.
 //
+// Concurrency: the queues are independent in the lock sense too. Each
+// officeQueue carries its own mutex (and space condition for Block
+// pushers), so producers feeding different offices never serialise
+// against each other on the hot Push path; membership is a copy-on-write
+// snapshot read via one atomic load, and queue depths, the live
+// auto-batch threshold and the dispatch totals are atomics. The
+// Ingestor-level mutex is reduced to the dispatcher's control state
+// (flush tickets, latency trigger, close, first error). Lock order is
+// officeQueue.mu before Ingestor.mu: Push signals the dispatcher while
+// holding its queue lock, and nothing acquires a queue lock while
+// holding the control lock — the dispatcher inspects queue state through
+// the atomics and takes queue locks only outside its control sections.
+//
 // Elastic membership: offices are addressed by the fleet's stable IDs.
 // AddOffice registers the office with the fleet and creates its queue in
 // one step, so the tenant starts clean at the next dispatch. RemoveOffice
@@ -56,6 +69,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fadewich/internal/core"
@@ -171,8 +185,14 @@ type Config struct {
 	OnBatch func([]engine.OfficeAction)
 }
 
-// officeQueue is one office's bounded tick queue plus its counters.
+// officeQueue is one office's bounded tick queue plus its counters. Each
+// queue has its own lock, so producers feeding different offices never
+// contend; depth and pendN mirror len(ticks) and len(pend) as atomics so
+// the dispatcher's wake-up predicates can scan the fleet without taking
+// any queue lock.
 type officeQueue struct {
+	mu    sync.Mutex
+	space sync.Cond // Block-policy pushers wait for queue space
 	ticks [][]float64
 	// base is the number of ticks ever removed from the front of the
 	// queue (dispatched or dropped); base+len(ticks) is the sequence
@@ -183,6 +203,25 @@ type officeQueue struct {
 	pushed     uint64
 	dispatched uint64
 	dropped    uint64
+	// pend holds the office's queued input notifications (the office ID
+	// is implicit; the dispatcher emits them office by office, which is
+	// equivalent because the fleet routes and orders events per office).
+	pend []pendingInput
+	// retired marks a queue whose office has been removed (its counters
+	// folded into the retired totals): pushes fail, snapshots skip it.
+	retired bool
+	// thresholdHit latches the auto-dispatch wake-up: the first Push at
+	// or past the live threshold signals the dispatcher, later ones
+	// stay quiet until the next snapshot resets the latch — one control-
+	// mutex acquisition per office per dispatch cycle instead of one per
+	// queued tick. The dispatcher independently re-checks thresholdDue
+	// at the end of every cycle, so a threshold lowered mid-climb is
+	// still noticed.
+	thresholdHit bool
+	// depth and pendN mirror len(ticks) and len(pend) for the
+	// dispatcher's lock-free threshold/drain scans.
+	depth atomic.Int64
+	pendN atomic.Int64
 	// free recycles dispatched (or evicted) sample slices back to Push,
 	// and spare recycles the previous snapshot's tick-header array, so a
 	// steady-state Push/dispatch cycle allocates nothing: each office
@@ -190,6 +229,13 @@ type officeQueue struct {
 	// sample slices.
 	free  [][]float64
 	spare [][]float64
+}
+
+// newOfficeQueue returns an empty queue with its condition wired up.
+func newOfficeQueue() *officeQueue {
+	q := &officeQueue{}
+	q.space.L = &q.mu
+	return q
 }
 
 // recycleTick returns one sample slice to the office's freelist, capped
@@ -200,11 +246,20 @@ func (q *officeQueue) recycleTick(tick []float64, queue int) {
 	}
 }
 
-// pendingInput is a queued input notification: deliver to office/ws
-// before the tick with sequence number seq.
+// pendingInput is a queued input notification: deliver to workstation ws
+// before the office's tick with sequence number seq.
 type pendingInput struct {
-	office, ws int
-	seq        uint64
+	ws  int
+	seq uint64
+}
+
+// membership is the copy-on-write membership snapshot: the member office
+// IDs (ascending) and their queues. Readers load it with one atomic
+// load; AddOffice and RemoveOffice swap in a fresh copy under the
+// control mutex. The ids slice and map are immutable once published.
+type membership struct {
+	ids []int
+	q   map[int]*officeQueue
 }
 
 // Ingestor is the asynchronous front door of an engine.Fleet: producers
@@ -227,13 +282,30 @@ type Ingestor struct {
 	sink       Sink
 	onBatch    func([]engine.OfficeAction)
 
-	mu    sync.Mutex
-	work  sync.Cond // dispatcher waits for work
-	space sync.Cond // Block-policy pushers wait for queue space
-	done  sync.Cond // Flush waiters wait for their dispatch cycle
-	q     map[int]*officeQueue
-	ids   []int // member office IDs, ascending
-	pend  []pendingInput
+	// members is the copy-on-write membership snapshot; see membership.
+	members atomic.Pointer[membership]
+	// closedFlag mirrors closed for lock-free Push/PushInput checks.
+	closedFlag atomic.Bool
+	// needSpace counts Block-policy pushers waiting for a dispatch.
+	needSpace atomic.Int64
+	// effBatch is the live auto-dispatch threshold: fixed at batchTicks
+	// normally, scaled within [batchTicks, queue] under AdaptiveBatch.
+	effBatch atomic.Int64
+	// nBatches/nActions are the dispatch totals.
+	nBatches atomic.Uint64
+	nActions atomic.Uint64
+	// pendingNanos is the MaxBatchLatency clock: the UnixNano of the
+	// first tick or input event queued since the last dispatch, 0 when
+	// nothing is pending. Armed by a Push/PushInput CAS, cleared by the
+	// dispatcher just before it snapshots.
+	pendingNanos atomic.Int64
+
+	// mu is the control mutex: dispatcher wake-up and completion state
+	// only. Never acquire an officeQueue.mu while holding it (Push takes
+	// them in the opposite order).
+	mu   sync.Mutex
+	work sync.Cond // dispatcher waits for work
+	done sync.Cond // Flush waiters wait for their dispatch cycle
 	// retired accumulates the counters of offices removed from the
 	// fleet, so fleet-wide Stats totals survive churn.
 	retired OfficeStats
@@ -241,28 +313,20 @@ type Ingestor struct {
 	// fully served (dispatch ran over a queue snapshot taken at or after
 	// the request). Close issues a final flush request of its own.
 	flushSeq, doneSeq uint64
-	needSpace         int
-	// effBatch is the live auto-dispatch threshold: fixed at batchTicks
-	// normally, scaled within [batchTicks, queue] under AdaptiveBatch.
-	effBatch int
-	closed   bool
-	err      error
-	nBatches uint64
-	nActions uint64
+	closed            bool
+	err               error
 	// epochVal/epochSet carry a FlushEpoch caller's epoch number to the
 	// dispatch cycle that serves its ticket; the cycle consumes them
 	// under the lock and stamps its pump hand-off with the epoch.
 	epochVal uint64
 	epochSet bool
-	// MaxBatchLatency state: when the first tick or input event since
-	// the last dispatch is queued, pendingSince records the wall clock
-	// and the latency goroutine is kicked; once the deadline passes it
-	// sets latencyDue, which the dispatcher treats like a flush trigger.
-	pendingSince time.Time
-	latencyDue   bool
+	// latencyDue is set by the latency goroutine when the oldest queued
+	// work has waited past MaxBatchLatency; the dispatcher treats it
+	// like a flush trigger.
+	latencyDue bool
 
 	// batchBuf/evsBuf are the dispatcher's reusable snapshot buffers;
-	// only takeLocked and the dispatcher goroutine touch them.
+	// only the dispatcher goroutine touches them.
 	batchBuf []engine.OfficeBatch
 	evsBuf   []engine.InputEvent
 
@@ -303,19 +367,19 @@ func NewIngestor(fleet *engine.Fleet, cfg Config) (*Ingestor, error) {
 		onFull:         cfg.OnFull,
 		batchTicks:     cfg.BatchTicks,
 		adaptive:       cfg.AdaptiveBatch,
-		effBatch:       cfg.BatchTicks,
 		maxLatency:     cfg.MaxBatchLatency,
 		sink:           cfg.Sink,
 		onBatch:        cfg.OnBatch,
-		q:              make(map[int]*officeQueue),
 		dispatcherDone: make(chan struct{}),
 	}
+	in.effBatch.Store(int64(cfg.BatchTicks))
+	m := &membership{q: make(map[int]*officeQueue)}
 	for _, id := range fleet.IDs() {
-		in.q[id] = &officeQueue{}
-		in.ids = append(in.ids, id)
+		m.q[id] = newOfficeQueue()
+		m.ids = append(m.ids, id)
 	}
+	in.members.Store(m)
 	in.work.L = &in.mu
-	in.space.L = &in.mu
 	in.done.L = &in.mu
 	if in.sink != nil {
 		in.pumpCh = make(chan pumpItem, 8)
@@ -330,6 +394,37 @@ func NewIngestor(fleet *engine.Fleet, cfg Config) (*Ingestor, error) {
 	}
 	go in.dispatch()
 	return in, nil
+}
+
+// addMember publishes a membership snapshot extended with id. Caller
+// holds in.mu (which serialises all membership swaps).
+func (in *Ingestor) addMember(id int, q *officeQueue) {
+	old := in.members.Load()
+	nm := &membership{
+		ids: insertID(append(make([]int, 0, len(old.ids)+1), old.ids...), id),
+		q:   make(map[int]*officeQueue, len(old.q)+1),
+	}
+	for k, v := range old.q {
+		nm.q[k] = v
+	}
+	nm.q[id] = q
+	in.members.Store(nm)
+}
+
+// dropMember publishes a membership snapshot without id. Caller holds
+// in.mu.
+func (in *Ingestor) dropMember(id int) {
+	old := in.members.Load()
+	nm := &membership{
+		ids: deleteID(append(make([]int, 0, len(old.ids)), old.ids...), id),
+		q:   make(map[int]*officeQueue, len(old.q)),
+	}
+	for k, v := range old.q {
+		if k != id {
+			nm.q[k] = v
+		}
+	}
+	in.members.Store(nm)
 }
 
 // AddOffice joins a new tenant: it registers the office with the fleet
@@ -347,25 +442,25 @@ func (in *Ingestor) AddOffice(cfg core.Config) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	in.q[id] = &officeQueue{}
-	in.ids = insertID(in.ids, id)
+	in.addMember(id, newOfficeQueue())
 	return id, nil
 }
 
 // RemoveOffice retires a tenant: it drains the office's already-queued
 // ticks — forcing a dispatch cycle whose merged actions (the office's
 // final flush) flow through the OnBatch tap and the sink like any other
-// batch — then deletes the queue, removes the office from the fleet, and
+// batch — then retires the queue, removes the office from the fleet, and
 // folds its counters into Stats' retired totals. Ticks pushed
 // concurrently with the removal may be discarded and counted as dropped.
 // It returns the office's final System for inspection.
 func (in *Ingestor) RemoveOffice(id int) (*core.System, error) {
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	if in.closed {
+		in.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if in.q[id] == nil {
+	if in.members.Load().q[id] == nil {
+		in.mu.Unlock()
 		return nil, fmt.Errorf("%w (office %d)", ErrUnknownOffice, id)
 	}
 	// Final flush: dispatch everything queued, this office included.
@@ -376,27 +471,41 @@ func (in *Ingestor) RemoveOffice(id int) (*core.System, error) {
 		in.done.Wait()
 	}
 	if in.closed {
+		in.mu.Unlock()
 		return nil, ErrClosed
 	}
-	q := in.q[id]
+	in.mu.Unlock()
+
+	// Retire the queue outside the control lock (lock order: queue locks
+	// are never taken under in.mu). The retired flag is the
+	// winner-decides point for concurrent removals of the same ID.
+	q := in.members.Load().q[id]
 	if q == nil {
-		// A concurrent RemoveOffice for the same ID won the race while we
-		// waited for the flush.
 		return nil, fmt.Errorf("%w (office %d)", ErrUnknownOffice, id)
 	}
-	in.retired.Pushed += q.pushed
-	in.retired.Dispatched += q.dispatched
-	// Anything still queued arrived during the drain; it is lost.
-	in.retired.Dropped += q.dropped + uint64(len(q.ticks))
-	delete(in.q, id)
-	in.ids = deleteID(in.ids, id)
-	kept := in.pend[:0]
-	for _, pi := range in.pend {
-		if pi.office != id {
-			kept = append(kept, pi)
-		}
+	q.mu.Lock()
+	if q.retired {
+		q.mu.Unlock()
+		return nil, fmt.Errorf("%w (office %d)", ErrUnknownOffice, id)
 	}
-	in.pend = kept
+	q.retired = true
+	final := OfficeStats{
+		Pushed:     q.pushed,
+		Dispatched: q.dispatched,
+		// Anything still queued arrived during the drain; it is lost.
+		Dropped: q.dropped + uint64(len(q.ticks)),
+	}
+	q.depth.Store(0)
+	q.pendN.Store(0)
+	q.space.Broadcast()
+	q.mu.Unlock()
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.retired.Pushed += final.Pushed
+	in.retired.Dispatched += final.Dispatched
+	in.retired.Dropped += final.Dropped
+	in.dropMember(id)
 	return in.fleet.RemoveOffice(id)
 }
 
@@ -418,44 +527,56 @@ func deleteID(ids []int, id int) []int {
 	return ids
 }
 
+// wakeDispatcher signals the dispatcher's condition under the control
+// mutex (a bare Signal could race the dispatcher between its predicate
+// check and Wait). Callers may hold an officeQueue lock.
+func (in *Ingestor) wakeDispatcher() {
+	in.mu.Lock()
+	in.work.Signal()
+	in.mu.Unlock()
+}
+
 // Push queues one RSSI tick (one sample per stream) for an office, named
 // by its stable ID. The sample slice is copied, so the caller may reuse
 // its buffer. When the office's queue is full the configured Policy
 // decides: Block waits for the dispatcher, DropOldest evicts, ErrorOnFull
 // returns ErrQueueFull. A Block-policy Push whose office is removed while
-// it waits returns ErrUnknownOffice.
+// it waits returns ErrUnknownOffice. Pushes to different offices take
+// only their own office's lock, so producers do not contend with each
+// other.
 func (in *Ingestor) Push(office int, rssi []float64) error {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	q := in.q[office]
+	q := in.members.Load().q[office]
 	if q == nil {
-		if in.closed {
+		if in.closedFlag.Load() {
 			return ErrClosed
 		}
 		return fmt.Errorf("%w (office %d)", ErrUnknownOffice, office)
 	}
-	for !in.closed && len(q.ticks) >= in.queue {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.retired && !in.closedFlag.Load() && len(q.ticks) >= in.queue {
 		switch in.onFull {
 		case DropOldest:
 			q.recycleTick(q.ticks[0], in.queue)
 			q.ticks = q.ticks[1:]
 			q.base++
 			q.dropped++
+			q.depth.Add(-1)
 		case ErrorOnFull:
 			q.dropped++
 			return fmt.Errorf("%w (office %d, capacity %d)", ErrQueueFull, office, in.queue)
 		default: // Block
-			in.needSpace++
-			in.work.Signal()
-			in.space.Wait()
-			in.needSpace--
-			if in.q[office] != q {
-				return fmt.Errorf("%w (office %d removed while push blocked)", ErrUnknownOffice, office)
-			}
+			in.needSpace.Add(1)
+			in.wakeDispatcher()
+			q.space.Wait()
+			in.needSpace.Add(-1)
 		}
 	}
-	if in.closed {
+	if in.closedFlag.Load() {
 		return ErrClosed
+	}
+	if q.retired {
+		return fmt.Errorf("%w (office %d removed while push blocked)", ErrUnknownOffice, office)
 	}
 	// Copy the caller's samples into a recycled slice when one fits
 	// (stream counts are per-office constants, so after the first
@@ -470,31 +591,34 @@ func (in *Ingestor) Push(office int, rssi []float64) error {
 	copy(tick, rssi)
 	q.ticks = append(q.ticks, tick)
 	q.pushed++
-	if in.batchTicks > 0 && len(q.ticks) >= in.effBatch {
-		in.work.Signal()
+	q.depth.Add(1)
+	if in.batchTicks > 0 && !q.thresholdHit && int64(len(q.ticks)) >= in.effBatch.Load() {
+		q.thresholdHit = true
+		in.wakeDispatcher()
 	}
-	in.markPendingLocked()
+	in.markPending()
 	return nil
 }
 
-// markPendingLocked starts the MaxBatchLatency clock on the first piece
-// of work queued since the last dispatch and wakes the latency
-// goroutine to re-arm its timer.
-func (in *Ingestor) markPendingLocked() {
-	if in.maxLatency <= 0 || !in.pendingSince.IsZero() {
+// markPending starts the MaxBatchLatency clock on the first piece of
+// work queued since the last dispatch and wakes the latency goroutine to
+// re-arm its timer.
+func (in *Ingestor) markPending() {
+	if in.maxLatency <= 0 {
 		return
 	}
-	in.pendingSince = time.Now()
-	select {
-	case in.latencyKick <- struct{}{}:
-	default:
+	if in.pendingNanos.CompareAndSwap(0, time.Now().UnixNano()) {
+		select {
+		case in.latencyKick <- struct{}{}:
+		default:
+		}
 	}
 }
 
 // latencyLoop is the MaxBatchLatency goroutine: it sleeps until the
 // oldest queued work crosses the latency bound, then flags the
 // dispatcher (latencyDue) exactly like a flush trigger. It holds no
-// state of its own beyond the timer; pendingSince under the mutex is
+// state of its own beyond the timer; the pendingNanos clock is
 // authoritative.
 func (in *Ingestor) latencyLoop() {
 	defer close(in.latencyDone)
@@ -507,21 +631,20 @@ func (in *Ingestor) latencyLoop() {
 		case <-in.latencyKick:
 		case <-timer.C:
 		}
-		in.mu.Lock()
-		if in.closed {
-			in.mu.Unlock()
+		if in.closedFlag.Load() {
 			return
 		}
 		wait := in.maxLatency
-		if !in.pendingSince.IsZero() {
-			wait = time.Until(in.pendingSince.Add(in.maxLatency))
+		if ns := in.pendingNanos.Load(); ns != 0 {
+			wait = time.Until(time.Unix(0, ns).Add(in.maxLatency))
 			if wait <= 0 {
+				in.mu.Lock()
 				in.latencyDue = true
 				in.work.Signal()
+				in.mu.Unlock()
 				wait = in.maxLatency
 			}
 		}
-		in.mu.Unlock()
 		if !timer.Stop() {
 			select {
 			case <-timer.C:
@@ -537,17 +660,26 @@ func (in *Ingestor) latencyLoop() {
 // i.e. after every tick queued so far — matching System.NotifyInput
 // between Tick calls.
 func (in *Ingestor) PushInput(office, workstation int) error {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if in.closed {
+	if in.closedFlag.Load() {
 		return ErrClosed
 	}
-	q := in.q[office]
+	q := in.members.Load().q[office]
 	if q == nil {
 		return fmt.Errorf("%w (office %d)", ErrUnknownOffice, office)
 	}
-	in.pend = append(in.pend, pendingInput{office: office, ws: workstation, seq: q.base + uint64(len(q.ticks))})
-	in.markPendingLocked()
+	q.mu.Lock()
+	if in.closedFlag.Load() {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	if q.retired {
+		q.mu.Unlock()
+		return fmt.Errorf("%w (office %d)", ErrUnknownOffice, office)
+	}
+	q.pend = append(q.pend, pendingInput{ws: workstation, seq: q.base + uint64(len(q.ticks))})
+	q.pendN.Add(1)
+	q.mu.Unlock()
+	in.markPending()
 	return nil
 }
 
@@ -564,30 +696,25 @@ func (in *Ingestor) PushOffices(batches []engine.OfficeBatch, evs []engine.Input
 	// Validate membership upfront so a bad batch or event office rejects
 	// the call before any tick is queued, rather than failing mid-push
 	// with half the batch already ingested.
-	seen := make(map[int]bool, len(batches))
-	in.mu.Lock()
-	if in.closed {
-		in.mu.Unlock()
+	if in.closedFlag.Load() {
 		return ErrClosed
 	}
+	m := in.members.Load()
+	seen := make(map[int]bool, len(batches))
 	for _, ob := range batches {
-		if in.q[ob.Office] == nil {
-			in.mu.Unlock()
+		if m.q[ob.Office] == nil {
 			return fmt.Errorf("%w (office %d)", ErrUnknownOffice, ob.Office)
 		}
 		if seen[ob.Office] {
-			in.mu.Unlock()
 			return fmt.Errorf("stream: duplicate batch entry for office %d", ob.Office)
 		}
 		seen[ob.Office] = true
 	}
 	for _, ev := range evs {
-		if in.q[ev.Office] == nil {
-			in.mu.Unlock()
+		if m.q[ev.Office] == nil {
 			return fmt.Errorf("stream: input event: %w (office %d)", ErrUnknownOffice, ev.Office)
 		}
 	}
-	in.mu.Unlock()
 
 	for _, ob := range batches {
 		var evsO []engine.InputEvent
@@ -631,13 +758,10 @@ func (in *Ingestor) PushOffices(batches []engine.OfficeBatch, evs []engine.Input
 // current fleet size. It is the bridge for callers porting synchronous
 // dense RunBatch call sites; elastic callers should prefer PushOffices.
 func (in *Ingestor) PushBatch(sub [][][]float64, evs []engine.InputEvent) error {
-	in.mu.Lock()
-	if in.closed {
-		in.mu.Unlock()
+	if in.closedFlag.Load() {
 		return ErrClosed
 	}
-	ids := append([]int(nil), in.ids...)
-	in.mu.Unlock()
+	ids := in.members.Load().ids // immutable snapshot
 	if len(sub) != len(ids) {
 		return fmt.Errorf("stream: batch has %d offices, fleet has %d", len(sub), len(ids))
 	}
@@ -720,11 +844,19 @@ func (in *Ingestor) Close() error {
 		return err
 	}
 	in.closed = true
+	in.closedFlag.Store(true)
 	in.flushSeq++ // final drain
 	in.work.Broadcast()
-	in.space.Broadcast()
 	in.done.Broadcast()
 	in.mu.Unlock()
+
+	// Unblock Block-policy pushers; they observe closedFlag on wake-up.
+	m := in.members.Load()
+	for _, q := range m.q {
+		q.mu.Lock()
+		q.space.Broadcast()
+		q.mu.Unlock()
+	}
 
 	<-in.dispatcherDone
 	if in.latencyStop != nil {
@@ -800,21 +932,26 @@ func (s Stats) Totals() OfficeStats {
 }
 
 // Stats returns a snapshot of the per-office queue depth/drop counters
-// and the dispatch totals.
+// and the dispatch totals. Counters are read office by office (each
+// under its own lock), so a snapshot taken while ticks flow is
+// consistent per office rather than across the fleet; a quiesced
+// ingestor reads exactly.
 func (in *Ingestor) Stats() Stats {
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	st := Stats{
-		Offices:        make([]OfficeStats, 0, len(in.ids)),
 		Retired:        in.retired,
-		Batches:        in.nBatches,
-		Actions:        in.nActions,
-		AutoBatchTicks: in.effBatch,
+		Batches:        in.nBatches.Load(),
+		Actions:        in.nActions.Load(),
+		AutoBatchTicks: int(in.effBatch.Load()),
 		Dropped:        in.retired.Dropped,
 	}
+	in.mu.Unlock()
 	st.Retired.Office = -1
-	for _, id := range in.ids {
-		q := in.q[id]
+	m := in.members.Load()
+	st.Offices = make([]OfficeStats, 0, len(m.ids))
+	for _, id := range m.ids {
+		q := m.q[id]
+		q.mu.Lock()
 		st.Offices = append(st.Offices, OfficeStats{
 			Office:     id,
 			Depth:      len(q.ticks),
@@ -823,6 +960,7 @@ func (in *Ingestor) Stats() Stats {
 			Dropped:    q.dropped,
 		})
 		st.Dropped += q.dropped
+		q.mu.Unlock()
 	}
 	return st
 }
@@ -831,30 +969,28 @@ func (in *Ingestor) Stats() Stats {
 // request, a Block-policy pusher out of space, a BatchTicks threshold, a
 // MaxBatchLatency expiry, or Close), snapshots the queues into one fleet
 // batch, runs it, and hands the merged actions to the OnBatch tap and
-// the sink pump.
+// the sink pump. Its wake-up predicates read only atomics (queue depths,
+// pending-input counts), so it takes no queue locks while holding the
+// control mutex.
 func (in *Ingestor) dispatch() {
 	defer close(in.dispatcherDone)
-	in.mu.Lock()
 	for {
-		for !in.closed && in.flushSeq == in.doneSeq && in.needSpace == 0 && !in.latencyDue && !in.thresholdLocked() {
+		in.mu.Lock()
+		for !in.closed && in.flushSeq == in.doneSeq && in.needSpace.Load() == 0 && !in.latencyDue && !in.thresholdDue() {
 			in.work.Wait()
 		}
-		if in.closed && in.flushSeq == in.doneSeq && !in.queuedLocked() {
+		if in.closed && in.flushSeq == in.doneSeq && !in.anyQueued() {
 			in.mu.Unlock()
 			return
 		}
 		ticket := in.flushSeq
 		epoch, hasEpoch := in.epochVal, in.epochSet
 		in.epochSet = false
-		maxDepth := 0
-		for _, q := range in.q {
-			if len(q.ticks) > maxDepth {
-				maxDepth = len(q.ticks)
-			}
-		}
-		batch, evs, n := in.takeLocked()
 		in.latencyDue = false
 		in.mu.Unlock()
+
+		m := in.members.Load()
+		batch, evs, n, maxDepth := in.takeSnapshot(m)
 
 		var acts []engine.OfficeAction
 		var err error
@@ -871,34 +1007,37 @@ func (in *Ingestor) dispatch() {
 			in.pumpCh <- pumpItem{acts: acts, epoch: epoch, hasEpoch: hasEpoch}
 		}
 
-		in.mu.Lock()
-		in.recycleLocked(batch)
-		if err != nil && in.err == nil {
-			in.err = fmt.Errorf("stream: dispatch: %w", err)
-		}
+		in.recycleBatch(m, batch)
 		if n > 0 || len(evs) > 0 {
-			in.nBatches++
-			in.nActions += uint64(len(acts))
+			in.nBatches.Add(1)
+			in.nActions.Add(uint64(len(acts)))
 		}
 		if in.adaptive && n > 0 {
-			in.effBatch = nextAutoBatch(in.effBatch, in.batchTicks, in.queue, maxDepth)
+			in.effBatch.Store(int64(nextAutoBatch(int(in.effBatch.Load()), in.batchTicks, in.queue, maxDepth)))
+		}
+
+		in.mu.Lock()
+		if err != nil && in.err == nil {
+			in.err = fmt.Errorf("stream: dispatch: %w", err)
 		}
 		if ticket > in.doneSeq {
 			in.doneSeq = ticket
 		}
-		in.space.Broadcast()
 		in.done.Broadcast()
+		in.mu.Unlock()
 	}
 }
 
-// thresholdLocked reports whether auto-dispatch is due: some office has
+// thresholdDue reports whether auto-dispatch is due: some office has
 // reached the live threshold (BatchTicks, or its adaptive scaling).
-func (in *Ingestor) thresholdLocked() bool {
+// Reads only atomics; safe under the control mutex.
+func (in *Ingestor) thresholdDue() bool {
 	if in.batchTicks <= 0 {
 		return false
 	}
-	for _, q := range in.q {
-		if len(q.ticks) >= in.effBatch {
+	eff := in.effBatch.Load()
+	for _, q := range in.members.Load().q {
+		if q.depth.Load() >= eff {
 			return true
 		}
 	}
@@ -926,77 +1065,95 @@ func nextAutoBatch(cur, floor, ceil, depth int) int {
 	return cur
 }
 
-// queuedLocked reports whether any ticks or input events are pending.
-func (in *Ingestor) queuedLocked() bool {
-	if len(in.pend) > 0 {
-		return true
-	}
-	for _, q := range in.q {
-		if len(q.ticks) > 0 {
+// anyQueued reports whether any ticks or input events are pending.
+// Reads only atomics; safe under the control mutex.
+func (in *Ingestor) anyQueued() bool {
+	for _, q := range in.members.Load().q {
+		if q.depth.Load() > 0 || q.pendN.Load() > 0 {
 			return true
 		}
 	}
 	return false
 }
 
-// takeLocked snapshots every office queue and all pending inputs into one
-// ID-addressed fleet batch, advancing the queue bases. Input sequence
-// numbers are translated to batch-relative tick indices; events whose
-// tick was dropped clamp to the start of the batch (the fleet delivers
-// them before the first surviving tick).
-func (in *Ingestor) takeLocked() (batch []engine.OfficeBatch, evs []engine.InputEvent, n int) {
+// takeSnapshot empties every office queue and its pending inputs into
+// one ID-addressed fleet batch, advancing the queue bases — office by
+// office, each under its own lock. Input sequence numbers are translated
+// to batch-relative tick indices; events whose tick was dropped clamp to
+// the start of the batch (the fleet delivers them before the first
+// surviving tick). Emptied queues wake their Block-policy pushers.
+// Retired queues are skipped. Only the dispatcher calls this (batchBuf/
+// evsBuf are its private scratch).
+func (in *Ingestor) takeSnapshot(m *membership) (batch []engine.OfficeBatch, evs []engine.InputEvent, n, maxDepth int) {
+	// Restart the latency clock before touching the queues: work pushed
+	// while the snapshot sweeps may or may not make this batch, so it
+	// must be allowed to re-arm the trigger.
+	in.pendingNanos.Store(0)
 	evs = in.evsBuf[:0]
-	if len(in.pend) > 0 {
-		for _, pi := range in.pend {
-			tick := 0
-			if q := in.q[pi.office]; q != nil && pi.seq > q.base {
-				tick = int(pi.seq - q.base)
-			}
-			evs = append(evs, engine.InputEvent{Office: pi.office, Workstation: pi.ws, Tick: tick})
-		}
-		in.pend = in.pend[:0]
-	}
 	batch = in.batchBuf[:0]
-	for _, id := range in.ids {
-		q := in.q[id]
-		if len(q.ticks) == 0 {
+	for _, id := range m.ids {
+		q := m.q[id]
+		q.mu.Lock()
+		if q.retired {
+			q.mu.Unlock()
 			continue
 		}
-		batch = append(batch, engine.OfficeBatch{Office: id, Ticks: q.ticks})
-		n += len(q.ticks)
-		q.base += uint64(len(q.ticks))
-		q.dispatched += uint64(len(q.ticks))
-		// Hand the snapshot out and refill from the office's spare
-		// header array (ping-pong: the dispatcher returns this snapshot
-		// as the new spare once the fleet is done with it).
-		q.ticks = q.spare[:0]
-		q.spare = nil
+		q.thresholdHit = false
+		if len(q.ticks) > maxDepth {
+			maxDepth = len(q.ticks)
+		}
+		for _, pi := range q.pend {
+			tick := 0
+			if pi.seq > q.base {
+				tick = int(pi.seq - q.base)
+			}
+			evs = append(evs, engine.InputEvent{Office: id, Workstation: pi.ws, Tick: tick})
+		}
+		if len(q.pend) > 0 {
+			q.pend = q.pend[:0]
+			q.pendN.Store(0)
+		}
+		if len(q.ticks) > 0 {
+			batch = append(batch, engine.OfficeBatch{Office: id, Ticks: q.ticks})
+			n += len(q.ticks)
+			q.base += uint64(len(q.ticks))
+			q.dispatched += uint64(len(q.ticks))
+			// Hand the snapshot out and refill from the office's spare
+			// header array (ping-pong: the dispatcher returns this snapshot
+			// as the new spare once the fleet is done with it).
+			q.ticks = q.spare[:0]
+			q.spare = nil
+			q.depth.Store(0)
+			q.space.Broadcast()
+		}
+		q.mu.Unlock()
 	}
 	in.evsBuf = evs
 	in.batchBuf = batch
-	// The snapshot empties every queue; the latency clock restarts with
-	// the next queued work.
-	in.pendingSince = time.Time{}
-	return batch, evs, n
+	return batch, evs, n, maxDepth
 }
 
-// recycleLocked returns a dispatched snapshot's buffers to their office
+// recycleBatch returns a dispatched snapshot's buffers to their office
 // queues: every sample slice goes back to the office freelist and the
 // tick-header array becomes the office's spare. The fleet only reads the
-// payload during Run, so by the time the dispatcher re-acquires the lock
-// the buffers are free. Offices removed while the batch was in flight
-// are simply skipped (their memory is garbage).
-func (in *Ingestor) recycleLocked(batch []engine.OfficeBatch) {
+// payload during Run, so by the time the dispatcher is here the buffers
+// are free. Offices retired while the batch was in flight are skipped
+// (their memory is garbage).
+func (in *Ingestor) recycleBatch(m *membership, batch []engine.OfficeBatch) {
 	for i := range batch {
 		ob := &batch[i]
-		q := in.q[ob.Office]
+		q := m.q[ob.Office]
 		if q != nil {
-			for _, tick := range ob.Ticks {
-				q.recycleTick(tick, in.queue)
+			q.mu.Lock()
+			if !q.retired {
+				for _, tick := range ob.Ticks {
+					q.recycleTick(tick, in.queue)
+				}
+				if q.spare == nil {
+					q.spare = ob.Ticks[:0]
+				}
 			}
-			if q.spare == nil {
-				q.spare = ob.Ticks[:0]
-			}
+			q.mu.Unlock()
 		}
 		*ob = engine.OfficeBatch{} // don't pin retired offices' buffers
 	}

@@ -5,9 +5,16 @@ import (
 	"testing"
 )
 
-// altImpl is the second implementation set cross-checked against the
-// portable reference on this platform.
-var altImpl = &unrolledFuncs
+// altImplSets returns the implementation sets cross-checked against the
+// portable reference on this machine: always the unrolled set, plus the
+// AVX2 assembly set when the hardware can run it.
+func altImplSets() []*funcs {
+	sets := []*funcs{&unrolledFuncs}
+	if haveAVX2() {
+		sets = append(sets, &avx2Funcs)
+	}
+	return sets
+}
 
 // expExactStdlib reports whether ExpSlice is expected to match math.Exp
 // bit for bit on this machine: true exactly when the stdlib assembly
@@ -15,11 +22,69 @@ var altImpl = &unrolledFuncs
 var expExactStdlib = haveFMA()
 
 func TestImplSelectionMatchesHardware(t *testing.T) {
+	force := os.Getenv("FADEWICH_VMATH")
 	want := "portable"
-	if haveAVX2() && !novecEnv(os.Getenv("FADEWICH_NOVEC")) {
-		want = "unrolled-amd64"
+	switch {
+	case force != "":
+		want = map[string]string{
+			"portable": "portable",
+			"unroll":   "unrolled-amd64",
+			"avx2":     "avx2-amd64",
+		}[force]
+		if want == "" {
+			t.Fatalf("test running under unknown FADEWICH_VMATH=%q — init should have panicked", force)
+		}
+	case haveAVX2() && !novecEnv(os.Getenv("FADEWICH_NOVEC")):
+		want = "avx2-amd64"
 	}
 	if got := Impl(); got != want {
 		t.Fatalf("Impl() = %q, want %q for this CPU/environment", got, want)
+	}
+}
+
+func TestPickImplForcingMatrix(t *testing.T) {
+	cases := []struct {
+		force, novec string
+		avx2         bool
+		want         *funcs
+		wantErr      bool
+	}{
+		{"", "", true, &avx2Funcs, false},
+		{"", "", false, &portableFuncs, false},
+		{"", "1", true, &portableFuncs, false},
+		{"", "0", true, &avx2Funcs, false},
+		{"portable", "", true, &portableFuncs, false},
+		{"unroll", "", true, &unrolledFuncs, false},
+		{"unroll", "", false, &unrolledFuncs, false},
+		{"avx2", "", true, &avx2Funcs, false},
+		{"avx2", "1", true, &avx2Funcs, false}, // explicit force beats legacy NOVEC
+		{"avx2", "", false, nil, true},         // forced without hardware: loud failure
+		{"sse9", "", true, nil, true},          // unknown value: loud failure
+	}
+	for _, c := range cases {
+		got, err := pickImpl(c.force, c.novec, c.avx2)
+		if c.wantErr {
+			if err == nil {
+				t.Fatalf("pickImpl(%q, %q, %v): want error, got %q", c.force, c.novec, c.avx2, got.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("pickImpl(%q, %q, %v): unexpected error %v", c.force, c.novec, c.avx2, err)
+		}
+		if got != c.want {
+			t.Fatalf("pickImpl(%q, %q, %v) = %q, want %q", c.force, c.novec, c.avx2, got.name, c.want.name)
+		}
+	}
+}
+
+func TestActivePathMatchesImpl(t *testing.T) {
+	want := map[string]string{
+		"portable":       "portable",
+		"unrolled-amd64": "unroll",
+		"avx2-amd64":     "avx2",
+	}[Impl()]
+	if got := ActivePath(); got != want {
+		t.Fatalf("ActivePath() = %q, want %q for Impl() = %q", got, want, Impl())
 	}
 }

@@ -2,8 +2,9 @@
 
 package vmath
 
-// altImpl is nil on single-implementation platforms; cross-checks skip.
-var altImpl *funcs
+// altImplSets is empty on single-implementation platforms; cross-checks
+// skip.
+func altImplSets() []*funcs { return nil }
 
 // Off amd64 the stdlib may use a different exp algorithm (its own
 // assembly or the fdlibm pure-Go path), so ExpSlice is only held to a

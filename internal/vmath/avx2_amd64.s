@@ -1,0 +1,1095 @@
+// AVX2 assembly kernels for the vmath hot set: exp, log, the Box-Muller
+// normFactor, hypot, the xoshiro star-uniform draw, the Box-Muller
+// pair/scale/compaction trio, the AR-noise recurrences and the
+// quantisation round/clamp path. Four float64 lanes per iteration in
+// YMM registers.
+//
+// Identity contract: every lane executes exactly the operation sequence
+// of the portable scalar helpers (portable.go), in the same order —
+// fused multiply-adds only where the portable code calls math.FMA,
+// plain VMULPD/VADDPD everywhere the portable code uses plain Go
+// arithmetic (the amd64 compiler never auto-contracts float64
+// expressions into FMA). The gated kernels (exp, log, normFactor)
+// check the fast-path range of all four lanes up front and return the
+// element count processed so far when a group contains a special-case
+// input; the Go wrappers (avx2_amd64.go) evaluate that group with the
+// scalar helpers and re-enter.
+//
+// All kernels return the number of leading elements fully processed
+// (a multiple of 4). Tails of fewer than 4 elements are always left to
+// the wrapper.
+
+#include "textflag.h"
+
+DATA expLo4<>+0(SB)/8, $0xc086200000000000 // -708.0 (expFastLo)
+DATA expLo4<>+8(SB)/8, $0xc086200000000000
+DATA expLo4<>+16(SB)/8, $0xc086200000000000
+DATA expLo4<>+24(SB)/8, $0xc086200000000000
+GLOBL expLo4<>(SB), RODATA|NOPTR, $32
+
+DATA expHi4<>+0(SB)/8, $0x4086280000000000 // 709.0 (expFastHi)
+DATA expHi4<>+8(SB)/8, $0x4086280000000000
+DATA expHi4<>+16(SB)/8, $0x4086280000000000
+DATA expHi4<>+24(SB)/8, $0x4086280000000000
+GLOBL expHi4<>(SB), RODATA|NOPTR, $32
+
+DATA log2e4<>+0(SB)/8, $0x3ff71547652b82fe // log2e
+DATA log2e4<>+8(SB)/8, $0x3ff71547652b82fe
+DATA log2e4<>+16(SB)/8, $0x3ff71547652b82fe
+DATA log2e4<>+24(SB)/8, $0x3ff71547652b82fe
+GLOBL log2e4<>(SB), RODATA|NOPTR, $32
+
+// 1.5·2^52: the roundMagic of the exp kernel, and — interpreted as an
+// integer bit pattern — the int64→float64 conversion magic of the log
+// kernel (add as int, subtract as double).
+DATA magic4<>+0(SB)/8, $0x4338000000000000
+DATA magic4<>+8(SB)/8, $0x4338000000000000
+DATA magic4<>+16(SB)/8, $0x4338000000000000
+DATA magic4<>+24(SB)/8, $0x4338000000000000
+GLOBL magic4<>(SB), RODATA|NOPTR, $32
+
+DATA ln2u4<>+0(SB)/8, $0x3fe62e42fefa3000 // ln2u
+DATA ln2u4<>+8(SB)/8, $0x3fe62e42fefa3000
+DATA ln2u4<>+16(SB)/8, $0x3fe62e42fefa3000
+DATA ln2u4<>+24(SB)/8, $0x3fe62e42fefa3000
+GLOBL ln2u4<>(SB), RODATA|NOPTR, $32
+
+DATA ln2l4<>+0(SB)/8, $0x3d53de6af278ece6 // ln2l
+DATA ln2l4<>+8(SB)/8, $0x3d53de6af278ece6
+DATA ln2l4<>+16(SB)/8, $0x3d53de6af278ece6
+DATA ln2l4<>+24(SB)/8, $0x3d53de6af278ece6
+GLOBL ln2l4<>(SB), RODATA|NOPTR, $32
+
+DATA sixteenth4<>+0(SB)/8, $0x3fb0000000000000 // 0.0625
+DATA sixteenth4<>+8(SB)/8, $0x3fb0000000000000
+DATA sixteenth4<>+16(SB)/8, $0x3fb0000000000000
+DATA sixteenth4<>+24(SB)/8, $0x3fb0000000000000
+GLOBL sixteenth4<>(SB), RODATA|NOPTR, $32
+
+DATA expC84<>+0(SB)/8, $0x3efa01a01a01a01a // expC8
+DATA expC84<>+8(SB)/8, $0x3efa01a01a01a01a
+DATA expC84<>+16(SB)/8, $0x3efa01a01a01a01a
+DATA expC84<>+24(SB)/8, $0x3efa01a01a01a01a
+GLOBL expC84<>(SB), RODATA|NOPTR, $32
+
+DATA expC74<>+0(SB)/8, $0x3f2a01a01a01a01a // expC7
+DATA expC74<>+8(SB)/8, $0x3f2a01a01a01a01a
+DATA expC74<>+16(SB)/8, $0x3f2a01a01a01a01a
+DATA expC74<>+24(SB)/8, $0x3f2a01a01a01a01a
+GLOBL expC74<>(SB), RODATA|NOPTR, $32
+
+DATA expC64<>+0(SB)/8, $0x3f56c16c16c16c17 // expC6
+DATA expC64<>+8(SB)/8, $0x3f56c16c16c16c17
+DATA expC64<>+16(SB)/8, $0x3f56c16c16c16c17
+DATA expC64<>+24(SB)/8, $0x3f56c16c16c16c17
+GLOBL expC64<>(SB), RODATA|NOPTR, $32
+
+DATA expC54<>+0(SB)/8, $0x3f81111111111111 // expC5
+DATA expC54<>+8(SB)/8, $0x3f81111111111111
+DATA expC54<>+16(SB)/8, $0x3f81111111111111
+DATA expC54<>+24(SB)/8, $0x3f81111111111111
+GLOBL expC54<>(SB), RODATA|NOPTR, $32
+
+DATA expC44<>+0(SB)/8, $0x3fa5555555555555 // expC4
+DATA expC44<>+8(SB)/8, $0x3fa5555555555555
+DATA expC44<>+16(SB)/8, $0x3fa5555555555555
+DATA expC44<>+24(SB)/8, $0x3fa5555555555555
+GLOBL expC44<>(SB), RODATA|NOPTR, $32
+
+DATA expC34<>+0(SB)/8, $0x3fc5555555555555 // expC3
+DATA expC34<>+8(SB)/8, $0x3fc5555555555555
+DATA expC34<>+16(SB)/8, $0x3fc5555555555555
+DATA expC34<>+24(SB)/8, $0x3fc5555555555555
+GLOBL expC34<>(SB), RODATA|NOPTR, $32
+
+DATA half4<>+0(SB)/8, $0x3fe0000000000000 // 0.5
+DATA half4<>+8(SB)/8, $0x3fe0000000000000
+DATA half4<>+16(SB)/8, $0x3fe0000000000000
+DATA half4<>+24(SB)/8, $0x3fe0000000000000
+GLOBL half4<>(SB), RODATA|NOPTR, $32
+
+DATA one4<>+0(SB)/8, $0x3ff0000000000000 // 1.0
+DATA one4<>+8(SB)/8, $0x3ff0000000000000
+DATA one4<>+16(SB)/8, $0x3ff0000000000000
+DATA one4<>+24(SB)/8, $0x3ff0000000000000
+GLOBL one4<>(SB), RODATA|NOPTR, $32
+
+DATA two4<>+0(SB)/8, $0x4000000000000000 // 2.0
+DATA two4<>+8(SB)/8, $0x4000000000000000
+DATA two4<>+16(SB)/8, $0x4000000000000000
+DATA two4<>+24(SB)/8, $0x4000000000000000
+GLOBL two4<>(SB), RODATA|NOPTR, $32
+
+DATA bias1023x4<>+0(SB)/8, $0x00000000000003ff // exponent bias (int64)
+DATA bias1023x4<>+8(SB)/8, $0x00000000000003ff
+DATA bias1023x4<>+16(SB)/8, $0x00000000000003ff
+DATA bias1023x4<>+24(SB)/8, $0x00000000000003ff
+GLOBL bias1023x4<>(SB), RODATA|NOPTR, $32
+
+DATA minNormal4<>+0(SB)/8, $0x0010000000000000 // minNormal
+DATA minNormal4<>+8(SB)/8, $0x0010000000000000
+DATA minNormal4<>+16(SB)/8, $0x0010000000000000
+DATA minNormal4<>+24(SB)/8, $0x0010000000000000
+GLOBL minNormal4<>(SB), RODATA|NOPTR, $32
+
+DATA maxFloat4<>+0(SB)/8, $0x7fefffffffffffff // math.MaxFloat64
+DATA maxFloat4<>+8(SB)/8, $0x7fefffffffffffff
+DATA maxFloat4<>+16(SB)/8, $0x7fefffffffffffff
+DATA maxFloat4<>+24(SB)/8, $0x7fefffffffffffff
+GLOBL maxFloat4<>(SB), RODATA|NOPTR, $32
+
+DATA sqrt2Half4<>+0(SB)/8, $0x3fe6a09e667f3bcd // sqrt(2)/2
+DATA sqrt2Half4<>+8(SB)/8, $0x3fe6a09e667f3bcd
+DATA sqrt2Half4<>+16(SB)/8, $0x3fe6a09e667f3bcd
+DATA sqrt2Half4<>+24(SB)/8, $0x3fe6a09e667f3bcd
+GLOBL sqrt2Half4<>(SB), RODATA|NOPTR, $32
+
+DATA k1022x4<>+0(SB)/8, $0x00000000000003fe // 1022 (int64)
+DATA k1022x4<>+8(SB)/8, $0x00000000000003fe
+DATA k1022x4<>+16(SB)/8, $0x00000000000003fe
+DATA k1022x4<>+24(SB)/8, $0x00000000000003fe
+GLOBL k1022x4<>(SB), RODATA|NOPTR, $32
+
+DATA fracMask4<>+0(SB)/8, $0x000fffffffffffff // mantissa mask
+DATA fracMask4<>+8(SB)/8, $0x000fffffffffffff
+DATA fracMask4<>+16(SB)/8, $0x000fffffffffffff
+DATA fracMask4<>+24(SB)/8, $0x000fffffffffffff
+GLOBL fracMask4<>(SB), RODATA|NOPTR, $32
+
+DATA expOne4<>+0(SB)/8, $0x3fe0000000000000 // 1022<<52 (exponent field)
+DATA expOne4<>+8(SB)/8, $0x3fe0000000000000
+DATA expOne4<>+16(SB)/8, $0x3fe0000000000000
+DATA expOne4<>+24(SB)/8, $0x3fe0000000000000
+GLOBL expOne4<>(SB), RODATA|NOPTR, $32
+
+DATA logL14<>+0(SB)/8, $0x3fe5555555555593 // logL1
+DATA logL14<>+8(SB)/8, $0x3fe5555555555593
+DATA logL14<>+16(SB)/8, $0x3fe5555555555593
+DATA logL14<>+24(SB)/8, $0x3fe5555555555593
+GLOBL logL14<>(SB), RODATA|NOPTR, $32
+
+DATA logL24<>+0(SB)/8, $0x3fd999999997fa04 // logL2
+DATA logL24<>+8(SB)/8, $0x3fd999999997fa04
+DATA logL24<>+16(SB)/8, $0x3fd999999997fa04
+DATA logL24<>+24(SB)/8, $0x3fd999999997fa04
+GLOBL logL24<>(SB), RODATA|NOPTR, $32
+
+DATA logL34<>+0(SB)/8, $0x3fd2492494229359 // logL3
+DATA logL34<>+8(SB)/8, $0x3fd2492494229359
+DATA logL34<>+16(SB)/8, $0x3fd2492494229359
+DATA logL34<>+24(SB)/8, $0x3fd2492494229359
+GLOBL logL34<>(SB), RODATA|NOPTR, $32
+
+DATA logL44<>+0(SB)/8, $0x3fcc71c51d8e78af // logL4
+DATA logL44<>+8(SB)/8, $0x3fcc71c51d8e78af
+DATA logL44<>+16(SB)/8, $0x3fcc71c51d8e78af
+DATA logL44<>+24(SB)/8, $0x3fcc71c51d8e78af
+GLOBL logL44<>(SB), RODATA|NOPTR, $32
+
+DATA logL54<>+0(SB)/8, $0x3fc7466496cb03de // logL5
+DATA logL54<>+8(SB)/8, $0x3fc7466496cb03de
+DATA logL54<>+16(SB)/8, $0x3fc7466496cb03de
+DATA logL54<>+24(SB)/8, $0x3fc7466496cb03de
+GLOBL logL54<>(SB), RODATA|NOPTR, $32
+
+DATA logL64<>+0(SB)/8, $0x3fc39a09d078c69f // logL6
+DATA logL64<>+8(SB)/8, $0x3fc39a09d078c69f
+DATA logL64<>+16(SB)/8, $0x3fc39a09d078c69f
+DATA logL64<>+24(SB)/8, $0x3fc39a09d078c69f
+GLOBL logL64<>(SB), RODATA|NOPTR, $32
+
+DATA logL74<>+0(SB)/8, $0x3fc2f112df3e5244 // logL7
+DATA logL74<>+8(SB)/8, $0x3fc2f112df3e5244
+DATA logL74<>+16(SB)/8, $0x3fc2f112df3e5244
+DATA logL74<>+24(SB)/8, $0x3fc2f112df3e5244
+GLOBL logL74<>(SB), RODATA|NOPTR, $32
+
+DATA ln2Hi4<>+0(SB)/8, $0x3fe62e42fee00000 // ln2Hi
+DATA ln2Hi4<>+8(SB)/8, $0x3fe62e42fee00000
+DATA ln2Hi4<>+16(SB)/8, $0x3fe62e42fee00000
+DATA ln2Hi4<>+24(SB)/8, $0x3fe62e42fee00000
+GLOBL ln2Hi4<>(SB), RODATA|NOPTR, $32
+
+DATA ln2Lo4<>+0(SB)/8, $0x3dea39ef35793c76 // ln2Lo
+DATA ln2Lo4<>+8(SB)/8, $0x3dea39ef35793c76
+DATA ln2Lo4<>+16(SB)/8, $0x3dea39ef35793c76
+DATA ln2Lo4<>+24(SB)/8, $0x3dea39ef35793c76
+GLOBL ln2Lo4<>(SB), RODATA|NOPTR, $32
+
+DATA negTwo4<>+0(SB)/8, $0xc000000000000000 // -2.0
+DATA negTwo4<>+8(SB)/8, $0xc000000000000000
+DATA negTwo4<>+16(SB)/8, $0xc000000000000000
+DATA negTwo4<>+24(SB)/8, $0xc000000000000000
+GLOBL negTwo4<>(SB), RODATA|NOPTR, $32
+
+DATA signMask4<>+0(SB)/8, $0x8000000000000000 // sign bit
+DATA signMask4<>+8(SB)/8, $0x8000000000000000
+DATA signMask4<>+16(SB)/8, $0x8000000000000000
+DATA signMask4<>+24(SB)/8, $0x8000000000000000
+GLOBL signMask4<>(SB), RODATA|NOPTR, $32
+
+// LOGCORE computes Y11 = logCore(Y0) for four positive normal finite
+// lanes, clobbering Y1–Y10 and preserving Y0. The sequence mirrors
+// portable.go logCore line by line:
+//
+//	ki   = int(bits>>52) - 1022                  (Y1, int64 lanes)
+//	f1   = frombits(bits&fracMask | 1022<<52)    (Y2)
+//	if f1 < sqrt2Half { f1 *= 2; ki-- }          (Y3 mask; VBLENDVPD / VPADDQ of -1)
+//	k    = float64(ki)                           (Y3, via the 1.5·2^52 magic)
+//	f    = f1 - 1                                (Y2)
+//	s    = f / (2 + f)                           (Y4)
+//	s2   = s*s; s4 = s2*s2                       (Y5, Y6)
+//	t1   = s2*(L1 + s4*(L3 + s4*(L5 + s4*L7)))   (Y7)
+//	t2   = s4*(L2 + s4*(L4 + s4*L6))             (Y8)
+//	R    = t1 + t2                               (Y7)
+//	hfsq = 0.5*f*f                               (Y8)
+//	res  = k*ln2Hi - ((hfsq - (s*(hfsq+R) + k*ln2Lo)) - f)
+//
+// No FMA anywhere: the portable code uses none.
+#define LOGCORE \
+	VPSRLQ $52, Y0, Y1; \
+	VPSUBQ k1022x4<>(SB), Y1, Y1; \
+	VPAND fracMask4<>(SB), Y0, Y2; \
+	VPOR expOne4<>(SB), Y2, Y2; \
+	VCMPPD $0x11, sqrt2Half4<>(SB), Y2, Y3; \
+	VMULPD two4<>(SB), Y2, Y4; \
+	VBLENDVPD Y3, Y4, Y2, Y2; \
+	VPADDQ Y3, Y1, Y1; \
+	VPADDQ magic4<>(SB), Y1, Y1; \
+	VSUBPD magic4<>(SB), Y1, Y3; \
+	VSUBPD one4<>(SB), Y2, Y2; \
+	VADDPD two4<>(SB), Y2, Y4; \
+	VDIVPD Y4, Y2, Y4; \
+	VMULPD Y4, Y4, Y5; \
+	VMULPD Y5, Y5, Y6; \
+	VMULPD logL74<>(SB), Y6, Y7; \
+	VADDPD logL54<>(SB), Y7, Y7; \
+	VMULPD Y6, Y7, Y7; \
+	VADDPD logL34<>(SB), Y7, Y7; \
+	VMULPD Y6, Y7, Y7; \
+	VADDPD logL14<>(SB), Y7, Y7; \
+	VMULPD Y5, Y7, Y7; \
+	VMULPD logL64<>(SB), Y6, Y8; \
+	VADDPD logL44<>(SB), Y8, Y8; \
+	VMULPD Y6, Y8, Y8; \
+	VADDPD logL24<>(SB), Y8, Y8; \
+	VMULPD Y6, Y8, Y8; \
+	VADDPD Y8, Y7, Y7; \
+	VMULPD half4<>(SB), Y2, Y8; \
+	VMULPD Y2, Y8, Y8; \
+	VMULPD ln2Lo4<>(SB), Y3, Y9; \
+	VADDPD Y7, Y8, Y10; \
+	VMULPD Y10, Y4, Y10; \
+	VADDPD Y9, Y10, Y10; \
+	VSUBPD Y10, Y8, Y10; \
+	VSUBPD Y2, Y10, Y10; \
+	VMULPD ln2Hi4<>(SB), Y3, Y11; \
+	VSUBPD Y10, Y11, Y11
+
+// func expAVX2(dst, x []float64) int
+//
+// Four-lane expCore: bails (returns elements done) at the first group
+// with a lane outside (expFastLo, expFastHi) — NaN fails the ordered
+// compares, so special values always bail.
+TEXT ·expAVX2(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ x_base+24(FP), SI
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+exploop:
+	CMPQ CX, BX
+	JGE  expdone
+	VMOVUPD (SI)(CX*8), Y0
+
+	// Gate: all lanes strictly inside (expFastLo, expFastHi)?
+	VCMPPD    $0x1e, expLo4<>(SB), Y0, Y8 // GT_OQ
+	VCMPPD    $0x11, expHi4<>(SB), Y0, Y9 // LT_OQ
+	VANDPD    Y9, Y8, Y8
+	VMOVMSKPD Y8, AX
+	CMPL      AX, $0xf
+	JNE       expdone
+
+	// kf = (x*log2e + roundMagic) - roundMagic
+	VMULPD log2e4<>(SB), Y0, Y1
+	VADDPD magic4<>(SB), Y1, Y1
+	VSUBPD magic4<>(SB), Y1, Y1
+
+	// r = FMA(-ln2u, kf, x); r = FMA(-ln2l, kf, r); r *= 0.0625
+	VMOVAPD      Y0, Y2
+	VFNMADD231PD ln2u4<>(SB), Y1, Y2
+	VFNMADD231PD ln2l4<>(SB), Y1, Y2
+	VMULPD       sixteenth4<>(SB), Y2, Y2
+
+	// Horner FMA chain: p = ((...(c8·r + c7)·r + ...)·r + 0.5)·r + 1
+	VMOVUPD     expC84<>(SB), Y3
+	VFMADD213PD expC74<>(SB), Y2, Y3
+	VFMADD213PD expC64<>(SB), Y2, Y3
+	VFMADD213PD expC54<>(SB), Y2, Y3
+	VFMADD213PD expC44<>(SB), Y2, Y3
+	VFMADD213PD expC34<>(SB), Y2, Y3
+	VFMADD213PD half4<>(SB), Y2, Y3
+	VFMADD213PD one4<>(SB), Y2, Y3
+
+	// q = r·p; three rounds of q = q·(q+2); fr = FMA(q, q+2, 1)
+	VMULPD      Y3, Y2, Y4
+	VADDPD      two4<>(SB), Y4, Y5
+	VMULPD      Y5, Y4, Y4
+	VADDPD      two4<>(SB), Y4, Y5
+	VMULPD      Y5, Y4, Y4
+	VADDPD      two4<>(SB), Y4, Y5
+	VMULPD      Y5, Y4, Y4
+	VADDPD      two4<>(SB), Y4, Y5
+	VMOVUPD     one4<>(SB), Y6
+	VFMADD231PD Y5, Y4, Y6
+
+	// scale by 2^k: k = int(kf) (exact), frombits((1023+k)<<52)
+	VCVTTPD2DQY Y1, X7
+	VPMOVSXDQ   X7, Y7
+	VPADDQ      bias1023x4<>(SB), Y7, Y7
+	VPSLLQ      $52, Y7, Y7
+	VMULPD      Y7, Y6, Y6
+
+	VMOVUPD Y6, (DI)(CX*8)
+	ADDQ    $4, CX
+	JMP     exploop
+
+expdone:
+	MOVQ CX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func logAVX2(dst, x []float64) int
+//
+// Four-lane logCore: bails at the first group with a lane outside
+// [minNormal, MaxFloat64].
+TEXT ·logAVX2(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ x_base+24(FP), SI
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+logloop:
+	CMPQ CX, BX
+	JGE  logdone
+	VMOVUPD (SI)(CX*8), Y0
+
+	// Gate: minNormal <= x <= MaxFloat64 on all lanes?
+	VCMPPD    $0x1d, minNormal4<>(SB), Y0, Y8 // GE_OQ
+	VCMPPD    $0x12, maxFloat4<>(SB), Y0, Y9  // LE_OQ
+	VANDPD    Y9, Y8, Y8
+	VMOVMSKPD Y8, AX
+	CMPL      AX, $0xf
+	JNE       logdone
+
+	LOGCORE
+
+	VMOVUPD Y11, (DI)(CX*8)
+	ADDQ    $4, CX
+	JMP     logloop
+
+logdone:
+	MOVQ CX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func normFactorAVX2(dst, q []float64) int
+//
+// Four-lane sqrt(-2·logCore(q)/q), same gate as logAVX2.
+TEXT ·normFactorAVX2(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ q_base+24(FP), SI
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+nfloop:
+	CMPQ CX, BX
+	JGE  nfdone
+	VMOVUPD (SI)(CX*8), Y0
+
+	VCMPPD    $0x1d, minNormal4<>(SB), Y0, Y8
+	VCMPPD    $0x12, maxFloat4<>(SB), Y0, Y9
+	VANDPD    Y9, Y8, Y8
+	VMOVMSKPD Y8, AX
+	CMPL      AX, $0xf
+	JNE       nfdone
+
+	LOGCORE
+
+	// sqrt((-2·l)/q), the exact operation order of normFactor1.
+	VMULPD  negTwo4<>(SB), Y11, Y11
+	VDIVPD  Y0, Y11, Y11
+	VSQRTPD Y11, Y11
+
+	VMOVUPD Y11, (DI)(CX*8)
+	ADDQ    $4, CX
+	JMP     nfloop
+
+nfdone:
+	MOVQ CX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func hypotAVX2(dst, x, y []float64) int
+//
+// Four-lane sqrt(x² + y²) — the raw unscaled form of the portable
+// kernel, valid for every input, so no gate and no bail: processes all
+// complete groups.
+TEXT ·hypotAVX2(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ x_base+24(FP), SI
+	MOVQ y_base+48(FP), R8
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+hyloop:
+	CMPQ CX, BX
+	JGE  hydone
+	VMOVUPD (SI)(CX*8), Y0
+	VMOVUPD (R8)(CX*8), Y1
+	VMULPD  Y0, Y0, Y0
+	VMULPD  Y1, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VSQRTPD Y0, Y0
+	VMOVUPD Y0, (DI)(CX*8)
+	ADDQ    $4, CX
+	JMP     hyloop
+
+hydone:
+	MOVQ CX, ret+72(FP)
+	VZEROUPPER
+	RET
+
+// ROUNDHALFAWAY emulates math.Round (half away from zero) on Y0 → Y1,
+// clobbering Y2–Y4: t = round-to-nearest-even(v); where
+// v−t == copysign(0.5, v) the nearest-even result went toward zero on a
+// tie, so add copysign(1, v). NaN and ±Inf produce d = NaN, which fails
+// the ordered compare and leaves t untouched — exactly math.Round's
+// behaviour; |v| ≥ 2^52 gives d = 0.
+#define ROUNDHALFAWAY \
+	VROUNDPD $0, Y0, Y1; \
+	VSUBPD Y1, Y0, Y2; \
+	VANDPD signMask4<>(SB), Y0, Y3; \
+	VORPD half4<>(SB), Y3, Y4; \
+	VCMPPD $0, Y4, Y2, Y4; \
+	VORPD one4<>(SB), Y3, Y3; \
+	VANDPD Y3, Y4, Y4; \
+	VADDPD Y4, Y1, Y1
+
+// CLAMPY1 clamps Y1 to [Y14, Y15] with clamp1's exact semantics:
+// max(lo, v) then min(hi, w), with v as the second operand of each so
+// NaN (and equal-operand) cases return v, matching the portable
+// comparison chain.
+#define CLAMPY1 \
+	VMAXPD Y1, Y14, Y1; \
+	VMINPD Y1, Y15, Y1
+
+// func roundClampAVX2(dst []float64, lo, hi float64) int
+//
+// The step == 1 quantisation body: dst[i] = clamp(round(dst[i])).
+// Handles every input (no gate); processes all complete groups.
+TEXT ·roundClampAVX2(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	VBROADCASTSD lo+24(FP), Y14
+	VBROADCASTSD hi+32(FP), Y15
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+rcloop:
+	CMPQ CX, BX
+	JGE  rcdone
+	VMOVUPD (DI)(CX*8), Y0
+	ROUNDHALFAWAY
+	CLAMPY1
+	VMOVUPD Y1, (DI)(CX*8)
+	ADDQ    $4, CX
+	JMP     rcloop
+
+rcdone:
+	MOVQ CX, ret+40(FP)
+	VZEROUPPER
+	RET
+
+// func roundScaleClampAVX2(dst []float64, step, invStep, lo, hi float64) int
+//
+// The step > 0 quantisation body: dst[i] = clamp(round(dst[i]·invStep)·step).
+TEXT ·roundScaleClampAVX2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	VBROADCASTSD step+24(FP), Y12
+	VBROADCASTSD invStep+32(FP), Y13
+	VBROADCASTSD lo+40(FP), Y14
+	VBROADCASTSD hi+48(FP), Y15
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+rscloop:
+	CMPQ CX, BX
+	JGE  rscdone
+	VMOVUPD (DI)(CX*8), Y0
+	VMULPD  Y13, Y0, Y0 // v·invStep
+	ROUNDHALFAWAY
+	VMULPD  Y12, Y1, Y1 // ·step
+	CLAMPY1
+	VMOVUPD Y1, (DI)(CX*8)
+	ADDQ    $4, CX
+	JMP     rscloop
+
+rscdone:
+	MOVQ CX, ret+56(FP)
+	VZEROUPPER
+	RET
+
+// func clampRangeAVX2(dst []float64, lo, hi float64) int
+//
+// The step <= 0 quantisation body: clamp only.
+TEXT ·clampRangeAVX2(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	VBROADCASTSD lo+24(FP), Y14
+	VBROADCASTSD hi+32(FP), Y15
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+clloop:
+	CMPQ CX, BX
+	JGE  cldone
+	VMOVUPD (DI)(CX*8), Y1
+	CLAMPY1
+	VMOVUPD Y1, (DI)(CX*8)
+	ADDQ    $4, CX
+	JMP     clloop
+
+cldone:
+	MOVQ CX, ret+40(FP)
+	VZEROUPPER
+	RET
+
+DATA nffHi4<>+0(SB)/8, $0x3fefff8000000000 // normFactorFastHi = 1 - 2^-14
+DATA nffHi4<>+8(SB)/8, $0x3fefff8000000000
+DATA nffHi4<>+16(SB)/8, $0x3fefff8000000000
+DATA nffHi4<>+24(SB)/8, $0x3fefff8000000000
+GLOBL nffHi4<>(SB), RODATA|NOPTR, $32
+
+DATA idx127x4<>+0(SB)/8, $0x000000000000007f // table index mask (int64)
+DATA idx127x4<>+8(SB)/8, $0x000000000000007f
+DATA idx127x4<>+16(SB)/8, $0x000000000000007f
+DATA idx127x4<>+24(SB)/8, $0x000000000000007f
+GLOBL idx127x4<>(SB), RODATA|NOPTR, $32
+
+DATA ln2full4<>+0(SB)/8, $0x3fe62e42fefa39ef // math.Ln2
+DATA ln2full4<>+8(SB)/8, $0x3fe62e42fefa39ef
+DATA ln2full4<>+16(SB)/8, $0x3fe62e42fefa39ef
+DATA ln2full4<>+24(SB)/8, $0x3fe62e42fefa39ef
+GLOBL ln2full4<>(SB), RODATA|NOPTR, $32
+
+DATA l1pC24<>+0(SB)/8, $0xbfe0000000000000 // log1pC2 = -1/2
+DATA l1pC24<>+8(SB)/8, $0xbfe0000000000000
+DATA l1pC24<>+16(SB)/8, $0xbfe0000000000000
+DATA l1pC24<>+24(SB)/8, $0xbfe0000000000000
+GLOBL l1pC24<>(SB), RODATA|NOPTR, $32
+
+DATA l1pC34<>+0(SB)/8, $0x3fd5555555555555 // log1pC3 = 1/3
+DATA l1pC34<>+8(SB)/8, $0x3fd5555555555555
+DATA l1pC34<>+16(SB)/8, $0x3fd5555555555555
+DATA l1pC34<>+24(SB)/8, $0x3fd5555555555555
+GLOBL l1pC34<>(SB), RODATA|NOPTR, $32
+
+DATA l1pC44<>+0(SB)/8, $0xbfd0000000000000 // log1pC4 = -1/4
+DATA l1pC44<>+8(SB)/8, $0xbfd0000000000000
+DATA l1pC44<>+16(SB)/8, $0xbfd0000000000000
+DATA l1pC44<>+24(SB)/8, $0xbfd0000000000000
+GLOBL l1pC44<>(SB), RODATA|NOPTR, $32
+
+DATA l1pC54<>+0(SB)/8, $0x3fc999999999999a // log1pC5 = 1/5
+DATA l1pC54<>+8(SB)/8, $0x3fc999999999999a
+DATA l1pC54<>+16(SB)/8, $0x3fc999999999999a
+DATA l1pC54<>+24(SB)/8, $0x3fc999999999999a
+GLOBL l1pC54<>(SB), RODATA|NOPTR, $32
+
+DATA l1pC64<>+0(SB)/8, $0xbfc5555555555555 // log1pC6 = -1/6
+DATA l1pC64<>+8(SB)/8, $0xbfc5555555555555
+DATA l1pC64<>+16(SB)/8, $0xbfc5555555555555
+DATA l1pC64<>+24(SB)/8, $0xbfc5555555555555
+GLOBL l1pC64<>(SB), RODATA|NOPTR, $32
+
+DATA l1pC74<>+0(SB)/8, $0x3fc2492492492492 // log1pC7 = 1/7
+DATA l1pC74<>+8(SB)/8, $0x3fc2492492492492
+DATA l1pC74<>+16(SB)/8, $0x3fc2492492492492
+DATA l1pC74<>+24(SB)/8, $0x3fc2492492492492
+GLOBL l1pC74<>(SB), RODATA|NOPTR, $32
+
+DATA mask32x4<>+0(SB)/8, $0x00000000ffffffff // low 32 bits
+DATA mask32x4<>+8(SB)/8, $0x00000000ffffffff
+DATA mask32x4<>+16(SB)/8, $0x00000000ffffffff
+DATA mask32x4<>+24(SB)/8, $0x00000000ffffffff
+GLOBL mask32x4<>(SB), RODATA|NOPTR, $32
+
+DATA exp52x4<>+0(SB)/8, $0x4330000000000000 // 2^52 exponent (uint32→double magic)
+DATA exp52x4<>+8(SB)/8, $0x4330000000000000
+DATA exp52x4<>+16(SB)/8, $0x4330000000000000
+DATA exp52x4<>+24(SB)/8, $0x4330000000000000
+GLOBL exp52x4<>(SB), RODATA|NOPTR, $32
+
+DATA exp84x4<>+0(SB)/8, $0x4530000000000000 // 2^84 exponent (high-word magic)
+DATA exp84x4<>+8(SB)/8, $0x4530000000000000
+DATA exp84x4<>+16(SB)/8, $0x4530000000000000
+DATA exp84x4<>+24(SB)/8, $0x4530000000000000
+GLOBL exp84x4<>(SB), RODATA|NOPTR, $32
+
+DATA cvtBias4<>+0(SB)/8, $0x4530000000100000 // 2^84 + 2^52
+DATA cvtBias4<>+8(SB)/8, $0x4530000000100000
+DATA cvtBias4<>+16(SB)/8, $0x4530000000100000
+DATA cvtBias4<>+24(SB)/8, $0x4530000000100000
+GLOBL cvtBias4<>(SB), RODATA|NOPTR, $32
+
+DATA inv53x4<>+0(SB)/8, $0x3ca0000000000000 // 2^-53
+DATA inv53x4<>+8(SB)/8, $0x3ca0000000000000
+DATA inv53x4<>+16(SB)/8, $0x3ca0000000000000
+DATA inv53x4<>+24(SB)/8, $0x3ca0000000000000
+GLOBL inv53x4<>(SB), RODATA|NOPTR, $32
+
+// func normFactorFastAVX2(dst, q []float64) int
+//
+// Four-lane normFactorFastCore: the table-driven log (7-bit reciprocal
+// VGATHERQPD lookups into logRcpTab/logLnTab, degree-7 log1p Horner,
+// all plain mul/add exactly as the scalar core) followed by
+// sqrt(-2·lg/q). Bails at the first group with a lane outside
+// [minNormal, normFactorFastHi) — the wrapper's scalar helper then
+// applies the exact-path fallback per lane.
+TEXT ·normFactorFastAVX2(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ q_base+24(FP), SI
+	LEAQ ·logRcpTab(SB), R9
+	LEAQ ·logLnTab(SB), R10
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+nffloop:
+	CMPQ CX, BX
+	JGE  nffdone
+	VMOVUPD (SI)(CX*8), Y0
+
+	// Gate: minNormal <= q < normFactorFastHi on all lanes?
+	VCMPPD    $0x1d, minNormal4<>(SB), Y0, Y8 // GE_OQ
+	VCMPPD    $0x11, nffHi4<>(SB), Y0, Y9     // LT_OQ
+	VANDPD    Y9, Y8, Y8
+	VMOVMSKPD Y8, AX
+	CMPL      AX, $0xf
+	JNE       nffdone
+
+	// e = float64(int(bits>>52) - 1023)
+	VPSRLQ $52, Y0, Y1
+	VPSUBQ bias1023x4<>(SB), Y1, Y1
+	VPADDQ magic4<>(SB), Y1, Y1
+	VSUBPD magic4<>(SB), Y1, Y1
+
+	// i = (bits>>45) & 127; m = frombits(frac | bits-of-1.0)
+	VPSRLQ $45, Y0, Y2
+	VPAND  idx127x4<>(SB), Y2, Y2
+	VPAND  fracMask4<>(SB), Y0, Y3
+	VPOR   one4<>(SB), Y3, Y3
+
+	// r = m·logRcpTab[i] - 1
+	VPCMPEQQ   Y10, Y10, Y10
+	VGATHERQPD Y10, (R9)(Y2*8), Y4
+	VMULPD     Y4, Y3, Y4
+	VSUBPD     one4<>(SB), Y4, Y4
+
+	// p = C2 + r·(C3 + r·(C4 + r·(C5 + r·(C6 + r·C7))))
+	VMULPD l1pC74<>(SB), Y4, Y5
+	VADDPD l1pC64<>(SB), Y5, Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD l1pC54<>(SB), Y5, Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD l1pC44<>(SB), Y5, Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD l1pC34<>(SB), Y5, Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD l1pC24<>(SB), Y5, Y5
+
+	// lg = (e·ln2 + logLnTab[i]) + r·(1 + r·p)
+	VPCMPEQQ   Y11, Y11, Y11
+	VGATHERQPD Y11, (R10)(Y2*8), Y6
+	VMULPD     ln2full4<>(SB), Y1, Y1
+	VADDPD     Y6, Y1, Y1
+	VMULPD     Y4, Y5, Y5
+	VADDPD     one4<>(SB), Y5, Y5
+	VMULPD     Y4, Y5, Y5
+	VADDPD     Y5, Y1, Y1
+
+	// sqrt((-2·lg)/q)
+	VMULPD  negTwo4<>(SB), Y1, Y1
+	VDIVPD  Y0, Y1, Y1
+	VSQRTPD Y1, Y1
+
+	VMOVUPD Y1, (DI)(CX*8)
+	ADDQ    $4, CX
+	JMP     nffloop
+
+nffdone:
+	MOVQ CX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func starUniformAVX2(dst []float64, s1 []uint64) int
+//
+// Four-lane xoshiro256** output scramble r = rotl(s1·5, 7)·9 (exact
+// integer arithmetic: ·5 and ·9 as shift-and-add, the rotation as two
+// shifts and an or) followed by dst[i] = 2·(float64(r>>11)/2^53) - 1:
+// the 53-bit draw is converted exactly via the split hi/lo magic-number
+// trick (every step up to the final subtract is exact, and the subtract
+// rounds the same value the scalar expression rounds), so results are
+// bit-identical to the portable loop. No gate: all inputs are fine.
+TEXT ·starUniformAVX2(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ s1_base+24(FP), SI
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+usloop:
+	CMPQ CX, BX
+	JGE  usdone
+	VMOVDQU (SI)(CX*8), Y0
+
+	// r = rotl(s1·5, 7)·9
+	VPSLLQ $2, Y0, Y1
+	VPADDQ Y0, Y1, Y1
+	VPSLLQ $7, Y1, Y2
+	VPSRLQ $57, Y1, Y3
+	VPOR   Y3, Y2, Y2
+	VPSLLQ $3, Y2, Y3
+	VPADDQ Y2, Y3, Y0
+
+	VPSRLQ  $11, Y0, Y0
+	VPAND   mask32x4<>(SB), Y0, Y1
+	VPOR    exp52x4<>(SB), Y1, Y1
+	VPSRLQ  $32, Y0, Y2
+	VPOR    exp84x4<>(SB), Y2, Y2
+	VSUBPD  cvtBias4<>(SB), Y2, Y2
+	VADDPD  Y1, Y2, Y1
+	VMULPD  inv53x4<>(SB), Y1, Y1
+	VMULPD  two4<>(SB), Y1, Y1
+	VSUBPD  one4<>(SB), Y1, Y1
+	VMOVUPD Y1, (DI)(CX*8)
+	ADDQ    $4, CX
+	JMP     usloop
+
+usdone:
+	MOVQ CX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func pairNormSqAVX2(q, d []float64) int
+//
+// Four pair norms per iteration: two YMM loads cover eight interleaved
+// coordinates, VUNPCK[LH]PD split them into scrambled u/v vectors, the
+// squared norms are computed lanewise (mul, mul, add — the scalar
+// order) and a single VPERMPD restores index order before the store.
+TEXT ·pairNormSqAVX2(SB), NOSPLIT, $0-56
+	MOVQ q_base+0(FP), DI
+	MOVQ q_len+8(FP), DX
+	MOVQ d_base+24(FP), SI
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+pnloop:
+	CMPQ CX, BX
+	JGE  pndone
+	VMOVUPD (SI), Y0
+	VMOVUPD 32(SI), Y1
+	VUNPCKLPD Y1, Y0, Y2 // [u0 u2 u1 u3]
+	VUNPCKHPD Y1, Y0, Y3 // [v0 v2 v1 v3]
+	VMULPD  Y2, Y2, Y2
+	VMULPD  Y3, Y3, Y3
+	VADDPD  Y3, Y2, Y2   // [q0 q2 q1 q3]
+	VPERMPD $0xd8, Y2, Y2
+	VMOVUPD Y2, (DI)(CX*8)
+	ADDQ    $64, SI
+	ADDQ    $4, CX
+	JMP     pnloop
+
+pndone:
+	MOVQ CX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func boxMullerScaleAVX2(out, us, vs, fs []float64) int
+//
+// Four pairs per iteration: both coordinate columns are scaled by the
+// shared factor lanewise, then interleaved back into the output row
+// with VUNPCK[LH]PD + VPERM2F128.
+TEXT ·boxMullerScaleAVX2(SB), NOSPLIT, $0-104
+	MOVQ out_base+0(FP), DI
+	MOVQ us_base+24(FP), SI
+	MOVQ vs_base+48(FP), R8
+	MOVQ fs_base+72(FP), R9
+	MOVQ fs_len+80(FP), DX
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+bmloop:
+	CMPQ CX, BX
+	JGE  bmdone
+	VMOVUPD (R9)(CX*8), Y2
+	VMOVUPD (SI)(CX*8), Y0
+	VMOVUPD (R8)(CX*8), Y1
+	VMULPD  Y2, Y0, Y0       // a = us·f
+	VMULPD  Y2, Y1, Y1       // b = vs·f
+	VUNPCKLPD  Y1, Y0, Y3    // [a0 b0 a2 b2]
+	VUNPCKHPD  Y1, Y0, Y4    // [a1 b1 a3 b3]
+	VPERM2F128 $0x20, Y4, Y3, Y5 // [a0 b0 a1 b1]
+	VPERM2F128 $0x31, Y4, Y3, Y6 // [a2 b2 a3 b3]
+	VMOVUPD Y5, (DI)
+	VMOVUPD Y6, 32(DI)
+	ADDQ    $64, DI
+	ADDQ    $4, CX
+	JMP     bmloop
+
+bmdone:
+	MOVQ CX, ret+96(FP)
+	VZEROUPPER
+	RET
+
+// func arNoiseAVX2(out, ar, base, z []float64, att, arCoef, innov float64) int
+//
+// Four streams per iteration of the static-link AR(1) composition:
+// a = arCoef·ar + innov·z stored back to ar, out = (base − att) + a —
+// plain mul/add in the scalar order.
+TEXT ·arNoiseAVX2(SB), NOSPLIT, $0-128
+	MOVQ out_base+0(FP), DI
+	MOVQ out_len+8(FP), DX
+	MOVQ ar_base+24(FP), SI
+	MOVQ base_base+48(FP), R8
+	MOVQ z_base+72(FP), R9
+	VBROADCASTSD att+96(FP), Y12
+	VBROADCASTSD arCoef+104(FP), Y13
+	VBROADCASTSD innov+112(FP), Y14
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+anloop:
+	CMPQ CX, BX
+	JGE  andone
+	VMOVUPD (SI)(CX*8), Y0
+	VMULPD  Y13, Y0, Y0      // arCoef·ar
+	VMOVUPD (R9)(CX*8), Y1
+	VMULPD  Y14, Y1, Y1      // innov·z
+	VADDPD  Y1, Y0, Y0       // a
+	VMOVUPD Y0, (SI)(CX*8)
+	VMOVUPD (R8)(CX*8), Y2
+	VSUBPD  Y12, Y2, Y2      // base − att
+	VADDPD  Y0, Y2, Y2       // + a
+	VMOVUPD Y2, (DI)(CX*8)
+	ADDQ    $4, CX
+	JMP     anloop
+
+andone:
+	MOVQ CX, ret+120(FP)
+	VZEROUPPER
+	RET
+
+// func arMotionNoiseAVX2(out, ar, base, z []float64, att, arCoef, innov, sd float64) int
+//
+// arNoiseAVX2 for a moving link: z holds interleaved
+// (innovation, motion) draw pairs, deinterleaved per group with
+// VUNPCK[LH]PD + VPERMPD; out = ((base − att) + a) + sd·z_odd in the
+// scalar association order.
+TEXT ·arMotionNoiseAVX2(SB), NOSPLIT, $0-136
+	MOVQ out_base+0(FP), DI
+	MOVQ out_len+8(FP), DX
+	MOVQ ar_base+24(FP), SI
+	MOVQ base_base+48(FP), R8
+	MOVQ z_base+72(FP), R9
+	VBROADCASTSD att+96(FP), Y12
+	VBROADCASTSD arCoef+104(FP), Y13
+	VBROADCASTSD innov+112(FP), Y14
+	VBROADCASTSD sd+120(FP), Y15
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+
+amloop:
+	CMPQ CX, BX
+	JGE  amdone
+	VMOVUPD (R9), Y4
+	VMOVUPD 32(R9), Y5
+	VUNPCKLPD Y5, Y4, Y6     // [z0 z4 z2 z6]
+	VPERMPD $0xd8, Y6, Y6    // z_even
+	VUNPCKHPD Y5, Y4, Y7     // [z1 z5 z3 z7]
+	VPERMPD $0xd8, Y7, Y7    // z_odd
+	VMOVUPD (SI)(CX*8), Y0
+	VMULPD  Y13, Y0, Y0      // arCoef·ar
+	VMULPD  Y14, Y6, Y6      // innov·z_even
+	VADDPD  Y6, Y0, Y0       // a
+	VMOVUPD Y0, (SI)(CX*8)
+	VMOVUPD (R8)(CX*8), Y2
+	VSUBPD  Y12, Y2, Y2      // base − att
+	VADDPD  Y0, Y2, Y2       // + a
+	VMULPD  Y15, Y7, Y7      // sd·z_odd
+	VADDPD  Y7, Y2, Y2
+	VMOVUPD Y2, (DI)(CX*8)
+	ADDQ    $64, R9
+	ADDQ    $4, CX
+	JMP     amloop
+
+amdone:
+	MOVQ CX, ret+128(FP)
+	VZEROUPPER
+	RET
+DATA packTab<>+0(SB)/8, $0x0000000000000000
+DATA packTab<>+8(SB)/8, $0x0000000000000000
+DATA packTab<>+16(SB)/8, $0x0000000000000000
+DATA packTab<>+24(SB)/8, $0x0000000000000000
+DATA packTab<>+32(SB)/8, $0x0000000100000000
+DATA packTab<>+40(SB)/8, $0x0000000000000000
+DATA packTab<>+48(SB)/8, $0x0000000000000000
+DATA packTab<>+56(SB)/8, $0x0000000000000000
+DATA packTab<>+64(SB)/8, $0x0000000300000002
+DATA packTab<>+72(SB)/8, $0x0000000000000000
+DATA packTab<>+80(SB)/8, $0x0000000000000000
+DATA packTab<>+88(SB)/8, $0x0000000000000000
+DATA packTab<>+96(SB)/8, $0x0000000100000000
+DATA packTab<>+104(SB)/8, $0x0000000300000002
+DATA packTab<>+112(SB)/8, $0x0000000000000000
+DATA packTab<>+120(SB)/8, $0x0000000000000000
+DATA packTab<>+128(SB)/8, $0x0000000500000004
+DATA packTab<>+136(SB)/8, $0x0000000000000000
+DATA packTab<>+144(SB)/8, $0x0000000000000000
+DATA packTab<>+152(SB)/8, $0x0000000000000000
+DATA packTab<>+160(SB)/8, $0x0000000100000000
+DATA packTab<>+168(SB)/8, $0x0000000500000004
+DATA packTab<>+176(SB)/8, $0x0000000000000000
+DATA packTab<>+184(SB)/8, $0x0000000000000000
+DATA packTab<>+192(SB)/8, $0x0000000300000002
+DATA packTab<>+200(SB)/8, $0x0000000500000004
+DATA packTab<>+208(SB)/8, $0x0000000000000000
+DATA packTab<>+216(SB)/8, $0x0000000000000000
+DATA packTab<>+224(SB)/8, $0x0000000100000000
+DATA packTab<>+232(SB)/8, $0x0000000300000002
+DATA packTab<>+240(SB)/8, $0x0000000500000004
+DATA packTab<>+248(SB)/8, $0x0000000000000000
+DATA packTab<>+256(SB)/8, $0x0000000700000006
+DATA packTab<>+264(SB)/8, $0x0000000000000000
+DATA packTab<>+272(SB)/8, $0x0000000000000000
+DATA packTab<>+280(SB)/8, $0x0000000000000000
+DATA packTab<>+288(SB)/8, $0x0000000100000000
+DATA packTab<>+296(SB)/8, $0x0000000700000006
+DATA packTab<>+304(SB)/8, $0x0000000000000000
+DATA packTab<>+312(SB)/8, $0x0000000000000000
+DATA packTab<>+320(SB)/8, $0x0000000300000002
+DATA packTab<>+328(SB)/8, $0x0000000700000006
+DATA packTab<>+336(SB)/8, $0x0000000000000000
+DATA packTab<>+344(SB)/8, $0x0000000000000000
+DATA packTab<>+352(SB)/8, $0x0000000100000000
+DATA packTab<>+360(SB)/8, $0x0000000300000002
+DATA packTab<>+368(SB)/8, $0x0000000700000006
+DATA packTab<>+376(SB)/8, $0x0000000000000000
+DATA packTab<>+384(SB)/8, $0x0000000500000004
+DATA packTab<>+392(SB)/8, $0x0000000700000006
+DATA packTab<>+400(SB)/8, $0x0000000000000000
+DATA packTab<>+408(SB)/8, $0x0000000000000000
+DATA packTab<>+416(SB)/8, $0x0000000100000000
+DATA packTab<>+424(SB)/8, $0x0000000500000004
+DATA packTab<>+432(SB)/8, $0x0000000700000006
+DATA packTab<>+440(SB)/8, $0x0000000000000000
+DATA packTab<>+448(SB)/8, $0x0000000300000002
+DATA packTab<>+456(SB)/8, $0x0000000500000004
+DATA packTab<>+464(SB)/8, $0x0000000700000006
+DATA packTab<>+472(SB)/8, $0x0000000000000000
+DATA packTab<>+480(SB)/8, $0x0000000100000000
+DATA packTab<>+488(SB)/8, $0x0000000300000002
+DATA packTab<>+496(SB)/8, $0x0000000500000004
+DATA packTab<>+504(SB)/8, $0x0000000700000006
+GLOBL packTab<>(SB), RODATA|NOPTR, $512
+
+// func compactAcceptAVX2(us, vs, qs, ds, ps []float64) int
+//
+// Left-packing polar-rejection compaction, four pairs per iteration:
+// the accept mask is computed as NOT(q == 0 OR q >= 1) — ordered
+// compares, matching the scalar reject test's NaN behaviour — and the
+// accepted (u, v, q) lanes are packed to the front of a group with a
+// mask-indexed VPERMPS shuffle, stored unconditionally (32 bytes) at
+// the current fill position, which then advances by POPCNT(mask).
+// Rejected-lane garbage beyond the fill position is overwritten by the
+// next store or never read; callers must provide len(ps) writable
+// elements in us/vs/qs. Only full groups are processed: the wrapper
+// finishes the tail and adds its acceptances.
+TEXT ·compactAcceptAVX2(SB), NOSPLIT, $0-128
+	MOVQ us_base+0(FP), DI
+	MOVQ vs_base+24(FP), R8
+	MOVQ qs_base+48(FP), R9
+	MOVQ ds_base+72(FP), SI
+	MOVQ ps_base+96(FP), R10
+	MOVQ ps_len+104(FP), DX
+	LEAQ packTab<>(SB), R11
+	MOVQ DX, BX
+	SUBQ $3, BX
+	XORQ CX, CX
+	XORQ R15, R15            // packed count
+
+caloop:
+	CMPQ CX, BX
+	JGE  cadone
+	VMOVUPD (R10)(CX*8), Y0  // q group
+
+	// accept = NOT(q == 0 OR q >= 1)
+	VXORPD    Y1, Y1, Y1
+	VCMPPD    $0x0, Y1, Y0, Y2          // EQ_OQ: q == 0
+	VCMPPD    $0x1d, one4<>(SB), Y0, Y3 // GE_OQ: q >= 1
+	VORPD     Y3, Y2, Y2
+	VMOVMSKPD Y2, AX
+	NOTL      AX
+	ANDL      $0xf, AX
+
+	// Deinterleave the coordinate pairs.
+	VMOVUPD (SI), Y4
+	VMOVUPD 32(SI), Y5
+	VUNPCKLPD Y5, Y4, Y6
+	VPERMPD $0xd8, Y6, Y6    // u
+	VUNPCKHPD Y5, Y4, Y7
+	VPERMPD $0xd8, Y7, Y7    // v
+
+	// Left-pack accepted lanes and append.
+	MOVL    AX, R14
+	SHLQ    $5, R14
+	VMOVDQU (R11)(R14*1), Y8
+	VPERMPS Y6, Y8, Y9
+	VPERMPS Y7, Y8, Y10
+	VPERMPS Y0, Y8, Y11
+	VMOVUPD Y9, (DI)
+	VMOVUPD Y10, (R8)
+	VMOVUPD Y11, (R9)
+	POPCNTL AX, AX
+	LEAQ    (DI)(AX*8), DI
+	LEAQ    (R8)(AX*8), R8
+	LEAQ    (R9)(AX*8), R9
+	ADDQ    AX, R15
+
+	ADDQ $64, SI
+	ADDQ $4, CX
+	JMP  caloop
+
+cadone:
+	MOVQ R15, ret+120(FP)
+	VZEROUPPER
+	RET

@@ -7,8 +7,10 @@ import (
 
 // FuzzVmathKernels fuzzes two float64 seeds into a shared input set and
 // checks (a) the exp/log kernels against the stdlib bit for bit and
-// (b) the portable and unrolled implementation sets against each other
-// across all kernels, including ragged tail lengths.
+// (b) the portable set against every alternative implementation set on
+// this machine (unrolled, and the AVX2 assembly where supported) across
+// all kernels, including the awkward lengths that pin SIMD group bail
+// and tail handling.
 func FuzzVmathKernels(f *testing.F) {
 	f.Add(0.0, 0.0)
 	f.Add(1.5, -3.25)
@@ -37,18 +39,21 @@ func FuzzVmathKernels(f *testing.F) {
 				t.Fatalf("LogSlice(%v) = %v, math.Log = %v", x, dst[i], want)
 			}
 		}
-		if altImpl == nil {
+		sets := altImplSets()
+		if len(sets) == 0 {
 			return
 		}
-		for _, n := range []int{0, 1, 3, 4, 5, 7, 8, 11, 32, 33} {
+		for _, n := range []int{0, 1, 3, 4, 5, 7, 8, 11, 19, 32, 33} {
 			in := deriveInputs(vals, n)
 			pa := runKernels(&portableFuncs, in)
-			pb := runKernels(altImpl, in)
-			for name, av := range pa {
-				bv := pb[name]
-				for i := range av {
-					if !bitsEqual(av[i], bv[i]) && !(math.IsNaN(av[i]) && math.IsNaN(bv[i])) {
-						t.Fatalf("kernel %s (n=%d) diverges at [%d]: %v vs %v", name, n, i, av[i], bv[i])
+			for _, alt := range sets {
+				pb := runKernels(alt, in)
+				for name, av := range pa {
+					bv := pb[name]
+					for i := range av {
+						if !bitsEqual(av[i], bv[i]) && !(math.IsNaN(av[i]) && math.IsNaN(bv[i])) {
+							t.Fatalf("kernel %s (n=%d, %s) diverges at [%d]: %v vs %v", name, n, alt.name, i, av[i], bv[i])
+						}
 					}
 				}
 			}

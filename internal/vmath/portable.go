@@ -242,6 +242,21 @@ func normFactorFast4(q0, q1, q2, q3 float64) (f0, f1, f2, f3 float64) {
 	return
 }
 
+// uniformSym1 maps the top 53 bits of a raw draw onto (-1, 1).
+func uniformSym1(r uint64) float64 {
+	return 2*(float64(r>>11)/(1<<53)) - 1
+}
+
+// rotl64 is the xoshiro bit rotation (duplicated from rng to keep the
+// dependency arrow pointing rng → vmath).
+func rotl64(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// starUniform1 is one element of StarUniformSlice: the xoshiro256**
+// output scramble of a raw s1 word, mapped onto (-1, 1).
+func starUniform1(s1 uint64) float64 {
+	return uniformSym1(rotl64(s1*5, 7) * 9)
+}
+
 // roundQuantLoop is the shared RoundQuantSlice body: it dispatches on
 // step once, outside the loop, rather than re-branching per element.
 func roundQuantLoop(dst []float64, step, invStep, lo, hi float64) {
@@ -291,6 +306,7 @@ func distToSeg1(ax, ay, dx, dy, l2, px, py float64) float64 {
 
 var portableFuncs = funcs{
 	name: "portable",
+	path: "portable",
 	expSlice: func(dst, x []float64) {
 		x = x[:len(dst)]
 		for i := range dst {
@@ -356,6 +372,56 @@ var portableFuncs = funcs{
 			if dst[i] > hi {
 				dst[i] = hi
 			}
+		}
+	},
+	starUniform: func(dst []float64, s1 []uint64) {
+		s1 = s1[:len(dst)]
+		for i := range dst {
+			dst[i] = starUniform1(s1[i])
+		}
+	},
+	pairNormSq: func(q, d []float64) {
+		d = d[:2*len(q)]
+		for j := range q {
+			u, v := d[2*j], d[2*j+1]
+			q[j] = u*u + v*v
+		}
+	},
+	boxMullerScale: func(out, us, vs, fs []float64) {
+		out = out[:2*len(fs)]
+		us, vs = us[:len(fs)], vs[:len(fs)]
+		for j, f := range fs {
+			out[2*j] = us[j] * f
+			out[2*j+1] = vs[j] * f
+		}
+	},
+	compactAccept: func(us, vs, qs, ds, ps []float64) int {
+		filled := 0
+		for j, q := range ps {
+			if q == 0 || q >= 1 {
+				continue
+			}
+			us[filled], vs[filled], qs[filled] = ds[2*j], ds[2*j+1], q
+			filled++
+		}
+		return filled
+	},
+	arNoise: func(out, ar, base, z []float64, att, arCoef, innov float64) {
+		n := len(out)
+		ar, base, z = ar[:n], base[:n], z[:n]
+		for k := range out {
+			a := arCoef*ar[k] + innov*z[k]
+			ar[k] = a
+			out[k] = base[k] - att + a
+		}
+	},
+	arMotionNoise: func(out, ar, base, z []float64, att, arCoef, innov, sd float64) {
+		n := len(out)
+		ar, base, z = ar[:n], base[:n], z[:2*n]
+		for k := range out {
+			a := arCoef*ar[k] + innov*z[2*k]
+			ar[k] = a
+			out[k] = base[k] - att + a + sd*z[2*k+1]
 		}
 	},
 	roundQuant: roundQuantLoop,

@@ -18,6 +18,7 @@ import "math"
 
 var unrolledFuncs = funcs{
 	name: "unrolled-amd64",
+	path: "unroll",
 	expSlice: func(dst, x []float64) {
 		n := len(dst)
 		x = x[:n]
@@ -103,6 +104,115 @@ var unrolledFuncs = funcs{
 		}
 		for ; i < n; i++ {
 			dst[i] = normFactorFast1(q[i])
+		}
+	},
+	starUniform: func(dst []float64, s1 []uint64) {
+		n := len(dst)
+		s1 = s1[:n]
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			dst[i] = starUniform1(s1[i])
+			dst[i+1] = starUniform1(s1[i+1])
+			dst[i+2] = starUniform1(s1[i+2])
+			dst[i+3] = starUniform1(s1[i+3])
+		}
+		for ; i < n; i++ {
+			dst[i] = starUniform1(s1[i])
+		}
+	},
+	pairNormSq: func(q, d []float64) {
+		n := len(q)
+		d = d[:2*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			u0, v0 := d[2*j], d[2*j+1]
+			u1, v1 := d[2*j+2], d[2*j+3]
+			u2, v2 := d[2*j+4], d[2*j+5]
+			u3, v3 := d[2*j+6], d[2*j+7]
+			q[j] = u0*u0 + v0*v0
+			q[j+1] = u1*u1 + v1*v1
+			q[j+2] = u2*u2 + v2*v2
+			q[j+3] = u3*u3 + v3*v3
+		}
+		for ; j < n; j++ {
+			u, v := d[2*j], d[2*j+1]
+			q[j] = u*u + v*v
+		}
+	},
+	boxMullerScale: func(out, us, vs, fs []float64) {
+		n := len(fs)
+		out, us, vs = out[:2*n], us[:n], vs[:n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			f0, f1, f2, f3 := fs[j], fs[j+1], fs[j+2], fs[j+3]
+			out[2*j], out[2*j+1] = us[j]*f0, vs[j]*f0
+			out[2*j+2], out[2*j+3] = us[j+1]*f1, vs[j+1]*f1
+			out[2*j+4], out[2*j+5] = us[j+2]*f2, vs[j+2]*f2
+			out[2*j+6], out[2*j+7] = us[j+3]*f3, vs[j+3]*f3
+		}
+		for ; j < n; j++ {
+			f := fs[j]
+			out[2*j] = us[j] * f
+			out[2*j+1] = vs[j] * f
+		}
+	},
+	compactAccept: func(us, vs, qs, ds, ps []float64) int {
+		// Branchless compaction: store unconditionally at the fill
+		// pointer and advance it only on acceptance, so the ~21%
+		// rejection rate never costs a branch mispredict. Slots beyond
+		// the final count hold garbage, which the contract allows.
+		acc := 0
+		for j, q := range ps {
+			us[acc], vs[acc], qs[acc] = ds[2*j], ds[2*j+1], q
+			// Negate the reject test verbatim rather than writing
+			// q != 0 && q < 1: the two differ on NaN, which the
+			// reference test accepts.
+			if !(q == 0 || q >= 1) {
+				acc++
+			}
+		}
+		return acc
+	},
+	arNoise: func(out, ar, base, z []float64, att, arCoef, innov float64) {
+		n := len(out)
+		ar, base, z = ar[:n], base[:n], z[:n]
+		k := 0
+		for ; k+4 <= n; k += 4 {
+			a0 := arCoef*ar[k] + innov*z[k]
+			a1 := arCoef*ar[k+1] + innov*z[k+1]
+			a2 := arCoef*ar[k+2] + innov*z[k+2]
+			a3 := arCoef*ar[k+3] + innov*z[k+3]
+			ar[k], ar[k+1], ar[k+2], ar[k+3] = a0, a1, a2, a3
+			out[k] = base[k] - att + a0
+			out[k+1] = base[k+1] - att + a1
+			out[k+2] = base[k+2] - att + a2
+			out[k+3] = base[k+3] - att + a3
+		}
+		for ; k < n; k++ {
+			a := arCoef*ar[k] + innov*z[k]
+			ar[k] = a
+			out[k] = base[k] - att + a
+		}
+	},
+	arMotionNoise: func(out, ar, base, z []float64, att, arCoef, innov, sd float64) {
+		n := len(out)
+		ar, base, z = ar[:n], base[:n], z[:2*n]
+		k := 0
+		for ; k+4 <= n; k += 4 {
+			a0 := arCoef*ar[k] + innov*z[2*k]
+			a1 := arCoef*ar[k+1] + innov*z[2*k+2]
+			a2 := arCoef*ar[k+2] + innov*z[2*k+4]
+			a3 := arCoef*ar[k+3] + innov*z[2*k+6]
+			ar[k], ar[k+1], ar[k+2], ar[k+3] = a0, a1, a2, a3
+			out[k] = base[k] - att + a0 + sd*z[2*k+1]
+			out[k+1] = base[k+1] - att + a1 + sd*z[2*k+3]
+			out[k+2] = base[k+2] - att + a2 + sd*z[2*k+5]
+			out[k+3] = base[k+3] - att + a3 + sd*z[2*k+7]
+		}
+		for ; k < n; k++ {
+			a := arCoef*ar[k] + innov*z[2*k]
+			ar[k] = a
+			out[k] = base[k] - att + a + sd*z[2*k+1]
 		}
 	},
 	scaleSlice: func(dst []float64, a float64) {

@@ -3,19 +3,28 @@
 // fused column operations the RF model's vectorised path (ModelVersion 2,
 // see internal/rf) is built from.
 //
-// Two implementations exist behind one API:
+// Three implementations exist behind one API:
 //
 //   - portable: straightforward per-element loops, compiled everywhere.
 //   - unrolled (amd64): the same per-element arithmetic unrolled four
 //     lanes wide with independent dependency chains, so a superscalar
 //     core pipelines the long-latency operations (exp's polynomial,
 //     log's division, sqrt) across lanes. Built with GOAMD64=v3 the
-//     compiler emits VEX/AVX forms of these loops; the selection gate
-//     additionally requires AVX2+FMA+OS support so the fast path only
-//     engages on hardware where the unrolled code is known profitable.
+//     compiler emits VEX/AVX forms of these loops, but the instructions
+//     are still scalar (one lane per op).
+//   - avx2 (amd64): hand-written AVX2+FMA assembly for the hot set
+//     (ExpSlice, LogSlice, HypotSlice, NormFactorSlice,
+//     NormFactorFastSlice, StarUniformSlice, the Box–Muller trio
+//     PairNormSqSlice / BoxMullerScaleSlice / CompactAcceptSlice, the
+//     AR-noise recurrences and the RoundQuantSlice path), four true
+//     SIMD lanes per instruction; the remaining kernels reuse the
+//     unrolled set. Requires AVX2+FMA CPU support with OS-enabled YMM
+//     state.
 //
-// The two implementations are bit-identical per element by construction
-// (same operations, in the same order, on every lane), which the package
+// All implementations are bit-identical per element by construction
+// (same operations, in the same order, on every lane — the assembly
+// uses fused multiply-adds exactly where the portable code calls
+// math.FMA and plain operations everywhere else), which the package
 // tests and the FuzzVmathKernels target enforce. LogSlice is
 // additionally bit-identical to math.Log on every platform that uses
 // the fdlibm algorithm (the pure-Go stdlib and the amd64 assembly both
@@ -30,10 +39,13 @@
 // scaled form — exact for the office-scale coordinates the simulator
 // feeds them, one ulp off in general.
 //
-// Selection happens once at init: the unrolled implementation is used
-// on amd64 with AVX2+FMA+OSXSAVE, unless the environment variable
-// FADEWICH_NOVEC is set non-empty and non-"0", which forces the portable
-// implementation for A/B comparisons. Impl reports the decision.
+// Selection happens once at init: the avx2 implementation is used on
+// amd64 with AVX2+FMA+OSXSAVE. Two environment overrides exist:
+// FADEWICH_VMATH=portable|unroll|avx2 forces a specific path (loudly
+// failing, not falling back, when the forced path is unsupported), and
+// the legacy FADEWICH_NOVEC (non-empty, non-"0") forces portable;
+// FADEWICH_VMATH wins when both are set. Impl and ActivePath report
+// the decision.
 //
 // All kernels tolerate dst aliasing their input slice exactly (in-place
 // use); partial overlap is undefined. Input slices must be at least
@@ -43,7 +55,8 @@ package vmath
 // funcs is one complete kernel implementation set. The exported API
 // dispatches through the active set chosen at init.
 type funcs struct {
-	name           string
+	name           string // descriptive name, reported by Impl
+	path           string // FADEWICH_VMATH vocabulary, reported by ActivePath
 	expSlice       func(dst, x []float64)
 	logSlice       func(dst, x []float64)
 	hypotSlice     func(dst, x, y []float64)
@@ -54,6 +67,12 @@ type funcs struct {
 	axpyClamp      func(dst, x []float64, a, lo, hi float64)
 	sqrtSlice      func(dst []float64)
 	clampMax       func(dst []float64, hi float64)
+	starUniform    func(dst []float64, s1 []uint64)
+	pairNormSq     func(q, d []float64)
+	boxMullerScale func(out, us, vs, fs []float64)
+	compactAccept  func(us, vs, qs, ds, ps []float64) int
+	arNoise        func(out, ar, base, z []float64, att, arCoef, innov float64)
+	arMotionNoise  func(out, ar, base, z []float64, att, arCoef, innov, sd float64)
 	roundQuant     func(dst []float64, step, invStep, lo, hi float64)
 	excessPath     func(dst, ax, ay, bx, by, segLen []float64, px, py float64)
 	distToSeg      func(dst, ax, ay, dx, dy, l2 []float64, px, py float64)
@@ -67,9 +86,15 @@ var active = &portableFuncs
 // unrolled path: any non-empty value other than "0" does.
 func novecEnv(v string) bool { return v != "" && v != "0" }
 
-// Impl reports which implementation is active: "portable" or
-// "unrolled-amd64".
+// Impl reports which implementation is active: "portable",
+// "unrolled-amd64" or "avx2-amd64".
 func Impl() string { return active.name }
+
+// ActivePath reports the active implementation in FADEWICH_VMATH
+// vocabulary: "portable", "unroll" or "avx2". Callers log it at startup
+// and attach it to metrics so benchmark artifacts are attributable to
+// the kernel path that produced them.
+func ActivePath() string { return active.path }
 
 // ExpSlice sets dst[i] = exp(x[i]). Bit-identical to math.Exp on
 // FMA-capable amd64; platform-independent (see the package comment).
@@ -98,6 +123,53 @@ func NormFactorSlice(dst, q []float64) { active.normFactor(dst, q) }
 // NormFactorSlice element. Results are identical on every platform
 // (plain float64 mul/add only).
 func NormFactorFastSlice(dst, q []float64) { active.normFactorFast(dst, q) }
+
+// StarUniformSlice applies the xoshiro256** output scramble to raw s1
+// state words and maps the results onto (-1, 1):
+// dst[i] = 2·(float64((rotl(s1[i]·5, 7)·9)>>11) / 2⁵³) − 1, the
+// Box-Muller coordinate mapping of rng's rejection loop. The scramble
+// is integer-exact and every float operation except the final
+// subtraction is exact, so results are bit-identical across
+// implementations and platforms. s1 must be at least len(dst) long.
+func StarUniformSlice(dst []float64, s1 []uint64) { active.starUniform(dst, s1) }
+
+// PairNormSqSlice sets q[j] = d[2j]² + d[2j+1]², the squared norm of
+// each consecutive coordinate pair — the polar rejection statistic of
+// rng's Box-Muller loop. d must be at least 2·len(q) long.
+func PairNormSqSlice(q, d []float64) { active.pairNormSq(q, d) }
+
+// BoxMullerScaleSlice interleaves scaled polar pairs into the output
+// row: out[2j] = us[j]·fs[j], out[2j+1] = vs[j]·fs[j]. out must be at
+// least 2·len(fs) long; us and vs at least len(fs).
+func BoxMullerScaleSlice(out, us, vs, fs []float64) { active.boxMullerScale(out, us, vs, fs) }
+
+// CompactAcceptSlice runs the polar rejection test over the pair norms
+// ps (computed by PairNormSqSlice from the coordinate pairs ds) and
+// left-packs the accepted pairs: for each j with ps[j] accepted — the
+// reject test is ps[j] == 0 || ps[j] >= 1, as in rng's scalar loop —
+// it appends (ds[2j], ds[2j+1], ps[j]) to (us, vs, qs) and returns the
+// number appended. us, vs and qs must each have len(ps) writable
+// elements; slots at and beyond the returned count are left with
+// unspecified values. ds must be at least 2·len(ps) long.
+func CompactAcceptSlice(us, vs, qs, ds, ps []float64) int {
+	return active.compactAccept(us, vs, qs, ds, ps)
+}
+
+// ARNoiseSlice advances one link's AR(1) noise states and composes the
+// static-link output row: a = arCoef·ar[k] + innov·z[k] (stored back to
+// ar[k]), out[k] = base[k] − att + a. z must be at least len(out) long.
+func ARNoiseSlice(out, ar, base, z []float64, att, arCoef, innov float64) {
+	active.arNoise(out, ar, base, z, att, arCoef, innov)
+}
+
+// ARMotionNoiseSlice is ARNoiseSlice for a link with body motion: the
+// per-stream draws come in pairs, z[2k] driving the AR innovation and
+// z[2k+1] the motion term: a = arCoef·ar[k] + innov·z[2k] (stored back),
+// out[k] = base[k] − att + a + sd·z[2k+1]. z must be at least
+// 2·len(out) long.
+func ARMotionNoiseSlice(out, ar, base, z []float64, att, arCoef, innov, sd float64) {
+	active.arMotionNoise(out, ar, base, z, att, arCoef, innov, sd)
+}
 
 // ScaleSlice sets dst[i] *= a.
 func ScaleSlice(dst []float64, a float64) { active.scaleSlice(dst, a) }

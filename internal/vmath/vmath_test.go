@@ -242,8 +242,13 @@ func TestNovecEnvParsing(t *testing.T) {
 
 func TestImplReportsKnownName(t *testing.T) {
 	switch Impl() {
-	case "portable", "unrolled-amd64":
+	case "portable", "unrolled-amd64", "avx2-amd64":
 	default:
 		t.Fatalf("Impl() = %q, not a known implementation", Impl())
+	}
+	switch ActivePath() {
+	case "portable", "unroll", "avx2":
+	default:
+		t.Fatalf("ActivePath() = %q, not a known path", ActivePath())
 	}
 }
