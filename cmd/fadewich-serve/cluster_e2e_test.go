@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"sort"
@@ -34,6 +35,7 @@ import (
 	"fadewich/internal/kma"
 	"fadewich/internal/office"
 	"fadewich/internal/rng"
+	"fadewich/internal/segment"
 	"fadewich/internal/serve"
 	"fadewich/internal/sim"
 	"fadewich/internal/wire"
@@ -299,11 +301,16 @@ func TestClusterEndToEnd(t *testing.T) {
 		"-route", "-listen", "127.0.0.1:0", "-expect", "3", "-format", "jsonl")
 	routerAddr := router.addr(t)
 
+	// Every worker compresses both its bytes-moved legs: the epoch-tagged
+	// forward stream to the router and a local segment log. The router
+	// inflates transparently, so the byte-identity assertion at the end
+	// is unchanged — compression must be invisible to decoded output.
 	startWorker := func(name string) *proc {
 		return startProc(t, name, "fadewich-serve: listening on ", serveBin,
 			"-mode", "worker", "-coordinator", coordBase, "-name", name,
 			"-forward", routerAddr, "-listen", "127.0.0.1:0",
-			"-parallel", "1", "-queue", strconv.Itoa(e2eQueue), "-codec", "1")
+			"-parallel", "1", "-queue", strconv.Itoa(e2eQueue), "-codec", "1",
+			"-compress", "-segments", filepath.Join(dir, "seg-"+name))
 	}
 	w1 := startWorker("w1")
 	w2 := startWorker("w2")
@@ -554,4 +561,98 @@ func TestClusterEndToEnd(t *testing.T) {
 		t.Fatalf("routed stream diverged from the single-process reference: got %d bytes, want %d",
 			len(got), len(want))
 	}
+
+	// The bytes-moved claim: with -compress on, the workers' wire frames
+	// (forward stream + segment log) must shrink the traffic at least
+	// 2.5× versus the logical (uncompressed-equivalent) frame bytes the
+	// end-of-run stderr lines report — while the decoded output above
+	// stayed byte-identical.
+	var logical, wired uint64
+	var segLogical uint64
+	for _, w := range []string{"w1", "w2", "w3"} {
+		for _, kind := range []string{"forward", "segments"} {
+			frames, lb, wb := runStatLine(t, workerProc[w], kind)
+			if frames == 0 || lb == 0 {
+				t.Fatalf("%s reported no %s traffic: %d frames, %d logical bytes", w, kind, frames, lb)
+			}
+			if wb >= lb {
+				t.Fatalf("%s %s: wire bytes %d >= logical bytes %d; compression never engaged", w, kind, wb, lb)
+			}
+			logical += lb
+			wired += wb
+			if kind == "segments" {
+				segLogical += lb
+			}
+		}
+	}
+	ratio := float64(logical) / float64(wired)
+	t.Logf("compression: %d logical bytes -> %d wire bytes (%.2fx)", logical, wired, ratio)
+	if ratio < 2.5 {
+		t.Fatalf("worker bytes-moved shrank only %.2fx (logical %d / wire %d), want >= 2.5x", ratio, logical, wired)
+	}
+
+	// On-disk proof for the segment legs: the directories really are
+	// small, and still replay — the three logs together must hold every
+	// dispatched action the reference produced.
+	var diskBytes int64
+	replayed := 0
+	for _, w := range []string{"w1", "w2", "w3"} {
+		segDir := filepath.Join(dir, "seg-"+w)
+		entries, err := os.ReadDir(segDir)
+		if err != nil {
+			t.Fatalf("read %s segment dir: %v", w, err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".fwl") {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			diskBytes += info.Size()
+		}
+		r, err := segment.OpenDir(segDir, segment.Options{})
+		if err != nil {
+			t.Fatalf("open %s segment dir: %v", w, err)
+		}
+		for {
+			batch, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("replay %s segment dir: %v", w, err)
+			}
+			replayed += len(batch)
+		}
+		r.Close()
+	}
+	if replayed != actions {
+		t.Fatalf("worker segment logs replay %d actions, reference dispatched %d", replayed, actions)
+	}
+	diskRatio := float64(segLogical) / float64(diskBytes)
+	t.Logf("segment dirs: %d logical bytes on %d disk bytes (%.2fx)", segLogical, diskBytes, diskRatio)
+	if diskRatio < 2.5 {
+		t.Fatalf("segment dirs shrank only %.2fx (logical %d / disk %d), want >= 2.5x", diskRatio, segLogical, diskBytes)
+	}
+}
+
+// runStatLine finds the worker's end-of-run byte accounting on stderr:
+// "fadewich-serve: KIND: N frames, N logical bytes, N wire bytes".
+func runStatLine(t *testing.T, p *proc, kind string) (frames, logical, wire uint64) {
+	t.Helper()
+	prefix := "fadewich-serve: " + kind + ": "
+	for _, line := range strings.Split(p.errOutput(), "\n") {
+		rest, ok := strings.CutPrefix(line, prefix)
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Sscanf(rest, "%d frames, %d logical bytes, %d wire bytes", &frames, &logical, &wire); err != nil {
+			t.Fatalf("%s stat line %q: %v", p.name, line, err)
+		}
+		return frames, logical, wire
+	}
+	t.Fatalf("%s never printed its %q run stats; stderr:\n%s", p.name, kind, p.errOutput())
+	return 0, 0, 0
 }

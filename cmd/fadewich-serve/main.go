@@ -95,6 +95,11 @@ func main() {
 	segMaxAge := flag.Duration("segment-max-age", 0, "rotate segments at this age (0 = size-only)")
 	fsync := flag.String("fsync", "rotate", "segment log durability: never, rotate or always")
 	codec := flag.Int("codec", 1, "wire codec of the segment log and the TCP forward: 1 = JSONL, 2 = compact binary")
+	compress := flag.Bool("compress", false, "deflate frame bodies on the segment log and the TCP forward (decoded output is byte-identical)")
+	compactAfter := flag.Duration("compact-after", 0, "rewrite sealed segments older than this into compressed frames (0 = off; needs -segments)")
+	retention := flag.Duration("retention", 0, "delete sealed segments older than this TTL (0 = keep forever; needs -segments)")
+	replicate := flag.String("replicate", "", "ship sealed segments to this directory before retention prunes them (needs -segments)")
+	maintainEvery := flag.Duration("maintain-every", 0, "segment maintenance pass interval (0 = default 1m; only with -compact-after, -retention or -replicate)")
 	forward := flag.String("forward", "", "also stream dispatched batches to this TCP address as wire frames (worker mode: the stream router, required)")
 	coordinator := flag.String("coordinator", "", "coordinator base URL, e.g. http://127.0.0.1:9300 (worker mode)")
 	name := flag.String("name", "", "this worker's name in the coordinator's worker set (worker mode)")
@@ -113,26 +118,31 @@ func main() {
 	stopProf, err := prof.Start(prof.Flags{CPU: *cpuProfile, Mem: *memProfile, Mutex: *mutexProfile})
 	if err == nil {
 		err = run(options{
-			mode:        *mode,
-			listen:      *listen,
-			specPath:    *specPath,
-			watch:       *watch,
-			queue:       *queue,
-			onFull:      *onFull,
-			batchTicks:  *batchTicks,
-			adaptive:    *adaptive,
-			maxLatency:  *maxLatency,
-			parallel:    *parallel,
-			segDir:      *segDir,
-			segMaxBytes: *segMaxBytes,
-			segMaxAge:   *segMaxAge,
-			fsync:       *fsync,
-			codec:       *codec,
-			forward:     *forward,
-			coordinator: *coordinator,
-			name:        *name,
-			workers:     *workers,
-			replicas:    *replicas,
+			mode:          *mode,
+			listen:        *listen,
+			specPath:      *specPath,
+			watch:         *watch,
+			queue:         *queue,
+			onFull:        *onFull,
+			batchTicks:    *batchTicks,
+			adaptive:      *adaptive,
+			maxLatency:    *maxLatency,
+			parallel:      *parallel,
+			segDir:        *segDir,
+			segMaxBytes:   *segMaxBytes,
+			segMaxAge:     *segMaxAge,
+			fsync:         *fsync,
+			codec:         *codec,
+			compress:      *compress,
+			compactAfter:  *compactAfter,
+			retention:     *retention,
+			replicate:     *replicate,
+			maintainEvery: *maintainEvery,
+			forward:       *forward,
+			coordinator:   *coordinator,
+			name:          *name,
+			workers:       *workers,
+			replicas:      *replicas,
 		})
 		if perr := stopProf(); perr != nil && err == nil {
 			err = perr
@@ -145,26 +155,31 @@ func main() {
 }
 
 type options struct {
-	mode        string
-	listen      string
-	specPath    string
-	watch       time.Duration
-	queue       int
-	onFull      string
-	batchTicks  int
-	adaptive    bool
-	maxLatency  time.Duration
-	parallel    int
-	segDir      string
-	segMaxBytes int64
-	segMaxAge   time.Duration
-	fsync       string
-	codec       int
-	forward     string
-	coordinator string
-	name        string
-	workers     string
-	replicas    int
+	mode          string
+	listen        string
+	specPath      string
+	watch         time.Duration
+	queue         int
+	onFull        string
+	batchTicks    int
+	adaptive      bool
+	maxLatency    time.Duration
+	parallel      int
+	segDir        string
+	segMaxBytes   int64
+	segMaxAge     time.Duration
+	fsync         string
+	codec         int
+	compress      bool
+	compactAfter  time.Duration
+	retention     time.Duration
+	replicate     string
+	maintainEvery time.Duration
+	forward       string
+	coordinator   string
+	name          string
+	workers       string
+	replicas      int
 }
 
 func run(opt options) error {
@@ -205,6 +220,11 @@ func baseConfig(opt options) (serve.Config, error) {
 		SegmentMaxAge:   opt.segMaxAge,
 		Fsync:           fsyncPolicy,
 		Codec:           wire.Version(opt.codec),
+		Compress:        opt.compress,
+		CompactAfter:    opt.compactAfter,
+		Retention:       opt.retention,
+		Replicate:       opt.replicate,
+		MaintainEvery:   opt.maintainEvery,
 		Forward:         opt.forward,
 	}, nil
 }
@@ -339,7 +359,23 @@ func serveFleet(opt options, cfg serve.Config, specIsFile bool) error {
 		srv.Close()
 		return err
 	}
-	return <-done
+	err = <-done
+	printRunStats(srv)
+	return err
+}
+
+// printRunStats reports the end-of-run byte movement on stderr. The
+// "N logical bytes, M wire bytes" shape is machine-read by the e2e
+// harness to assert compression ratios, so it is load-bearing.
+func printRunStats(srv *serve.Server) {
+	if fwd := srv.Forwarder(); fwd != nil {
+		st := fwd.Stats()
+		fmt.Fprintf(os.Stderr, "fadewich-serve: forward: %d frames, %d logical bytes, %d wire bytes\n", st.Frames, st.Bytes, st.WireBytes)
+	}
+	if seg := srv.Segment(); seg != nil {
+		st := seg.Stats()
+		fmt.Fprintf(os.Stderr, "fadewich-serve: segments: %d frames, %d logical bytes, %d wire bytes\n", st.Frames, st.Bytes, st.WireBytes)
+	}
 }
 
 // runCoordinator hosts the shard coordinator: no fleet of its own, just

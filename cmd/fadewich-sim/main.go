@@ -80,6 +80,7 @@ func main() {
 	churn := flag.Int("churn", 0, "membership events (add/remove offices) spread across the online day; implies fleet mode")
 	sinkSpec := flag.String("sink", "", "action sinks: log:PATH, tcp:ADDR, seg:DIR, ring[:N], comma-separated for fan-out")
 	codec := flag.Int("codec", 1, "wire codec of framed sinks (tcp, seg): 1 = JSONL payloads, 2 = compact binary")
+	compress := flag.Bool("compress", false, "deflate frame bodies on framed sinks (tcp, seg); decoded output is byte-identical")
 	fsync := flag.String("fsync", "rotate", "segment log durability: never, rotate (fsync sealed segments) or always (fsync every frame)")
 	queue := flag.Int("queue", 0, "per-office tick queue capacity (0 = default 256)")
 	onFull := flag.String("on-full", "block", "backpressure policy when a queue is full: block, drop-oldest or error")
@@ -117,7 +118,7 @@ func main() {
 		err = fmt.Errorf("unknown wire codec %d (want 1 or 2)", *codec)
 	case *offices > 1 || *sinkSpec != "" || *officeConfig != "" || *churn > 0:
 		err = runFleet(*days, *seed, *sensors, *offices, *parallel, *officeConfig, *churn,
-			sinkOptions{spec: *sinkSpec, codec: wire.Version(*codec), fsync: *fsync},
+			sinkOptions{spec: *sinkSpec, codec: wire.Version(*codec), fsync: *fsync, compress: *compress},
 			*queue, *onFull, *maxLatency, *verbose)
 	default:
 		err = run(*days, *seed, *sensors, *parallel, *verbose)
@@ -399,9 +400,10 @@ func scoreDay(trace *sim.Trace, deauths []core.Action, verbose bool, office int)
 
 // sinkOptions bundle the sink-shaping flags.
 type sinkOptions struct {
-	spec  string
-	codec wire.Version
-	fsync string
+	spec     string
+	codec    wire.Version
+	fsync    string
+	compress bool
 }
 
 // sinkSet is the parsed -sink fan-out, with the individual sinks that
@@ -435,6 +437,7 @@ func buildSink(opt sinkOptions) (*sinkSet, error) {
 				return nil, err
 			}
 			s.Version = opt.codec
+			s.Compress = opt.compress
 			set.tcps = append(set.tcps, s)
 			sinks = append(sinks, s)
 		case strings.HasPrefix(part, "seg:"):
@@ -443,9 +446,10 @@ func buildSink(opt sinkOptions) (*sinkSet, error) {
 				return nil, err
 			}
 			s, err := stream.NewSegmentSink(segment.Config{
-				Dir:     strings.TrimPrefix(part, "seg:"),
-				Fsync:   policy,
-				Version: opt.codec,
+				Dir:      strings.TrimPrefix(part, "seg:"),
+				Fsync:    policy,
+				Version:  opt.codec,
+				Compress: opt.compress,
 			})
 			if err != nil {
 				return nil, err
@@ -470,7 +474,9 @@ func buildSink(opt sinkOptions) (*sinkSet, error) {
 	if len(sinks) == 1 {
 		set.sink = sinks[0]
 	} else {
-		set.sink = stream.NewMultiSink(sinks...)
+		// Encode-once fan-out: frame-capable members (the segment log)
+		// share one encode per (codec, compressed) variant per dispatch.
+		set.sink = stream.NewEncodeOnceSink(sinks...)
 	}
 	return set, nil
 }
@@ -672,13 +678,13 @@ func runFleet(days int, seed uint64, sensors, offices, parallel int, officeConfi
 		}
 		if sinks.seg != nil {
 			sst := sinks.seg.Stats()
-			fmt.Printf("segment log: %d frames (%d bytes) across %d sealed segments, %d fsyncs\n",
-				sst.Frames, sst.Bytes, sst.Sealed, sst.Syncs)
+			fmt.Printf("segment log: %d frames (%d logical bytes, %d wire bytes) across %d sealed segments, %d fsyncs\n",
+				sst.Frames, sst.Bytes, sst.WireBytes, sst.Sealed, sst.Syncs)
 		}
 		for _, tcp := range sinks.tcps {
 			tst := tcp.Stats()
-			fmt.Printf("tcp sink: %d frames in %d attempts, %d redials (%d dial / %d write failures)\n",
-				tst.Frames, tst.Attempts, tst.Redials, tst.DialFailures, tst.WriteFailures)
+			fmt.Printf("tcp sink: %d frames (%d logical bytes, %d wire bytes) in %d attempts, %d redials (%d dial / %d write failures)\n",
+				tst.Frames, tst.Bytes, tst.WireBytes, tst.Attempts, tst.Redials, tst.DialFailures, tst.WriteFailures)
 		}
 	}
 	return nil

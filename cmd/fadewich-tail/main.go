@@ -83,6 +83,7 @@ func main() {
 	forward := flag.String("forward", "", "route mode: re-emit the merged stream to this TCP address as plain wire frames")
 	segDir := flag.String("segments", "", "route mode: persist the merged stream to a rotating segment log in this directory")
 	codec := flag.Int("codec", 1, "route mode: wire codec of -forward and -segments output: 1 = JSONL, 2 = compact binary")
+	compress := flag.Bool("compress", false, "route mode: deflate frame bodies on -forward and -segments output (decoded output is byte-identical)")
 	follow := flag.Bool("follow", false, "segment dir: keep polling for new frames instead of stopping at the end")
 	repair := flag.Bool("repair", false, "segment dir: truncate a torn final frame in place before replaying")
 	officeList := flag.String("office", "", "only these office IDs (comma-separated; empty = all)")
@@ -92,18 +93,19 @@ func main() {
 	flag.Parse()
 
 	opt := tailOptions{
-		listen:  *listen,
-		route:   *route,
-		expect:  *expect,
-		forward: *forward,
-		segDir:  *segDir,
-		codec:   *codec,
-		follow:  *follow,
-		repair:  *repair,
-		offices: *officeList,
-		from:    *fromTick,
-		to:      *toTick,
-		format:  *format,
+		listen:   *listen,
+		route:    *route,
+		expect:   *expect,
+		forward:  *forward,
+		segDir:   *segDir,
+		codec:    *codec,
+		compress: *compress,
+		follow:   *follow,
+		repair:   *repair,
+		offices:  *officeList,
+		from:     *fromTick,
+		to:       *toTick,
+		format:   *format,
 	}
 	if err := run(opt, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "fadewich-tail: %v\n", err)
@@ -112,18 +114,19 @@ func main() {
 }
 
 type tailOptions struct {
-	listen  string
-	route   bool
-	expect  int
-	forward string
-	segDir  string
-	codec   int
-	follow  bool
-	repair  bool
-	offices string
-	from    float64
-	to      float64
-	format  string
+	listen   string
+	route    bool
+	expect   int
+	forward  string
+	segDir   string
+	codec    int
+	compress bool
+	follow   bool
+	repair   bool
+	offices  string
+	from     float64
+	to       float64
+	format   string
 }
 
 func run(opt tailOptions, args []string) error {
@@ -136,8 +139,8 @@ func run(opt tailOptions, args []string) error {
 		return err
 	}
 	f := filter{offices: offices, from: opt.from, to: opt.to}
-	if !opt.route && (opt.expect != 0 || opt.forward != "" || opt.segDir != "") {
-		return errors.New("-expect, -forward and -segments need -route")
+	if !opt.route && (opt.expect != 0 || opt.forward != "" || opt.segDir != "" || opt.compress) {
+		return errors.New("-expect, -forward, -segments and -compress need -route")
 	}
 	switch {
 	case opt.listen != "" && len(args) > 0:
@@ -393,8 +396,9 @@ func routeOnListener(ln net.Listener, opt tailOptions, f filter, render *rendere
 	}
 	if opt.segDir != "" {
 		seg, err := stream.NewSegmentSink(segment.Config{
-			Dir:     opt.segDir,
-			Version: wire.Version(opt.codec),
+			Dir:      opt.segDir,
+			Version:  wire.Version(opt.codec),
+			Compress: opt.compress,
 		})
 		if err != nil {
 			return err
@@ -408,6 +412,7 @@ func routeOnListener(ln net.Listener, opt tailOptions, f filter, render *rendere
 			return err
 		}
 		fwd.Version = wire.Version(opt.codec)
+		fwd.Compress = opt.compress
 		sinks = append(sinks, fwd)
 	}
 

@@ -1,0 +1,428 @@
+// Segment-directory maintenance: the cold-data half of the bytes-moved
+// budget. Three jobs, all driven through the Writer because the Writer
+// owns the in-memory manifest and rewrites MANIFEST.json whole at every
+// seal — an external process mutating the manifest concurrently would
+// race it.
+//
+//   - Compaction (Compactor): sealed segments older than a cutoff are
+//     rewritten frame by frame into flate-compressed wire frames
+//     (wire.FlagCompressed at CompactionLevel), atomically — new bytes
+//     to a temp file, fsync per policy, rename over the original. The
+//     manifest marks the segment Compacted so it is rewritten at most
+//     once. Readers need no notice: frames are self-describing, and the
+//     decoded actions are byte-identical because compaction preserves
+//     payload bytes exactly (DecodeRaw → AppendRawFrameCompressed).
+//   - TTL retention (Writer.Retain): sealed segments older than the
+//     TTL are deleted, manifest entry first — the order matters: the
+//     Reader hard-errors on a manifest naming a missing file, while an
+//     unmanifested leftover file is merely replayed as an unsealed
+//     tail, so a crash between the manifest write and the unlink is
+//     benign.
+//   - Replication (Replicator): sealed segments are copied to a second
+//     directory (a different disk, or a remote mount), temp + rename,
+//     with the replica keeping its own manifest. A compacted segment
+//     changes size and is re-shipped; the replica converges to the
+//     compacted form. Replication never deletes from the replica — it
+//     is the archive retention prunes the primary against.
+package segment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"fadewich/internal/wire"
+)
+
+// Compactor parameterises cold-segment compaction: Run rewrites every
+// sealed, not-yet-compacted segment sealed at least MinAge ago into
+// compressed frames (MinAge 0 compacts everything sealed).
+type Compactor struct {
+	MinAge time.Duration
+}
+
+// CompactResult reports one compaction pass.
+type CompactResult struct {
+	// Segments is how many segments were rewritten.
+	Segments int
+	// BytesBefore and BytesAfter are the on-disk sizes of those
+	// segments around the rewrite.
+	BytesBefore int64
+	BytesAfter  int64
+}
+
+// RetainResult reports one retention pass.
+type RetainResult struct {
+	// Segments is how many expired segments were deleted.
+	Segments int
+	// Bytes is their on-disk size.
+	Bytes int64
+}
+
+// ReplicateResult reports one replication pass.
+type ReplicateResult struct {
+	// Segments is how many segments were shipped (new or re-shipped
+	// after compaction changed them).
+	Segments int
+	// Bytes is their on-disk size.
+	Bytes int64
+}
+
+// MaintainOptions bundles a maintenance pass: each job runs when its
+// knob is set, in the safe order — compact, then replicate (so the
+// replica converges to compacted bytes), then retain (so an expiring
+// segment was shipped before it is pruned).
+type MaintainOptions struct {
+	// CompactAfter rewrites sealed segments older than this into
+	// compressed frames; 0 disables compaction.
+	CompactAfter time.Duration
+	// Retention deletes sealed segments older than this; 0 keeps
+	// everything.
+	Retention time.Duration
+	// Replica, when non-nil, receives a copy of every sealed segment.
+	Replica *Replicator
+}
+
+// MaintainResult aggregates one maintenance pass.
+type MaintainResult struct {
+	Compacted  CompactResult
+	Replicated ReplicateResult
+	Retained   RetainResult
+}
+
+// Maintain runs one maintenance pass per the options. It is not safe
+// to call concurrently with Append/Close — stream.SegmentSink
+// serialises it behind the sink mutex, same as every other writer
+// operation.
+func (w *Writer) Maintain(opt MaintainOptions) (MaintainResult, error) {
+	var res MaintainResult
+	var err error
+	if opt.CompactAfter > 0 {
+		res.Compacted, err = Compactor{MinAge: opt.CompactAfter}.Run(w)
+		if err != nil {
+			return res, err
+		}
+	}
+	if opt.Replica != nil {
+		res.Replicated, err = w.Replicate(opt.Replica)
+		if err != nil {
+			return res, err
+		}
+	}
+	if opt.Retention > 0 {
+		res.Retained, err = w.Retain(opt.Retention)
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// sealedAt returns when a sealed segment was sealed: the manifest's
+// SealedUnix when present, the file's mtime for manifests from before
+// the maintenance layer.
+func (w *Writer) sealedAt(info Info) time.Time {
+	if info.SealedUnix != 0 {
+		return time.Unix(info.SealedUnix, 0)
+	}
+	if fi, err := os.Stat(filepath.Join(w.cfg.Dir, info.Name)); err == nil {
+		return fi.ModTime()
+	}
+	// Missing or unreadable file: let the job that touches it surface
+	// the real error; treat it as brand new so age cutoffs skip it.
+	return w.now()
+}
+
+// Run rewrites every eligible sealed segment into compressed frames
+// and replaces the manifest once at the end. A failed rewrite aborts
+// the pass; segments already rewritten stay rewritten (their manifest
+// entries were not updated yet, so the next pass redoes the rename —
+// rewriting is idempotent).
+func (c Compactor) Run(w *Writer) (CompactResult, error) {
+	var res CompactResult
+	if w.closed {
+		return res, errors.New("segment: writer closed")
+	}
+	cutoff := w.now().Add(-c.MinAge)
+	changed := false
+	for i := range w.man.Sealed {
+		info := &w.man.Sealed[i]
+		if info.Compacted || w.sealedAt(*info).After(cutoff) {
+			continue
+		}
+		rewritten, err := w.rewriteCompressed(*info)
+		if err != nil {
+			return res, err
+		}
+		res.Segments++
+		res.BytesBefore += info.Bytes
+		res.BytesAfter += rewritten.Bytes
+		*info = rewritten
+		changed = true
+	}
+	if changed {
+		if err := w.writeManifest(); err != nil {
+			return res, err
+		}
+		if w.cfg.Fsync >= FsyncRotate {
+			if err := syncDir(w.cfg.Dir); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// rewriteCompressed rewrites one sealed segment into compressed frames
+// and returns its updated manifest entry. Untagged frames are
+// re-encoded from their exact payload bytes (DecodeRaw inflates, so
+// this also normalises already-compressed frames to CompactionLevel);
+// tagged frames — which a sink-written segment should not contain, but
+// a copied-in one might — are preserved verbatim, tag and all.
+func (w *Writer) rewriteCompressed(info Info) (Info, error) {
+	path := filepath.Join(w.cfg.Dir, info.Name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return info, fmt.Errorf("segment: compact %s: %w", info.Name, err)
+	}
+	d := wire.NewDecoder(newByteReader(data))
+	var out []byte
+	var logical int64
+	frames := 0
+	for {
+		prev := d.Offset()
+		v, payload, err := d.DecodeRaw()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A sealed segment must decode end to end; torn or corrupt
+			// bytes here are real damage, not a crash tail, and
+			// compaction must not paper over them.
+			return info, fmt.Errorf("segment: compact %s: %w", info.Name, err)
+		}
+		if _, tagged := d.Tag(); tagged {
+			out = append(out, data[prev:d.Offset()]...)
+			logical += d.Offset() - prev
+			frames++
+			continue
+		}
+		var lg int
+		out, lg, err = wire.AppendRawFrameCompressed(out, v, payload, 0, wire.CompactionLevel)
+		if err != nil {
+			return info, fmt.Errorf("segment: compact %s: %w", info.Name, err)
+		}
+		logical += int64(lg)
+		frames++
+	}
+	if frames != info.Frames {
+		return info, fmt.Errorf("segment: compact %s: decoded %d frames, manifest says %d", info.Name, frames, info.Frames)
+	}
+	tmp := path + ".compact"
+	if err := writeFileAtomic(tmp, path, out, w.cfg.Fsync >= FsyncRotate); err != nil {
+		return info, fmt.Errorf("segment: compact %s: %w", info.Name, err)
+	}
+	if w.cfg.Fsync >= FsyncRotate {
+		if err := syncDir(w.cfg.Dir); err != nil {
+			return info, err
+		}
+	}
+	info.Bytes = int64(len(out))
+	info.LogicalBytes = logical
+	info.Compacted = true
+	return info, nil
+}
+
+// Retain deletes sealed segments sealed longer than ttl ago: manifest
+// entries first (one atomic manifest write), then the files. ttl <= 0
+// keeps everything.
+func (w *Writer) Retain(ttl time.Duration) (RetainResult, error) {
+	var res RetainResult
+	if w.closed {
+		return res, errors.New("segment: writer closed")
+	}
+	if ttl <= 0 {
+		return res, nil
+	}
+	cutoff := w.now().Add(-ttl)
+	var keep, drop []Info
+	for _, info := range w.man.Sealed {
+		if w.sealedAt(info).After(cutoff) {
+			keep = append(keep, info)
+		} else {
+			drop = append(drop, info)
+		}
+	}
+	if len(drop) == 0 {
+		return res, nil
+	}
+	w.man.Sealed = keep
+	w.stats.Sealed = len(keep)
+	if err := w.writeManifest(); err != nil {
+		return res, err
+	}
+	for _, info := range drop {
+		if err := os.Remove(filepath.Join(w.cfg.Dir, info.Name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return res, fmt.Errorf("segment: retain: %w", err)
+		}
+		res.Segments++
+		res.Bytes += info.Bytes
+	}
+	if w.cfg.Fsync >= FsyncRotate {
+		if err := syncDir(w.cfg.Dir); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// Replicator ships sealed segments to a second directory. It tracks
+// what it already copied by name and size, so a pass is cheap when
+// nothing changed and a compacted (resized) segment is re-shipped.
+// Replicate through one Writer only; the Replicator itself is not
+// locked.
+type Replicator struct {
+	dir    string
+	copied map[string]int64 // name -> size already in the replica
+	infos  map[string]Info  // manifest entries of everything shipped
+}
+
+// NewReplicator opens (creating if needed) the replica directory. An
+// existing replica is continued: files already present are recorded by
+// size and only re-shipped if the primary's differ.
+func NewReplicator(dir string) (*Replicator, error) {
+	if dir == "" {
+		return nil, errors.New("segment: replicator: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("segment: replicator: %w", err)
+	}
+	r := &Replicator{dir: dir, copied: make(map[string]int64), infos: make(map[string]Info)}
+	ents, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if fi, err := os.Stat(filepath.Join(dir, e.name)); err == nil {
+			r.copied[e.name] = fi.Size()
+		}
+	}
+	if man, err := loadManifest(dir); err != nil {
+		return nil, err
+	} else if man != nil {
+		for _, info := range man.Sealed {
+			r.infos[info.Name] = info
+		}
+	}
+	return r, nil
+}
+
+// Dir returns the replica directory.
+func (r *Replicator) Dir() string { return r.dir }
+
+// Replicate copies every sealed segment the replica does not already
+// hold at the primary's size, then rewrites the replica's manifest.
+// The replica's manifest accumulates — retention on the primary does
+// not unship anything.
+func (w *Writer) Replicate(r *Replicator) (ReplicateResult, error) {
+	var res ReplicateResult
+	if w.closed {
+		return res, errors.New("segment: writer closed")
+	}
+	changed := false
+	for _, info := range w.man.Sealed {
+		if size, ok := r.copied[info.Name]; ok && size == info.Bytes && r.infos[info.Name].Bytes == info.Bytes {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(w.cfg.Dir, info.Name))
+		if err != nil {
+			return res, fmt.Errorf("segment: replicate %s: %w", info.Name, err)
+		}
+		dst := filepath.Join(r.dir, info.Name)
+		if err := writeFileAtomic(dst+".ship", dst, data, w.cfg.Fsync >= FsyncRotate); err != nil {
+			return res, fmt.Errorf("segment: replicate %s: %w", info.Name, err)
+		}
+		r.copied[info.Name] = int64(len(data))
+		r.infos[info.Name] = info
+		res.Segments++
+		res.Bytes += int64(len(data))
+		changed = true
+	}
+	if changed {
+		if err := r.writeManifest(w.cfg.Fsync >= FsyncRotate); err != nil {
+			return res, err
+		}
+		if w.cfg.Fsync >= FsyncRotate {
+			if err := syncDir(r.dir); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// writeManifest writes the replica's accumulated manifest atomically,
+// sorted by sequence number like the primary's.
+func (r *Replicator) writeManifest(fsync bool) error {
+	man := manifest{Schema: 1}
+	for _, info := range r.infos {
+		man.Sealed = append(man.Sealed, info)
+	}
+	sort.Slice(man.Sealed, func(i, j int) bool { return man.Sealed[i].Seq < man.Sealed[j].Seq })
+	data, err := marshalManifest(&man)
+	if err != nil {
+		return err
+	}
+	dst := filepath.Join(r.dir, ManifestName)
+	if err := writeFileAtomic(dst+".tmp", dst, data, fsync); err != nil {
+		return fmt.Errorf("segment: replica manifest: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to tmp, optionally fsyncs, and renames
+// it over dst.
+func writeFileAtomic(tmp, dst string, data []byte, fsync bool) error {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// byteReader adapts a byte slice to io.Reader for the compactor's
+// decoder without pulling in bytes.Reader's extra surface.
+type byteReader struct {
+	s []byte
+}
+
+func newByteReader(s []byte) *byteReader { return &byteReader{s: s} }
+
+func (b *byteReader) Read(p []byte) (int, error) {
+	if len(b.s) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, b.s)
+	b.s = b.s[n:]
+	return n, nil
+}

@@ -120,6 +120,13 @@ type Config struct {
 	// wire.V1JSONL). Frames are self-describing, so a directory may mix
 	// codecs across writer generations.
 	Version wire.Version
+	// Compress writes frames FlagCompressed when the payload clears the
+	// wire layer's threshold and actually shrinks (see
+	// wire.AppendFrameCompressed). Frames are self-describing either
+	// way, so a directory may mix compressed and plain frames across
+	// writer generations — and within one, since small batches fall
+	// back to plain frames.
+	Compress bool
 }
 
 // Info describes one sealed segment — the manifest entry.
@@ -132,9 +139,25 @@ type Info struct {
 	// inside, so readers can skip whole segments on time-range queries.
 	MinTime float64 `json:"min_time"`
 	MaxTime float64 `json:"max_time"`
-	// Frames and Bytes are the sealed totals.
+	// Frames and Bytes are the sealed totals; Bytes is the on-disk file
+	// size.
 	Frames int   `json:"frames"`
 	Bytes  int64 `json:"bytes"`
+	// LogicalBytes is the size the segment's frames occupy with every
+	// payload uncompressed — equal to Bytes when nothing is compressed.
+	// The Bytes/LogicalBytes pair is what dashboards (and the cluster
+	// e2e test) read the on-disk compression ratio from. Manifests from
+	// before the compression layer lack the field; readers treat 0 as
+	// "same as Bytes".
+	LogicalBytes int64 `json:"logical_bytes,omitempty"`
+	// SealedUnix is when the segment was sealed, in Unix seconds — the
+	// clock the maintenance layer's age cutoffs (compaction, TTL
+	// retention) run on. 0 in manifests from before the maintenance
+	// layer; maintenance falls back to the file's mtime then.
+	SealedUnix int64 `json:"sealed_unix,omitempty"`
+	// Compacted marks a segment the compactor already rewrote into
+	// compressed frames; compaction skips it from then on.
+	Compacted bool `json:"compacted,omitempty"`
 }
 
 // manifest is the JSON shape of MANIFEST.json.
@@ -149,9 +172,14 @@ type WriterStats struct {
 	Sealed int
 	// Open is the active segment's file name ("" when none).
 	Open string
-	// Frames and Bytes count everything appended, sealed or not.
-	Frames uint64
-	Bytes  uint64
+	// Frames and Bytes count everything appended, sealed or not. Bytes
+	// is the logical count — what the frames occupy with payloads
+	// uncompressed; WireBytes is what actually went to disk. The two are
+	// equal without compression, and their ratio is the writer's
+	// on-disk compression ratio.
+	Frames    uint64
+	Bytes     uint64
+	WireBytes uint64
 	// Syncs counts fsync calls on segment files.
 	Syncs uint64
 }
@@ -233,11 +261,47 @@ func (w *Writer) Append(batch []engine.OfficeAction) error {
 		return nil
 	}
 	var err error
-	w.buf, err = wire.AppendFrame(w.buf[:0], w.cfg.Version, batch)
+	logical := 0
+	if w.cfg.Compress {
+		w.buf, logical, err = wire.AppendFrameCompressed(w.buf[:0], w.cfg.Version, batch, 0)
+	} else {
+		w.buf, err = wire.AppendFrame(w.buf[:0], w.cfg.Version, batch)
+		logical = len(w.buf)
+	}
 	if err != nil {
 		return err
 	}
-	if w.f != nil && w.rotateDue(int64(len(w.buf))) {
+	return w.writeFrame(w.buf, logical, batch)
+}
+
+// AppendEncoded writes one already-encoded wire frame carrying the
+// given batch — the encode-once fan-out path: the dispatch loop
+// encodes a frame once and the segment sink appends those exact bytes
+// instead of re-encoding the batch. The frame must be one complete
+// frame; the batch (used for the manifest's time bounds and must be
+// non-empty, matching Append's empty-batch skip) must be what the
+// frame decodes to. logical is the frame's uncompressed size (pass
+// len(frame) for a plain frame).
+func (w *Writer) AppendEncoded(frame []byte, logical int, batch []engine.OfficeAction) error {
+	if w.closed {
+		return errors.New("segment: writer closed")
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	if len(frame) < wire.Overhead || frame[0] != wire.Magic[0] || frame[1] != wire.Magic[1] {
+		return errors.New("segment: AppendEncoded: not a wire frame")
+	}
+	if logical <= 0 {
+		logical = len(frame)
+	}
+	return w.writeFrame(frame, logical, batch)
+}
+
+// writeFrame appends one encoded frame: rotate if due, open if needed,
+// write, account.
+func (w *Writer) writeFrame(frame []byte, logical int, batch []engine.OfficeAction) error {
+	if w.f != nil && w.rotateDue(int64(len(frame))) {
 		if err := w.seal(); err != nil {
 			return err
 		}
@@ -247,11 +311,12 @@ func (w *Writer) Append(batch []engine.OfficeAction) error {
 			return err
 		}
 	}
-	if _, err := w.f.Write(w.buf); err != nil {
+	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("segment: %s: %w", w.cur.Name, err)
 	}
 	w.cur.Frames++
-	w.cur.Bytes += int64(len(w.buf))
+	w.cur.Bytes += int64(len(frame))
+	w.cur.LogicalBytes += int64(logical)
 	for _, a := range batch {
 		if a.Action.Time < w.cur.MinTime {
 			w.cur.MinTime = a.Action.Time
@@ -261,7 +326,8 @@ func (w *Writer) Append(batch []engine.OfficeAction) error {
 		}
 	}
 	w.stats.Frames++
-	w.stats.Bytes += uint64(len(w.buf))
+	w.stats.Bytes += uint64(logical)
+	w.stats.WireBytes += uint64(len(frame))
 	if w.cfg.Fsync == FsyncAlways {
 		if err := w.sync(); err != nil {
 			return err
@@ -321,6 +387,7 @@ func (w *Writer) seal() error {
 		return fmt.Errorf("segment: %s: close: %w", w.cur.Name, err)
 	}
 	w.f = nil
+	w.cur.SealedUnix = w.now().Unix()
 	w.man.Sealed = append(w.man.Sealed, w.cur)
 	w.stats.Sealed++
 	if err := w.writeManifest(); err != nil {
@@ -341,11 +408,10 @@ func (w *Writer) seal() error {
 // partial write.
 func (w *Writer) writeManifest() error {
 	w.man.Schema = 1
-	data, err := json.MarshalIndent(&w.man, "", "  ")
+	data, err := marshalManifest(&w.man)
 	if err != nil {
-		panic(err) // plain scalar fields; cannot fail
+		return err
 	}
-	data = append(data, '\n')
 	tmp := filepath.Join(w.cfg.Dir, ManifestName+".tmp")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -456,6 +522,16 @@ func scanDir(dir string) ([]dirEntry, error) {
 		}
 	}
 	return out, nil
+}
+
+// marshalManifest renders a manifest as the MANIFEST.json bytes.
+func marshalManifest(man *manifest) ([]byte, error) {
+	man.Schema = 1
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		panic(err) // plain scalar fields; cannot fail
+	}
+	return append(data, '\n'), nil
 }
 
 // loadManifest reads MANIFEST.json, returning nil when there is none

@@ -10,8 +10,12 @@ import (
 )
 
 // broadcaster is the stream.Sink behind GET /v1/actions: every
-// dispatched batch is encoded as one wire frame per requested codec
-// and fanned out to the connected subscribers' buffered channels.
+// dispatched batch is encoded as one wire frame per requested
+// (codec, compressed?) variant and fanned out to the connected
+// subscribers' buffered channels. As a stream.FrameSink it pulls those
+// variants from the dispatch cycle's shared EncodedBatch, so a variant
+// the segment log or another member already encoded is never encoded
+// again.
 //
 // Delivery is at-most-once per subscriber with a hard overflow rule: a
 // subscriber whose channel is full when a frame arrives is dropped
@@ -19,7 +23,7 @@ import (
 // consumer must never stall the pump goroutine — durability is the
 // segment log's job; a dropped subscriber replays from there and
 // re-subscribes. Frames handed to channels are freshly allocated and
-// shared read-only between same-codec subscribers.
+// shared read-only between same-variant subscribers.
 type broadcaster struct {
 	mu        sync.Mutex
 	subs      map[*subscriber]struct{}
@@ -27,12 +31,15 @@ type broadcaster struct {
 	frames    uint64
 	actions   uint64
 	overflows uint64
+	bytes     uint64 // logical bytes handed to channels
+	wireBytes uint64 // on-the-wire bytes handed to channels
 }
 
 // subscriber is one /v1/actions connection.
 type subscriber struct {
-	ch    chan []byte
-	codec wire.Version
+	ch       chan []byte
+	codec    wire.Version
+	compress bool
 }
 
 // errBroadcasterClosed distinguishes "server shutting down" from a
@@ -44,8 +51,9 @@ func newBroadcaster() *broadcaster {
 }
 
 // Subscribe registers a consumer with room for buffer in-flight
-// frames.
-func (b *broadcaster) Subscribe(codec wire.Version, buffer int) (*subscriber, error) {
+// frames; compress requests FlagCompressed frames (small or
+// incompressible batches still arrive plain).
+func (b *broadcaster) Subscribe(codec wire.Version, compress bool, buffer int) (*subscriber, error) {
 	if codec != wire.V1JSONL && codec != wire.V2Binary {
 		return nil, errors.New("serve: unknown action codec")
 	}
@@ -54,7 +62,7 @@ func (b *broadcaster) Subscribe(codec wire.Version, buffer int) (*subscriber, er
 	if b.closed {
 		return nil, errBroadcasterClosed
 	}
-	s := &subscriber{ch: make(chan []byte, buffer), codec: codec}
+	s := &subscriber{ch: make(chan []byte, buffer), codec: codec, compress: compress}
 	b.subs[s] = struct{}{}
 	return s, nil
 }
@@ -85,8 +93,26 @@ func (b *broadcaster) Stats() (frames, actions, overflows uint64) {
 	return b.frames, b.actions, b.overflows
 }
 
-// Write implements stream.Sink on the ingestor's pump goroutine.
+// ByteStats returns the logical and on-the-wire bytes of broadcast
+// frames, counting each encoded variant once per cycle.
+func (b *broadcaster) ByteStats() (logical, wireBytes uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bytes, b.wireBytes
+}
+
+// Write implements stream.Sink on the ingestor's pump goroutine; a
+// broadcaster outside an encode-once fan-out encodes its own variants.
 func (b *broadcaster) Write(batch []engine.OfficeAction) error {
+	return b.WriteEncoded(stream.NewEncodedBatch(batch))
+}
+
+// WriteEncoded implements stream.FrameSink: each subscriber's
+// (codec, compressed) variant is pulled from the cycle's shared
+// EncodedBatch — encoded at most once across the whole fan-out — and
+// handed to same-variant subscribers read-only.
+func (b *broadcaster) WriteEncoded(e *stream.EncodedBatch) error {
+	batch := e.Batch()
 	if len(batch) == 0 {
 		return nil
 	}
@@ -97,21 +123,23 @@ func (b *broadcaster) Write(batch []engine.OfficeAction) error {
 	}
 	b.frames++
 	b.actions += uint64(len(batch))
-	// Lazily encode at most one frame per codec version in use; the
-	// slice is shared read-only across that codec's subscribers.
-	var byCodec [3][]byte
+	var seen [3][2]bool
 	for s := range b.subs {
-		frame := byCodec[s.codec]
-		if frame == nil {
-			var err error
-			frame, err = wire.AppendFrame(nil, s.codec, batch)
-			if err != nil {
-				return err
-			}
-			byCodec[s.codec] = frame
+		f, err := e.Frame(s.codec, s.compress)
+		if err != nil {
+			return err
+		}
+		ci := 0
+		if s.compress {
+			ci = 1
+		}
+		if !seen[s.codec][ci] {
+			seen[s.codec][ci] = true
+			b.bytes += uint64(f.Logical)
+			b.wireBytes += uint64(len(f.Wire))
 		}
 		select {
-		case s.ch <- frame:
+		case s.ch <- f.Wire:
 		default:
 			delete(b.subs, s)
 			close(s.ch)

@@ -24,11 +24,11 @@ func testBatch(n int) []engine.OfficeAction {
 
 func TestBroadcasterDelivers(t *testing.T) {
 	b := newBroadcaster()
-	s1, err := b.Subscribe(wire.V1JSONL, 4)
+	s1, err := b.Subscribe(wire.V1JSONL, false, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := b.Subscribe(wire.V2Binary, 4)
+	s2, err := b.Subscribe(wire.V2Binary, false, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +69,11 @@ func TestBroadcasterDelivers(t *testing.T) {
 
 func TestBroadcasterOverflowDropsSubscriber(t *testing.T) {
 	b := newBroadcaster()
-	slow, err := b.Subscribe(wire.V1JSONL, 1)
+	slow, err := b.Subscribe(wire.V1JSONL, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := b.Subscribe(wire.V1JSONL, 4)
+	fast, err := b.Subscribe(wire.V1JSONL, false, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestBroadcasterOverflowDropsSubscriber(t *testing.T) {
 
 func TestBroadcasterClose(t *testing.T) {
 	b := newBroadcaster()
-	s, _ := b.Subscribe(wire.V1JSONL, 1)
+	s, _ := b.Subscribe(wire.V1JSONL, false, 1)
 	if err := b.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -117,14 +117,14 @@ func TestBroadcasterClose(t *testing.T) {
 	if err := b.Write(testBatch(1)); !errors.Is(err, stream.ErrSinkClosed) {
 		t.Fatalf("post-close write error = %v", err)
 	}
-	if _, err := b.Subscribe(wire.V1JSONL, 1); err == nil {
+	if _, err := b.Subscribe(wire.V1JSONL, false, 1); err == nil {
 		t.Fatal("subscribed to a closed broadcaster")
 	}
 }
 
 func TestBroadcasterRejectsUnknownCodec(t *testing.T) {
 	b := newBroadcaster()
-	if _, err := b.Subscribe(wire.Version(9), 1); err == nil {
+	if _, err := b.Subscribe(wire.Version(9), false, 1); err == nil {
 		t.Fatal("unknown codec accepted")
 	}
 }

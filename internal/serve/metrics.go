@@ -38,6 +38,12 @@ func (p *promWriter) labelled(name, office string, v float64) {
 	fmt.Fprintf(&p.b, "%s{office=%q} %s\n", name, esc, strconv.FormatFloat(v, 'g', -1, 64))
 }
 
+// kind emits one sample with a single kind label (fixed, trusted
+// values — no escaping needed).
+func (p *promWriter) kind(name, kind string, v float64) {
+	fmt.Fprintf(&p.b, "%s{kind=%q} %s\n", name, kind, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
 // handleMetrics renders the dependency-free GET /metrics endpoint: the
 // counters the stream, segment and TCP layers already expose via
 // Stats(), plus the reconcile loop's gauges. Counter values are exact
@@ -113,11 +119,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.metric("fadewich_actions_overflows_total", "counter", "Subscribers dropped for falling behind their frame buffer.")
 	p.sample("fadewich_actions_overflows_total", float64(overflows))
 
+	// Bytes-moved accounting, one family across the byte-producing
+	// sinks: logical is the uncompressed-equivalent frame size, wire is
+	// what actually hit the disk, socket or subscriber channel.
+	// logical/wire is each kind's compression ratio.
+	bcLogical, bcWire := s.bcast.ByteStats()
+	p.metric("fadewich_logical_bytes_total", "counter", "Uncompressed-equivalent frame bytes produced, by sink kind.")
+	p.metric("fadewich_wire_bytes_total", "counter", "Frame bytes actually written, by sink kind.")
+	type byteRow struct {
+		kind           string
+		logical, wired float64
+	}
+	rows := []byteRow{{kind: "broadcast", logical: float64(bcLogical), wired: float64(bcWire)}}
+	if s.seg != nil {
+		sst := s.seg.Stats()
+		rows = append(rows, byteRow{kind: "segment", logical: float64(sst.Bytes), wired: float64(sst.WireBytes)})
+	}
+	if s.fwd != nil {
+		fst := s.fwd.Stats()
+		rows = append(rows, byteRow{kind: "forward", logical: float64(fst.Bytes), wired: float64(fst.WireBytes)})
+	}
+	for _, row := range rows {
+		p.kind("fadewich_logical_bytes_total", row.kind, row.logical)
+	}
+	for _, row := range rows {
+		p.kind("fadewich_wire_bytes_total", row.kind, row.wired)
+	}
+
 	if s.seg != nil {
 		sst := s.seg.Stats()
 		p.metric("fadewich_segment_frames_total", "counter", "Frames appended to the segment log by this writer generation.")
 		p.sample("fadewich_segment_frames_total", float64(sst.Frames))
-		p.metric("fadewich_segment_bytes_total", "counter", "Bytes appended to the segment log by this writer generation.")
+		p.metric("fadewich_segment_bytes_total", "counter", "Logical (uncompressed-equivalent) bytes appended to the segment log by this writer generation; fadewich_wire_bytes_total{kind=\"segment\"} is the on-disk count.")
 		p.sample("fadewich_segment_bytes_total", float64(sst.Bytes))
 		p.metric("fadewich_segment_syncs_total", "counter", "fsync calls on segment files.")
 		p.sample("fadewich_segment_syncs_total", float64(sst.Syncs))
@@ -132,6 +165,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.sample("fadewich_segment_sealed_frames_total", float64(sealedFrames))
 		p.metric("fadewich_segment_sealed_bytes_total", "counter", "Bytes in sealed segments, per the directory manifest.")
 		p.sample("fadewich_segment_sealed_bytes_total", float64(sealedBytes))
+	}
+
+	if s.maintStop != nil {
+		p.metric("fadewich_segment_maintenance_passes_total", "counter", "Completed segment-maintenance passes.")
+		p.sample("fadewich_segment_maintenance_passes_total", float64(s.maint.passes.Load()))
+		p.metric("fadewich_segment_maintenance_errors_total", "counter", "Segment-maintenance passes that failed.")
+		p.sample("fadewich_segment_maintenance_errors_total", float64(s.maint.errors.Load()))
+		p.metric("fadewich_segment_compacted_segments_total", "counter", "Sealed segments rewritten into compressed frames.")
+		p.sample("fadewich_segment_compacted_segments_total", float64(s.maint.compactedSegments.Load()))
+		p.metric("fadewich_segment_compacted_bytes_saved_total", "counter", "On-disk bytes reclaimed by compaction.")
+		p.sample("fadewich_segment_compacted_bytes_saved_total", float64(s.maint.compactedBytesSaved.Load()))
+		p.metric("fadewich_segment_retained_segments_total", "counter", "Sealed segments deleted by TTL retention.")
+		p.sample("fadewich_segment_retained_segments_total", float64(s.maint.retainedSegments.Load()))
+		p.metric("fadewich_segment_retained_bytes_total", "counter", "On-disk bytes deleted by TTL retention.")
+		p.sample("fadewich_segment_retained_bytes_total", float64(s.maint.retainedBytes.Load()))
+		p.metric("fadewich_segment_replicated_segments_total", "counter", "Sealed segments shipped to the replica directory.")
+		p.sample("fadewich_segment_replicated_segments_total", float64(s.maint.replicatedSegments.Load()))
+		p.metric("fadewich_segment_replicated_bytes_total", "counter", "Bytes shipped to the replica directory.")
+		p.sample("fadewich_segment_replicated_bytes_total", float64(s.maint.replicatedBytes.Load()))
 	}
 
 	if s.fwd != nil {

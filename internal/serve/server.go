@@ -33,6 +33,10 @@ const ContentTypeFrames = "application/x-fadewich-frames"
 // buffer when Config.SubscriberBuffer is zero.
 const DefaultSubscriberBuffer = 256
 
+// DefaultMaintainEvery is the segment-maintenance pass interval when
+// Config.MaintainEvery is zero.
+const DefaultMaintainEvery = time.Minute
+
 // Config parameterises a Server.
 type Config struct {
 	// SpecPath is the fleet-spec file (required unless SpecSource is
@@ -61,6 +65,25 @@ type Config struct {
 	SegmentMaxAge   time.Duration
 	Fsync           segment.FsyncPolicy
 	Codec           wire.Version
+	// Compress deflates frame bodies (wire.FlagCompressed) on the
+	// segment log and the forward stream when they clear the
+	// compression threshold; decoded output is byte-identical either
+	// way. /v1/actions subscribers opt in per connection (?compress=1)
+	// regardless of this knob.
+	Compress bool
+	// CompactAfter, when positive, rewrites sealed segments older than
+	// this into compressed frames on each maintenance pass. Retention,
+	// when positive, deletes sealed segments older than it
+	// (manifest-first; the active segment is never touched). Replicate,
+	// when set, ships sealed segments to this directory before
+	// retention prunes them. All three need SegmentDir.
+	CompactAfter time.Duration
+	Retention    time.Duration
+	Replicate    string
+	// MaintainEvery is the maintenance pass interval (0 selects
+	// DefaultMaintainEvery; only runs when a maintenance job is
+	// configured).
+	MaintainEvery time.Duration
 	// Forward, when set, streams every dispatched batch to this TCP
 	// address as wire frames (codec Codec), the fan-in feed for a
 	// downstream fadewich-tail or router tier.
@@ -102,9 +125,38 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 
+	// Segment maintenance (compaction, retention, replication): the
+	// loop goroutine runs Maintain on a ticker; the counters accumulate
+	// its results for /metrics.
+	maintOpt  segment.MaintainOptions
+	maintStop chan struct{}
+	maintDone chan struct{}
+	maint     maintCounters
+
 	closing   atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// maintCounters aggregates maintenance results across passes.
+type maintCounters struct {
+	passes, errors                         atomic.Uint64
+	compactedSegments, compactedBytesSaved atomic.Uint64
+	retainedSegments, retainedBytes        atomic.Uint64
+	replicatedSegments, replicatedBytes    atomic.Uint64
+}
+
+// add folds one pass's result in.
+func (c *maintCounters) add(res segment.MaintainResult) {
+	c.passes.Add(1)
+	c.compactedSegments.Add(uint64(res.Compacted.Segments))
+	if saved := res.Compacted.BytesBefore - res.Compacted.BytesAfter; saved > 0 {
+		c.compactedBytesSaved.Add(uint64(saved))
+	}
+	c.retainedSegments.Add(uint64(res.Retained.Segments))
+	c.retainedBytes.Add(uint64(res.Retained.Bytes))
+	c.replicatedSegments.Add(uint64(res.Replicated.Segments))
+	c.replicatedBytes.Add(uint64(res.Replicated.Bytes))
 }
 
 // New builds the fleet from the spec file and starts the ingestion
@@ -166,6 +218,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 
+	if cfg.SegmentDir == "" && (cfg.CompactAfter > 0 || cfg.Retention > 0 || cfg.Replicate != "") {
+		return nil, errors.New("serve: segment maintenance (compaction, retention, replication) needs a segment directory")
+	}
+
 	s := &Server{cfg: cfg, fleet: fleet, bcast: newBroadcaster(), source: source, started: time.Now()}
 	sinks := []stream.Sink{s.bcast}
 	if cfg.SegmentDir != "" {
@@ -175,6 +231,7 @@ func New(cfg Config) (*Server, error) {
 			MaxSegmentAge:   cfg.SegmentMaxAge,
 			Fsync:           cfg.Fsync,
 			Version:         cfg.Codec,
+			Compress:        cfg.Compress,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
@@ -193,6 +250,7 @@ func New(cfg Config) (*Server, error) {
 		if cfg.Codec != 0 {
 			fwd.Version = cfg.Codec
 		}
+		fwd.Compress = cfg.Compress
 		s.fwd = fwd
 		if cfg.ForwardSource != 0 {
 			fwd.Source = cfg.ForwardSource
@@ -206,9 +264,12 @@ func New(cfg Config) (*Server, error) {
 			sinks = append(sinks, fwd)
 		}
 	}
+	// Encode-once fan-out: any (codec, compressed) frame variant a
+	// member wants — the segment log, a broadcaster subscriber — is
+	// encoded exactly once per dispatch and shared read-only.
 	sink := sinks[0]
 	if len(sinks) > 1 {
-		sink = stream.NewMultiSink(sinks...)
+		sink = stream.NewEncodeOnceSink(sinks...)
 	}
 
 	s.ing, err = stream.NewIngestor(fleet, stream.Config{
@@ -224,6 +285,27 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s.rec = newReconciler(s.ing, resolved, fleet.IDs(), raw, cfg.AllowEmpty)
+
+	if cfg.CompactAfter > 0 || cfg.Retention > 0 || cfg.Replicate != "" {
+		s.maintOpt = segment.MaintainOptions{
+			CompactAfter: cfg.CompactAfter,
+			Retention:    cfg.Retention,
+		}
+		if cfg.Replicate != "" {
+			rep, err := segment.NewReplicator(cfg.Replicate)
+			if err != nil {
+				s.ing.Close()
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			s.maintOpt.Replica = rep
+		}
+		every := cfg.MaintainEvery
+		if every <= 0 {
+			every = DefaultMaintainEvery
+		}
+		s.maintStop, s.maintDone = make(chan struct{}), make(chan struct{})
+		go s.maintainLoop(every)
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/ticks", s.handleTicks)
@@ -272,12 +354,49 @@ func (s *Server) Reload() error {
 	return s.rec.Reconcile(raw)
 }
 
+// maintainLoop runs segment maintenance every interval until Close.
+func (s *Server) maintainLoop(every time.Duration) {
+	defer close(s.maintDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.maintStop:
+			return
+		case <-t.C:
+			if _, err := s.MaintainNow(); err != nil && !errors.Is(err, stream.ErrSinkClosed) {
+				s.maint.errors.Add(1)
+			}
+		}
+	}
+}
+
+// MaintainNow runs one synchronous segment-maintenance pass (compact,
+// replicate, retain — as configured) and folds the result into the
+// /metrics counters. The e2e harness calls it for a deterministic pass
+// instead of waiting out the ticker.
+func (s *Server) MaintainNow() (segment.MaintainResult, error) {
+	if s.seg == nil {
+		return segment.MaintainResult{}, errors.New("serve: no segment directory to maintain")
+	}
+	res, err := s.seg.Maintain(s.maintOpt)
+	if err != nil {
+		return res, err
+	}
+	s.maint.add(res)
+	return res, nil
+}
+
 // Close drains and shuts down: new ticks are refused, queued work is
 // dispatched, sinks are flushed and closed (sealing the active
 // segment), and /v1/actions subscribers are completed. Idempotent.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.closing.Store(true)
+		if s.maintStop != nil {
+			close(s.maintStop)
+			<-s.maintDone
+		}
 		s.closeErr = s.ing.Close()
 	})
 	return s.closeErr
@@ -436,6 +555,15 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 		}
 		codec = wire.V2Binary
 	}
+	compress := false
+	switch q := r.URL.Query().Get("compress"); q {
+	case "", "0":
+	case "1":
+		compress = true
+	default:
+		http.Error(w, "bad compress (want 0 or 1)", http.StatusBadRequest)
+		return
+	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -445,7 +573,7 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 	if buffer == 0 {
 		buffer = DefaultSubscriberBuffer
 	}
-	sub, err := s.bcast.Subscribe(codec, buffer)
+	sub, err := s.bcast.Subscribe(codec, compress, buffer)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return

@@ -6,6 +6,7 @@ import (
 
 	"fadewich/internal/engine"
 	"fadewich/internal/segment"
+	"fadewich/internal/wire"
 )
 
 // SegmentSink persists the action stream to a durable segment log
@@ -18,6 +19,10 @@ type SegmentSink struct {
 	mu     sync.Mutex
 	w      *segment.Writer
 	closed bool
+	// ver/compress mirror the writer's config: the (codec, compressed)
+	// frame variant this sink pulls from an encode-once fan-out.
+	ver      wire.Version
+	compress bool
 }
 
 // NewSegmentSink opens (creating if needed) the segment directory of
@@ -29,7 +34,11 @@ func NewSegmentSink(cfg segment.Config) (*SegmentSink, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream: segment sink: %w", err)
 	}
-	return &SegmentSink{w: w}, nil
+	ver := cfg.Version
+	if ver == 0 {
+		ver = wire.V1JSONL
+	}
+	return &SegmentSink{w: w, ver: ver, compress: cfg.Compress}, nil
 }
 
 // Write appends one batch as one frame, rotating segments as
@@ -44,6 +53,42 @@ func (s *SegmentSink) Write(batch []engine.OfficeAction) error {
 		return fmt.Errorf("stream: segment sink: %w", err)
 	}
 	return nil
+}
+
+// WriteEncoded implements FrameSink: the sink pulls its configured
+// (codec, compressed) variant from the cycle's shared EncodedBatch and
+// appends the pre-encoded frame as-is — no second encode, no mutation
+// of the shared bytes.
+func (s *SegmentSink) WriteEncoded(e *EncodedBatch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSinkClosed
+	}
+	f, err := e.Frame(s.ver, s.compress)
+	if err != nil {
+		return fmt.Errorf("stream: segment sink: %w", err)
+	}
+	if err := s.w.AppendEncoded(f.Wire, f.Logical, f.Batch); err != nil {
+		return fmt.Errorf("stream: segment sink: %w", err)
+	}
+	return nil
+}
+
+// Maintain runs the segment directory's maintenance jobs (compaction,
+// replication, retention — see segment.MaintainOptions) under the
+// sink's lock, so they never interleave with an in-flight Write.
+func (s *SegmentSink) Maintain(opt segment.MaintainOptions) (segment.MaintainResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return segment.MaintainResult{}, ErrSinkClosed
+	}
+	res, err := s.w.Maintain(opt)
+	if err != nil {
+		return res, fmt.Errorf("stream: segment sink: %w", err)
+	}
+	return res, nil
 }
 
 // Sync forces the active segment to stable storage, regardless of the

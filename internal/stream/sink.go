@@ -124,6 +124,13 @@ type TCPSinkStats struct {
 	// attempts behind those redials.
 	DialFailures  uint64
 	WriteFailures uint64
+	// Bytes counts the logical (uncompressed-equivalent) frame bytes of
+	// delivered frames; WireBytes counts the bytes actually sent. They
+	// are equal on a sink without compression, and WireBytes/Bytes is
+	// the on-wire compression ratio otherwise. Resent frames count
+	// once, like Frames.
+	Bytes     uint64
+	WireBytes uint64
 }
 
 // TCPSink streams the action stream to a TCP peer as wire frames
@@ -168,13 +175,20 @@ type TCPSink struct {
 	// the cross-node order. Default 0 (untagged, the historical
 	// behavior).
 	Source uint8
+	// Compress, when set, deflates frame bodies at or above
+	// wire.DefaultCompressMin (wire.FlagCompressed); small or
+	// incompressible batches still go out as plain frames. The decoded
+	// stream is byte-identical either way — any frame-aware consumer
+	// inflates transparently. Default off.
+	Compress bool
 
 	addr string
 
-	mu     sync.Mutex
-	conn   net.Conn
-	frame  []byte
-	closed bool
+	mu      sync.Mutex
+	conn    net.Conn
+	frame   []byte
+	logical int // uncompressed-equivalent size of s.frame
+	closed  bool
 	// lastEpoch/wroteEpoch track the tagged mode's epoch monotonicity
 	// and give the final frame an epoch past every delivered one.
 	lastEpoch  uint64
@@ -244,12 +258,26 @@ func (s *TCPSink) Write(batch []engine.OfficeAction) error {
 	if s.Source != 0 {
 		return fmt.Errorf("stream: tcp sink %s: tagged sink (source %d) got an untagged batch — drive dispatches with epoch flushes", s.addr, s.Source)
 	}
+	if err := s.encodeLocked(batch); err != nil {
+		return err
+	}
+	return s.sendLocked()
+}
+
+// encodeLocked builds the untagged frame for batch into s.frame,
+// honouring the Compress knob, and records its logical size.
+func (s *TCPSink) encodeLocked(batch []engine.OfficeAction) error {
 	var err error
-	s.frame, err = wire.AppendFrame(s.frame[:0], s.Version, batch)
+	if s.Compress {
+		s.frame, s.logical, err = wire.AppendFrameCompressed(s.frame[:0], s.Version, batch, 0)
+	} else {
+		s.frame, err = wire.AppendFrame(s.frame[:0], s.Version, batch)
+		s.logical = len(s.frame)
+	}
 	if err != nil {
 		return fmt.Errorf("stream: tcp sink %s: %w", s.addr, err)
 	}
-	return s.sendLocked()
+	return nil
 }
 
 // WriteEpoch sends one epoch's batch as a single tagged wire frame
@@ -268,10 +296,8 @@ func (s *TCPSink) WriteEpoch(epoch uint64, batch []engine.OfficeAction) error {
 		if len(batch) == 0 {
 			return nil
 		}
-		var err error
-		s.frame, err = wire.AppendFrame(s.frame[:0], s.Version, batch)
-		if err != nil {
-			return fmt.Errorf("stream: tcp sink %s: %w", s.addr, err)
+		if err := s.encodeLocked(batch); err != nil {
+			return err
 		}
 		return s.sendLocked()
 	}
@@ -279,7 +305,12 @@ func (s *TCPSink) WriteEpoch(epoch uint64, batch []engine.OfficeAction) error {
 		return fmt.Errorf("stream: tcp sink %s: epoch %d is not after the last delivered epoch %d", s.addr, epoch, s.lastEpoch)
 	}
 	var err error
-	s.frame, err = wire.AppendTaggedFrame(s.frame[:0], s.Version, wire.Tag{Source: s.Source, Epoch: epoch}, batch)
+	if s.Compress {
+		s.frame, s.logical, err = wire.AppendTaggedFrameCompressed(s.frame[:0], s.Version, wire.Tag{Source: s.Source, Epoch: epoch}, batch, 0)
+	} else {
+		s.frame, err = wire.AppendTaggedFrame(s.frame[:0], s.Version, wire.Tag{Source: s.Source, Epoch: epoch}, batch)
+		s.logical = len(s.frame)
+	}
 	if err != nil {
 		return fmt.Errorf("stream: tcp sink %s: %w", s.addr, err)
 	}
@@ -321,6 +352,8 @@ func (s *TCPSink) sendLocked() error {
 		}
 		s.streak = 0
 		s.stats.Frames++
+		s.stats.Bytes += uint64(s.logical)
+		s.stats.WireBytes += uint64(len(s.frame))
 		return nil
 	}
 	return fmt.Errorf("stream: tcp sink %s: %w", s.addr, lastErr)
@@ -351,7 +384,9 @@ func (s *TCPSink) Close() error {
 		if s.wroteEpoch {
 			epoch = s.lastEpoch + 1
 		}
+		// The final frame is empty and never worth compressing.
 		s.frame, finalErr = wire.AppendTaggedFrame(s.frame[:0], s.Version, wire.Tag{Source: s.Source, Epoch: epoch, Final: true}, nil)
+		s.logical = len(s.frame)
 		if finalErr == nil {
 			finalErr = s.sendLocked()
 		}

@@ -1,0 +1,246 @@
+// Compressed frames: the FlagCompressed (0x04) half of the wire
+// format. A compressed frame is an ordinary frame whose payload bytes
+// were run through DEFLATE (RFC 1951, compress/flate) before sealing;
+// the tag of a tagged frame stays uncompressed in front of the deflate
+// stream so the router can read provenance without inflating, and the
+// CRC trailer covers the on-wire (compressed) bytes. Decode inflates
+// transparently — callers see exactly the payload the producer encoded,
+// which is what keeps the determinism contract: compressed and
+// uncompressed transport of the same batch decode to byte-identical
+// payloads, even though the deflate bytes themselves may differ across
+// Go toolchains.
+//
+// Compression is advisory at encode time: the AppendXxxCompressed
+// functions fall back to a plain frame when the payload is below the
+// threshold or when deflate fails to shrink it, so a stream with
+// compression enabled may legally interleave both forms and a consumer
+// must (and does, via the flag byte) handle each frame independently.
+
+package wire
+
+import (
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"fadewich/internal/engine"
+)
+
+// DefaultCompressMin is the payload size below which the compressed
+// append functions do not attempt deflate (min <= 0 selects it). Small
+// batches are dominated by the frame overhead and the deflate stream's
+// own framing; compressing them costs CPU to save nothing.
+const DefaultCompressMin = 256
+
+// flateLevel is the deflate effort of the hot encode path. BestSpeed
+// captures most of the JSONL redundancy (repeated keys, enum
+// spellings) at a fraction of the default level's CPU — the right
+// trade for a per-dispatch operation. Cold-path rewriters (the segment
+// compactor) use CompactionLevel instead.
+const flateLevel = flate.BestSpeed
+
+// CompactionLevel is the deflate effort for offline rewriting of cold
+// data, where shrink matters more than CPU.
+const CompactionLevel = flate.BestCompression
+
+// flateWriters pools one *flate.Writer per level in use; the
+// compressor's internal state is ~600 KiB, far too much to allocate
+// per frame.
+var flateWriters [10]sync.Pool
+
+// flateReaders pools inflaters (they satisfy flate.Resetter).
+var flateReaders = sync.Pool{New: func() any { return flate.NewReader(nil) }}
+
+// countWriter adapts a byte slice to io.Writer for the pooled flate
+// writers.
+type countWriter struct {
+	buf []byte
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.buf = append(c.buf, p...)
+	return len(p), nil
+}
+
+// appendDeflate appends the deflate stream of src to dst at the given
+// level and returns the extended slice.
+func appendDeflate(dst, src []byte, level int) []byte {
+	if level < 1 || level > 9 {
+		level = flateLevel
+	}
+	cw := &countWriter{buf: dst}
+	var fw *flate.Writer
+	if v := flateWriters[level].Get(); v != nil {
+		fw = v.(*flate.Writer)
+		fw.Reset(cw)
+	} else {
+		var err error
+		fw, err = flate.NewWriter(cw, level)
+		if err != nil {
+			panic(err) // level is range-checked above
+		}
+	}
+	if _, err := fw.Write(src); err != nil {
+		panic(err) // countWriter cannot fail
+	}
+	if err := fw.Close(); err != nil {
+		panic(err) // countWriter cannot fail
+	}
+	flateWriters[level].Put(fw)
+	return cw.buf
+}
+
+// inflate appends the inflated form of the deflate stream src to dst,
+// rejecting streams that inflate past max bytes — the zip-bomb bound;
+// the length field already caps the compressed side.
+func inflate(dst, src []byte, max int) ([]byte, error) {
+	fr := flateReaders.Get().(io.ReadCloser)
+	defer flateReaders.Put(fr)
+	if err := fr.(flate.Resetter).Reset(newByteReader(src), nil); err != nil {
+		return dst, err
+	}
+	base := len(dst)
+	for {
+		if len(dst)-base > max {
+			return dst, fmt.Errorf("inflated payload exceeds the %d-byte limit", max)
+		}
+		if cap(dst) == len(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := fr.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+	if len(dst)-base > max {
+		return dst, fmt.Errorf("inflated payload exceeds the %d-byte limit", max)
+	}
+	return dst, nil
+}
+
+// byteReader is a minimal io.Reader over a slice. flate.Resetter wants
+// an io.Reader; bytes.Reader would also do, but allocating one per
+// frame is exactly what the pool avoids.
+type byteReader struct {
+	s []byte
+}
+
+func newByteReader(s []byte) *byteReader { return &byteReader{s: s} }
+
+func (b *byteReader) Read(p []byte) (int, error) {
+	if len(b.s) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, b.s)
+	b.s = b.s[n:]
+	return n, nil
+}
+
+// maybeCompress deflates dst[payloadStart:] in place when it is at
+// least min bytes and deflate actually shrinks it, reporting whether it
+// did. min <= 0 selects DefaultCompressMin.
+func maybeCompress(dst []byte, payloadStart, min, level int) ([]byte, bool) {
+	if min <= 0 {
+		min = DefaultCompressMin
+	}
+	payload := dst[payloadStart:]
+	if len(payload) < min {
+		return dst, false
+	}
+	// Deflate into the tail of dst past the payload, then slide the
+	// result down over it — one buffer, no pooled scratch to manage.
+	comp := appendDeflate(dst, payload, level)
+	if len(comp)-len(dst) >= len(payload) {
+		return dst, false
+	}
+	n := copy(dst[payloadStart:cap(dst)], comp[len(dst):])
+	return dst[:payloadStart+n], true
+}
+
+// AppendFrameCompressed appends one complete frame like AppendFrame,
+// deflating the payload when it is at least min bytes (min <= 0
+// selects DefaultCompressMin) and deflate actually shrinks it — the
+// frame is plain otherwise. It additionally returns the size the frame
+// occupies uncompressed, whether or not compression happened: the
+// "logical" byte count behind the sinks' bytes-vs-wire-bytes split.
+func AppendFrameCompressed(dst []byte, v Version, batch []engine.OfficeAction, min int) ([]byte, int, error) {
+	start := len(dst)
+	dst = append(dst, Magic[0], Magic[1], byte(v), 0, 0, 0, 0, 0)
+	bodyStart := len(dst)
+	dst, err := AppendPayload(dst, v, batch)
+	if err != nil {
+		return dst[:start], 0, err
+	}
+	logical := Overhead + len(dst) - bodyStart
+	dst, compressed := maybeCompress(dst, bodyStart, min, flateLevel)
+	if compressed {
+		dst[start+3] |= FlagCompressed
+	}
+	dst, err = sealFrame(dst, start)
+	return dst, logical, err
+}
+
+// AppendTaggedFrameCompressed appends one complete FlagTagged frame
+// like AppendTaggedFrame, deflating the payload under the same rules
+// as AppendFrameCompressed. The tag bytes stay uncompressed in front
+// of the deflate stream, so tagged-frame consumers read provenance
+// without inflating. Also returns the uncompressed frame size.
+func AppendTaggedFrameCompressed(dst []byte, v Version, tag Tag, batch []engine.OfficeAction, min int) ([]byte, int, error) {
+	if tag.Source == 0 {
+		return dst, 0, errors.New("wire: tagged frame: source 0 is reserved for untagged streams")
+	}
+	if tag.Epoch > MaxTagEpoch {
+		return dst, 0, fmt.Errorf("wire: tagged frame: epoch %d exceeds the 32-bit wire field", tag.Epoch)
+	}
+	flags := byte(FlagTagged)
+	if tag.Final {
+		flags |= FlagFinal
+	}
+	start := len(dst)
+	dst = append(dst, Magic[0], Magic[1], byte(v), flags, 0, 0, 0, 0)
+	dst = append(dst, tag.Source)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(tag.Epoch))
+	bodyStart := len(dst)
+	dst, err := AppendPayload(dst, v, batch)
+	if err != nil {
+		return dst[:start], 0, err
+	}
+	logical := Overhead + TagSize + len(dst) - bodyStart
+	dst, compressed := maybeCompress(dst, bodyStart, min, flateLevel)
+	if compressed {
+		dst[start+3] |= FlagCompressed
+	}
+	dst, err = sealFrame(dst, start)
+	return dst, logical, err
+}
+
+// AppendRawFrameCompressed appends one complete frame carrying an
+// opaque payload like AppendRawFrame, deflating it under the same
+// rules as AppendFrameCompressed, at the given deflate level (level
+// outside [1,9] selects the hot-path default). Also returns the
+// uncompressed frame size. This is the segment compactor's rewrite
+// primitive: DecodeRaw of the old frame feeds AppendRawFrameCompressed
+// of the new one, preserving payload bytes exactly.
+func AppendRawFrameCompressed(dst []byte, v Version, payload []byte, min, level int) ([]byte, int, error) {
+	if !v.valid() {
+		return dst, 0, fmt.Errorf("%w %d", ErrVersion, uint8(v))
+	}
+	start := len(dst)
+	dst = append(dst, Magic[0], Magic[1], byte(v), 0, 0, 0, 0, 0)
+	bodyStart := len(dst)
+	dst = append(dst, payload...)
+	logical := Overhead + len(payload)
+	dst, compressed := maybeCompress(dst, bodyStart, min, level)
+	if compressed {
+		dst[start+3] |= FlagCompressed
+	}
+	dst, err := sealFrame(dst, start)
+	return dst, logical, err
+}

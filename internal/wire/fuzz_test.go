@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/hex"
 	"errors"
 	"io"
 	"math"
@@ -63,6 +64,33 @@ func FuzzDecode(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(append(append([]byte(nil), tagged...), final...))
+		// Compressed seeds: a FlagCompressed frame (min 1 forces deflate
+		// even for the small fixture batch), a compressed+tagged one, a
+		// torn prefix of each, and one with a flipped deflate byte.
+		comp, _, err := AppendFrameCompressed(nil, v, bigBatch(), 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(comp)
+		f.Add(comp[:len(comp)-6])
+		badComp := append([]byte(nil), comp...)
+		badComp[HeaderSize+3] ^= 0x10
+		f.Add(badComp)
+		compTagged, _, err := AppendTaggedFrameCompressed(nil, v, Tag{Source: 5, Epoch: 9}, bigBatch(), 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(compTagged)
+		f.Add(append(append([]byte(nil), comp...), compTagged...))
+	}
+	// The toolchain-independent golden compressed frames (stored-block
+	// deflate streams) seed the corpus too.
+	for _, golden := range []string{goldenCompressedV1, goldenCompressedTaggedV1} {
+		frame, err := hex.DecodeString(golden)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := NewDecoder(bytes.NewReader(data))

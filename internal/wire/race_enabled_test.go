@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is on. sync.Pool
+// deliberately drops a quarter of Puts under the race detector, so
+// pool-dependent allocation pins cannot hold there.
+const raceEnabled = true

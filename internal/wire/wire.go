@@ -28,9 +28,11 @@
 // which the stream router uses to re-merge per-worker streams into the
 // global order (see internal/cluster). FlagFinal (0x02, only valid
 // together with FlagTagged) marks a clean end-of-stream frame: the
-// tagged source promises no further epochs. The tag is covered by the
-// CRC and counted by the length field; untagged frames are bit-for-bit
-// what they always were, and any other flag bit is ErrCorrupt.
+// tagged source promises no further epochs. FlagCompressed (0x04)
+// marks a payload carried as a DEFLATE stream, inflated transparently
+// on decode (see compress.go). The tag is covered by the CRC and
+// counted by the length field; untagged frames are bit-for-bit what
+// they always were, and any other flag bit is ErrCorrupt.
 //
 // The CRC trailer is what makes frames safe to persist: a reader can
 // tell a frame that was cut short by a crash (ErrTorn — the file just
@@ -106,6 +108,12 @@ const (
 	// further epochs will follow from this source. Valid only together
 	// with FlagTagged.
 	FlagFinal = 0x02
+	// FlagCompressed marks a frame whose payload bytes are a DEFLATE
+	// stream of the logical payload. The tag of a tagged frame stays
+	// uncompressed in front of the stream, and the CRC covers the
+	// compressed (on-wire) bytes. Composes with FlagTagged and
+	// FlagFinal; see compress.go.
+	FlagCompressed = 0x04
 )
 
 // TagSize is the tagged-frame body prefix: one source byte and a
@@ -478,11 +486,13 @@ func DecodePayload(v Version, payload []byte) ([]engine.OfficeAction, error) {
 // Encoder writes frames to an io.Writer, one per batch, reusing one
 // internal buffer. Not safe for concurrent use.
 type Encoder struct {
-	w       io.Writer
-	version Version
-	buf     []byte
-	frames  uint64
-	bytes   uint64
+	w        io.Writer
+	version  Version
+	buf      []byte
+	frames   uint64
+	bytes    uint64
+	logical  uint64
+	compress bool
 }
 
 // NewEncoder returns an Encoder emitting frames under the given codec
@@ -494,10 +504,21 @@ func NewEncoder(w io.Writer, v Version) (*Encoder, error) {
 	return &Encoder{w: w, version: v}, nil
 }
 
+// SetCompression switches the encoder to compressed frames: payloads
+// at least DefaultCompressMin bytes that deflate smaller are carried
+// FlagCompressed. Call before or between Encodes, not concurrently.
+func (e *Encoder) SetCompression(on bool) { e.compress = on }
+
 // Encode writes one batch as one frame.
 func (e *Encoder) Encode(batch []engine.OfficeAction) error {
 	var err error
-	e.buf, err = AppendFrame(e.buf[:0], e.version, batch)
+	logical := 0
+	if e.compress {
+		e.buf, logical, err = AppendFrameCompressed(e.buf[:0], e.version, batch, 0)
+	} else {
+		e.buf, err = AppendFrame(e.buf[:0], e.version, batch)
+		logical = len(e.buf)
+	}
 	if err != nil {
 		return err
 	}
@@ -506,23 +527,31 @@ func (e *Encoder) Encode(batch []engine.OfficeAction) error {
 	}
 	e.frames++
 	e.bytes += uint64(len(e.buf))
+	e.logical += uint64(logical)
 	return nil
 }
 
 // Frames returns the number of frames encoded.
 func (e *Encoder) Frames() uint64 { return e.frames }
 
-// Bytes returns the total framed bytes written.
+// Bytes returns the total framed bytes written — the on-wire count,
+// after any compression.
 func (e *Encoder) Bytes() uint64 { return e.bytes }
+
+// LogicalBytes returns the total bytes the frames would have occupied
+// uncompressed. Equal to Bytes without compression.
+func (e *Encoder) LogicalBytes() uint64 { return e.logical }
 
 // Decoder reads frames from an io.Reader. Not safe for concurrent use.
 type Decoder struct {
-	r      *bufio.Reader
-	off    int64
-	ver    Version
-	tag    Tag
-	tagged bool
-	buf    []byte
+	r          *bufio.Reader
+	off        int64
+	ver        Version
+	tag        Tag
+	tagged     bool
+	compressed bool
+	buf        []byte
+	zbuf       []byte // inflation buffer for FlagCompressed payloads
 }
 
 // NewDecoder returns a Decoder over r. It buffers its reads; do not mix
@@ -539,17 +568,18 @@ func NewDecoder(r io.Reader) *Decoder {
 // itself — it is an I/O problem, not a statement about the frame.
 // Offset, Version and Tag describe the last successful decode.
 func (d *Decoder) Decode() ([]engine.OfficeAction, error) {
-	v, tag, tagged, payload, n, err := d.readFrame()
+	fr, err := d.readFrame()
 	if err != nil {
 		return nil, err
 	}
-	acts, err := DecodePayload(v, payload)
+	acts, err := DecodePayload(fr.ver, fr.payload)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	d.off += int64(HeaderSize + n + TrailerSize)
-	d.ver = v
-	d.tag, d.tagged = tag, tagged
+	d.off += int64(HeaderSize + fr.bodyLen + TrailerSize)
+	d.ver = fr.ver
+	d.tag, d.tagged = fr.tag, fr.tagged
+	d.compressed = fr.compressed
 	return acts, nil
 }
 
@@ -557,30 +587,45 @@ func (d *Decoder) Decode() ([]engine.OfficeAction, error) {
 // payload without interpreting the payload — the counterpart of
 // AppendRawFrame. The error taxonomy is Decode's (io.EOF / ErrTorn /
 // ErrCorrupt / ErrVersion), minus the payload-decode ErrCorrupt case:
-// any CRC-intact payload is returned as-is. The returned slice aliases
-// the decoder's internal buffer and is valid only until the next
-// Decode or DecodeRaw call. A tagged frame's tag bytes are stripped
-// from the returned payload and surfaced via Tag.
+// any CRC-intact payload is returned as-is — though a FlagCompressed
+// payload that fails to inflate is still ErrCorrupt, since the logical
+// payload cannot be recovered. The returned slice aliases the
+// decoder's internal buffers and is valid only until the next Decode
+// or DecodeRaw call. A tagged frame's tag bytes are stripped from the
+// returned payload and surfaced via Tag; a compressed frame's payload
+// is returned inflated, with Compressed reporting the on-wire form.
 func (d *Decoder) DecodeRaw() (Version, []byte, error) {
-	v, tag, tagged, payload, n, err := d.readFrame()
+	fr, err := d.readFrame()
 	if err != nil {
 		return 0, nil, err
 	}
-	d.off += int64(HeaderSize + n + TrailerSize)
-	d.ver = v
-	d.tag, d.tagged = tag, tagged
-	return v, payload, nil
+	d.off += int64(HeaderSize + fr.bodyLen + TrailerSize)
+	d.ver = fr.ver
+	d.tag, d.tagged = fr.tag, fr.tagged
+	d.compressed = fr.compressed
+	return fr.ver, fr.payload, nil
 }
 
-// readFrame reads one frame, verifies everything up to and including
-// the CRC trailer, and returns the codec version, the tag (when
-// FlagTagged), the payload (tag bytes already stripped, aliasing
-// d.buf) and the full on-wire body length n for offset accounting. It
-// does not advance the decoder's offset — the caller does, at its own
-// notion of "successfully decoded", so that a frame whose payload
-// fails action decoding still marks the previous frame boundary as the
-// torn-tail truncation point.
-func (d *Decoder) readFrame() (Version, Tag, bool, []byte, int, error) {
+// frame is one decoded frame as readFrame hands it to Decode/DecodeRaw:
+// the codec version, the tag (when tagged), the payload (tag bytes
+// stripped, inflated when compressed, aliasing the decoder's buffers)
+// and the on-wire body length for offset accounting.
+type frame struct {
+	ver        Version
+	tag        Tag
+	tagged     bool
+	compressed bool
+	payload    []byte
+	bodyLen    int
+}
+
+// readFrame reads one frame and verifies everything up to and
+// including the CRC trailer (and, for FlagCompressed, a successful
+// inflation). It does not advance the decoder's offset — the caller
+// does, at its own notion of "successfully decoded", so that a frame
+// whose payload fails action decoding still marks the previous frame
+// boundary as the torn-tail truncation point.
+func (d *Decoder) readFrame() (frame, error) {
 	// Only running out of bytes is "torn" — a real I/O failure (disk
 	// error, reset connection) must surface as itself, or a repairing
 	// segment reader would truncate intact frames past a transient EIO.
@@ -590,62 +635,77 @@ func (d *Decoder) readFrame() (Version, Tag, bool, []byte, int, error) {
 		}
 		return fmt.Errorf("wire: %s read: %w", stage, err)
 	}
-	var zero Tag
+	var fr frame
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(d.r, hdr[:1]); err != nil {
 		if err == io.EOF {
-			return 0, zero, false, nil, 0, io.EOF
+			return fr, io.EOF
 		}
-		return 0, zero, false, nil, 0, readErr("header", err)
+		return fr, readErr("header", err)
 	}
 	if _, err := io.ReadFull(d.r, hdr[1:]); err != nil {
-		return 0, zero, false, nil, 0, readErr("header", err)
+		return fr, readErr("header", err)
 	}
 	if hdr[0] != Magic[0] || hdr[1] != Magic[1] {
-		return 0, zero, false, nil, 0, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, hdr[0], hdr[1])
+		return fr, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, hdr[0], hdr[1])
 	}
 	v := Version(hdr[2])
 	if !v.valid() {
-		return 0, zero, false, nil, 0, fmt.Errorf("%w %d", ErrVersion, hdr[2])
+		return fr, fmt.Errorf("%w %d", ErrVersion, hdr[2])
 	}
 	flags := hdr[3]
 	tagged := flags&FlagTagged != 0
-	if flags&^byte(FlagTagged|FlagFinal) != 0 || (flags&FlagFinal != 0 && !tagged) {
-		return 0, zero, false, nil, 0, fmt.Errorf("%w: reserved flags %#02x set", ErrCorrupt, flags)
+	if flags&^byte(FlagTagged|FlagFinal|FlagCompressed) != 0 || (flags&FlagFinal != 0 && !tagged) {
+		return fr, fmt.Errorf("%w: reserved flags %#02x set", ErrCorrupt, flags)
 	}
 	n := binary.BigEndian.Uint32(hdr[4:])
 	if n > MaxPayloadBytes {
-		return 0, zero, false, nil, 0, fmt.Errorf("%w: payload length %d exceeds the %d-byte limit", ErrCorrupt, n, MaxPayloadBytes)
+		return fr, fmt.Errorf("%w: payload length %d exceeds the %d-byte limit", ErrCorrupt, n, MaxPayloadBytes)
 	}
 	if tagged && n < TagSize {
-		return 0, zero, false, nil, 0, fmt.Errorf("%w: tagged frame body %d bytes is shorter than its %d-byte tag", ErrCorrupt, n, TagSize)
+		return fr, fmt.Errorf("%w: tagged frame body %d bytes is shorter than its %d-byte tag", ErrCorrupt, n, TagSize)
 	}
 	if cap(d.buf) < int(n)+TrailerSize {
 		d.buf = make([]byte, int(n)+TrailerSize)
 	}
 	body := d.buf[:int(n)+TrailerSize]
 	if _, err := io.ReadFull(d.r, body); err != nil {
-		return 0, zero, false, nil, 0, readErr("payload", err)
+		return fr, readErr("payload", err)
 	}
 	crc := crc32.Checksum(hdr[:], castagnoli)
 	crc = crc32.Update(crc, castagnoli, body[:n])
 	if want := binary.BigEndian.Uint32(body[n:]); crc != want {
-		return 0, zero, false, nil, 0, fmt.Errorf("%w: CRC32C %#08x, frame says %#08x", ErrCorrupt, crc, want)
+		return fr, fmt.Errorf("%w: CRC32C %#08x, frame says %#08x", ErrCorrupt, crc, want)
 	}
 	payload := body[:n]
-	var tag Tag
 	if tagged {
 		if payload[0] == 0 {
-			return 0, zero, false, nil, 0, fmt.Errorf("%w: tagged frame carries reserved source 0", ErrCorrupt)
+			return fr, fmt.Errorf("%w: tagged frame carries reserved source 0", ErrCorrupt)
 		}
-		tag = Tag{
+		fr.tag = Tag{
 			Source: payload[0],
 			Epoch:  uint64(binary.BigEndian.Uint32(payload[1:TagSize])),
 			Final:  flags&FlagFinal != 0,
 		}
 		payload = payload[TagSize:]
 	}
-	return v, tag, tagged, payload, int(n), nil
+	if flags&FlagCompressed != 0 {
+		// A CRC-intact frame whose deflate stream will not inflate is
+		// still corrupt: the logical payload is unrecoverable, and the
+		// taxonomy must not leak raw flate errors to callers.
+		var err error
+		d.zbuf, err = inflate(d.zbuf[:0], payload, MaxPayloadBytes)
+		if err != nil {
+			return fr, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
+		}
+		payload = d.zbuf
+		fr.compressed = true
+	}
+	fr.ver = v
+	fr.tagged = tagged
+	fr.payload = payload
+	fr.bodyLen = int(n)
+	return fr, nil
 }
 
 // Offset returns the byte offset just past the last successfully
@@ -660,3 +720,9 @@ func (d *Decoder) Version() Version { return d.ver }
 // frame, and whether that frame was tagged at all — untagged frames
 // (the single-process wire format) report false.
 func (d *Decoder) Tag() (Tag, bool) { return d.tag, d.tagged }
+
+// Compressed reports whether the last successfully decoded frame was
+// carried FlagCompressed on the wire. The payload handed back was
+// inflated either way — this is observability, not a decoding duty
+// left with the caller.
+func (d *Decoder) Compressed() bool { return d.compressed }
